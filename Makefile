@@ -1,0 +1,30 @@
+# Developer entry points.  The offline-friendly install path is used
+# throughout (no build isolation; this repo has no runtime dependencies).
+
+PYTHON ?= python
+
+.PHONY: install test bench report examples check clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	cd benchmarks && $(PYTHON) report.py
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+check: test bench
+
+clean:
+	rm -rf .pytest_cache build *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,50 @@
+"""Experiment F1-rel-ineq — Figure 1 cell: relational predicates with
+relop in {<, <=, >, >=} are polynomial (Chase–Garg / Tomlinson–Garg).
+
+Claim reproduced: ``possibly(sum relop k)`` is two min-cut computations
+regardless of how wildly the variables jump per event — polynomial scaling
+in both processes and events, identical for ±1 and arbitrary-increment
+traces (the hardness of '=' is *not* here).
+
+Series: detection time vs processes for ``possibly(sum <= k)`` on ±1 and
+arbitrary-increment traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection import possibly_sum
+from repro.predicates import sum_predicate
+from workloads import arbitrary_walk_workload, unit_walk_workload
+
+PROCESSES = [2, 4, 8, 16, 32]
+
+
+@pytest.mark.parametrize("num_processes", PROCESSES)
+def test_inequality_unit_walks(benchmark, num_processes):
+    comp = unit_walk_workload(num_processes)
+    pred = sum_predicate("v", "<=", 0)
+    result = benchmark(possibly_sum, comp, pred)
+    assert result.algorithm == "min-cut"
+    benchmark.extra_info["num_processes"] = num_processes
+    benchmark.extra_info["min_sum"] = result.stats["min_sum"]
+
+
+@pytest.mark.parametrize("num_processes", PROCESSES)
+def test_inequality_arbitrary_walks(benchmark, num_processes):
+    comp = arbitrary_walk_workload(num_processes)
+    pred = sum_predicate("v", ">=", 100)
+    result = benchmark(possibly_sum, comp, pred)
+    assert result.algorithm == "min-cut"
+    benchmark.extra_info["num_processes"] = num_processes
+    benchmark.extra_info["max_sum"] = result.stats["max_sum"]
+
+
+@pytest.mark.parametrize("events", [16, 32, 64, 128])
+def test_inequality_event_scaling(benchmark, events):
+    comp = unit_walk_workload(8, events_per_process=events)
+    pred = sum_predicate("v", "<", -2)
+    result = benchmark(possibly_sum, comp, pred)
+    benchmark.extra_info["events_per_process"] = events
+    benchmark.extra_info["holds"] = result.holds

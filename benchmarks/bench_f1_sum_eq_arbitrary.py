@@ -1,0 +1,52 @@
+"""Experiment F1-sum-eq-arb — Figure 1 cell: ``sum = k`` is NP-complete
+for arbitrary per-event increments (this paper, Theorem 2).
+
+Claim reproduced: on SUBSET-SUM-derived traces with powers-of-two sizes
+(every subset a distinct sum), the exact engine's cost doubles per added
+process — exponential growth — while the *same question on the same number
+of processes* in the ±1 regime stays polynomial.  This is the crossover
+the paper's Section 4 is about: hardness lives in the increments, not in
+the '='.
+
+Series: exact-engine time vs elements (exponential); Theorem 7 time on
+equally many ±1 processes (flat) for contrast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection import possibly_sum, possibly_sum_eq_exact
+from repro.predicates import sum_predicate
+from repro.reductions import subset_sum_to_detection
+from workloads import exponential_subset_sum, unit_walk_workload
+
+ELEMENTS = [8, 10, 12, 14, 16]
+
+
+@pytest.mark.parametrize("num_elements", ELEMENTS)
+def test_exact_engine_exponential(benchmark, num_elements):
+    instance = exponential_subset_sum(num_elements)
+    comp, pred = subset_sum_to_detection(instance)
+    result = benchmark(possibly_sum_eq_exact, comp, pred)
+    assert result.holds  # the middle target is a subset sum (binary digits)
+    assert result.algorithm == "sumset-dp"
+    benchmark.extra_info["num_elements"] = num_elements
+    benchmark.extra_info["achievable_sums"] = result.stats["achievable_sums"]
+
+
+@pytest.mark.parametrize("num_elements", ELEMENTS)
+def test_unit_step_contrast(benchmark, num_elements):
+    """Same process counts, ±1 regime: Theorem 7 stays polynomial."""
+    comp = unit_walk_workload(num_elements, events_per_process=16)
+    pred = sum_predicate("v", "==", 1)
+    result = benchmark(possibly_sum, comp, pred)
+    assert result.algorithm == "theorem7-unit-step"
+    benchmark.extra_info["num_elements"] = num_elements
+
+
+def test_dispatcher_picks_exact_for_jumpy_traces(benchmark):
+    instance = exponential_subset_sum(10)
+    comp, pred = subset_sum_to_detection(instance)
+    result = benchmark(possibly_sum, comp, pred)
+    assert result.algorithm == "sumset-dp"

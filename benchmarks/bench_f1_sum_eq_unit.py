@@ -1,0 +1,76 @@
+"""Experiment F1-sum-eq-unit — Figure 1 cell: ``sum = k`` is polynomial
+when variables change by at most one per event (this paper, Theorem 7).
+
+Claims reproduced:
+
+* ``possibly(sum = k)`` on ±1 traces costs two min-cuts — the sweep over
+  processes scales like the inequality cell, not like the NP-complete
+  arbitrary-increment cell;
+* the answer matches the interval test ``min <= k <= max`` for every k,
+  and a witness cut with the exact sum is produced (Theorem 4's walk);
+* ``definitely(sum = k)`` decomposes into the two inequality
+  ``definitely`` queries (Theorem 7(2)); timed at small scale since our
+  inequality-definitely engine is the exact search.
+
+Series: possibly time vs processes; definitely time vs processes (small).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection import (
+    definitely_sum,
+    possibly_sum,
+    witness_cut_with_sum,
+)
+from repro.flow import sum_range
+from repro.predicates import sum_predicate
+from workloads import unit_walk_workload
+
+PROCESSES = [2, 4, 8, 16, 32]
+
+
+@pytest.mark.parametrize("num_processes", PROCESSES)
+def test_possibly_eq_scaling(benchmark, num_processes):
+    comp = unit_walk_workload(num_processes)
+    pred = sum_predicate("v", "==", num_processes // 2)
+    result = benchmark(possibly_sum, comp, pred)
+    assert result.algorithm == "theorem7-unit-step"
+    lo, hi = result.stats["min_sum"], result.stats["max_sum"]
+    assert result.holds == (lo <= pred.constant <= hi)
+    if result.holds:
+        assert result.witness.variable_sum("v") == pred.constant
+    benchmark.extra_info["num_processes"] = num_processes
+    benchmark.extra_info["sum_range"] = (lo, hi)
+    benchmark.extra_info["holds"] = result.holds
+
+
+@pytest.mark.parametrize("k", [-4, 0, 4, 8])
+def test_possibly_eq_target_sweep(benchmark, k):
+    comp = unit_walk_workload(8)
+    pred = sum_predicate("v", "==", k)
+    result = benchmark(possibly_sum, comp, pred)
+    lo, hi = sum_range(comp, "v")
+    assert result.holds == (lo <= k <= hi)
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["holds"] = result.holds
+
+
+def test_witness_walk(benchmark):
+    """Theorem 4's constructive walk to a cut with the exact sum."""
+    comp = unit_walk_workload(8)
+    lo, hi = sum_range(comp, "v")
+    k = (lo + hi) // 2
+    witness = benchmark(witness_cut_with_sum, comp, "v", k)
+    assert witness is not None and witness.variable_sum("v") == k
+
+
+@pytest.mark.parametrize("num_processes", [2, 3, 4])
+def test_definitely_eq_small(benchmark, num_processes):
+    comp = unit_walk_workload(num_processes, events_per_process=6)
+    pred = sum_predicate("v", "==", 0)
+    result = benchmark(definitely_sum, comp, pred)
+    assert result.algorithm == "theorem7-unit-step"
+    benchmark.extra_info["num_processes"] = num_processes
+    benchmark.extra_info["holds"] = result.holds

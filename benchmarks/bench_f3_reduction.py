@@ -1,0 +1,80 @@
+"""Experiment F3 — the paper's Figure 3 reduction, at scale.
+
+Claims reproduced:
+
+* building the gadget is polynomial (time vs clauses is tame);
+* on every instance, ``possibly(B)`` on the gadget equals satisfiability
+  of the source formula (checked against the DPLL solver);
+* detection time on the gadget grows exponentially with the number of
+  clauses when the formula is unsatisfiable (every chain combination must
+  be refuted) — NP-hardness felt as running time.
+
+Series: gadget-build time vs clauses; detection time vs clauses for
+satisfiable-leaning random formulas and for unsatisfiable pigeonhole-style
+formulas.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection import detect_by_chain_choice
+from repro.reductions import (
+    CNFFormula,
+    dpll_solve,
+    random_3cnf,
+    satisfiability_to_detection,
+    to_nonmonotone_3cnf,
+)
+
+CLAUSES = [4, 6, 8, 10]
+
+
+def unsatisfiable_formula(pairs: int) -> CNFFormula:
+    """(x1)(~x1) padded with forced-chain clauses — unsat by construction,
+    with ``pairs`` total clause pairs to scale the gadget."""
+    clauses = []
+    for v in range(1, pairs + 1):
+        clauses.append((v,))
+        clauses.append((-v,))
+    return CNFFormula(tuple(clauses))
+
+
+@pytest.mark.parametrize("num_clauses", [4, 8, 16, 32])
+def test_gadget_construction(benchmark, num_clauses):
+    formula, _ = to_nonmonotone_3cnf(
+        random_3cnf(max(4, num_clauses), num_clauses, seed=num_clauses)
+    )
+    instance = benchmark(satisfiability_to_detection, formula)
+    assert instance.predicate.is_singular()
+    benchmark.extra_info["num_clauses"] = len(instance.formula.clauses)
+    benchmark.extra_info["processes"] = instance.computation.num_processes
+
+
+@pytest.mark.parametrize("num_clauses", CLAUSES)
+def test_detection_on_random_formulas(benchmark, num_clauses):
+    formula, _ = to_nonmonotone_3cnf(
+        random_3cnf(max(4, num_clauses), num_clauses, seed=num_clauses)
+    )
+    instance = satisfiability_to_detection(formula)
+    result = benchmark(
+        detect_by_chain_choice, instance.computation, instance.predicate
+    )
+    satisfiable = dpll_solve(instance.formula) is not None
+    assert result.holds == satisfiable
+    benchmark.extra_info["num_clauses"] = len(instance.formula.clauses)
+    benchmark.extra_info["satisfiable"] = satisfiable
+    benchmark.extra_info["invocations"] = result.stats["invocations"]
+
+
+@pytest.mark.parametrize("pairs", [2, 4, 6, 8])
+def test_detection_on_unsatisfiable_formulas(benchmark, pairs):
+    """Refuting an unsatisfiable gadget forces the full combination sweep."""
+    instance = satisfiability_to_detection(unsatisfiable_formula(pairs))
+    result = benchmark(
+        detect_by_chain_choice, instance.computation, instance.predicate
+    )
+    assert not result.holds
+    assert result.stats["invocations"] == result.stats["combinations"]
+    benchmark.extra_info["pairs"] = pairs
+    benchmark.extra_info["invocations"] = result.stats["invocations"]

@@ -1,0 +1,68 @@
+"""Experiment T-chain — ablation of Section 3.3's chain-cover idea.
+
+Claim reproduced: on traces whose groups communicate internally so that
+each group's true events cover with c < k chains, the chain-choice engine
+tries c^m combinations against the process-choice engine's k^m — the
+"exponential reduction in time" the paper promises.  Both must of course
+return the same verdict.
+
+Series: time and combination counts for the two engines at group size 4
+with c = 1 and c = 2 chains per group, m = 2..4 groups.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.detection import (
+    detect_by_chain_choice,
+    detect_by_process_choice,
+)
+from workloads import chain_structured_group
+
+GROUP_SIZE = 4
+
+
+@pytest.mark.parametrize("num_groups", [2, 3, 4])
+@pytest.mark.parametrize("chains", [1, 2])
+@pytest.mark.parametrize("satisfiable", [True, False])
+def test_chain_choice_on_chain_structured(
+    benchmark, num_groups, chains, satisfiable
+):
+    comp, pred = chain_structured_group(
+        num_groups, GROUP_SIZE, chains_per_group=chains,
+        satisfiable=satisfiable,
+    )
+    result = benchmark(detect_by_chain_choice, comp, pred)
+    assert result.stats["combinations"] == chains**num_groups
+    assert result.holds == satisfiable
+    benchmark.extra_info["num_groups"] = num_groups
+    benchmark.extra_info["chains_per_group"] = chains
+    benchmark.extra_info["satisfiable"] = satisfiable
+    benchmark.extra_info["combinations"] = result.stats["combinations"]
+
+
+@pytest.mark.parametrize("num_groups", [2, 3, 4])
+@pytest.mark.parametrize("chains", [1, 2])
+@pytest.mark.parametrize("satisfiable", [True, False])
+def test_process_choice_on_chain_structured(
+    benchmark, num_groups, chains, satisfiable
+):
+    comp, pred = chain_structured_group(
+        num_groups, GROUP_SIZE, chains_per_group=chains,
+        satisfiable=satisfiable,
+    )
+    result = benchmark(detect_by_process_choice, comp, pred)
+    assert result.stats["combinations"] == GROUP_SIZE**num_groups
+    assert result.holds == satisfiable
+    reference = detect_by_chain_choice(comp, pred)
+    assert result.holds == reference.holds
+    ratio = result.stats["combinations"] / reference.stats["combinations"]
+    assert math.isclose(ratio, (GROUP_SIZE / chains) ** num_groups)
+    benchmark.extra_info["num_groups"] = num_groups
+    benchmark.extra_info["chains_per_group"] = chains
+    benchmark.extra_info["satisfiable"] = satisfiable
+    benchmark.extra_info["combinations"] = result.stats["combinations"]
+    benchmark.extra_info["reduction_factor"] = ratio

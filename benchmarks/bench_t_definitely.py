@@ -1,0 +1,49 @@
+"""Experiment T-definitely — ablation: interval-anchor vs lattice search.
+
+``definitely`` for conjunctive predicates: the interval-anchor relay
+search explores (anchors × antichain) states; the Cooper–Marzullo
+reachability explores the complement region of the cut lattice.  Both are
+exact; the anchor engine's cost tracks the trace structure rather than
+the lattice size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection import definitely_conjunctive, definitely_enumerate
+from repro.predicates import conjunctive, local
+from repro.trace import BoolVar, random_computation
+
+PROCESSES = [3, 4, 5]
+
+
+def workload(num_processes):
+    comp = random_computation(
+        num_processes, 6, 0.25, seed=41,
+        variables=[BoolVar("x", 0.5)],
+    )
+    pred = conjunctive(*(local(p, "x") for p in range(num_processes)))
+    return comp, pred
+
+
+@pytest.mark.parametrize("num_processes", PROCESSES)
+def test_interval_anchor(benchmark, num_processes):
+    comp, pred = workload(num_processes)
+    result = benchmark(definitely_conjunctive, comp, pred)
+    benchmark.extra_info["num_processes"] = num_processes
+    benchmark.extra_info["holds"] = result.holds
+    benchmark.extra_info["anchors"] = result.stats["anchors"]
+    benchmark.extra_info["states"] = result.stats["states"]
+
+
+@pytest.mark.parametrize("num_processes", PROCESSES)
+def test_lattice_reachability(benchmark, num_processes):
+    comp, pred = workload(num_processes)
+    result = benchmark(definitely_enumerate, comp, pred)
+    fast = definitely_conjunctive(comp, pred)
+    assert result.holds == fast.holds
+    benchmark.extra_info["num_processes"] = num_processes
+    benchmark.extra_info["cuts_explored"] = result.stats.get(
+        "cuts_explored", 0
+    )

@@ -1,0 +1,43 @@
+"""Experiment T-lattice — the combinatorial explosion the paper opens with.
+
+Claim reproduced: the number of consistent cuts — the state space any
+unstructured detector must search — grows exponentially with the number of
+concurrent processes, which is precisely why the structured algorithms of
+Figure 1 matter.
+
+Series: lattice size and full-enumeration time vs processes (fixed events
+per process, low message density so concurrency stays high).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import count_consistent_cuts, lattice_width
+from repro.trace import random_computation
+
+PROCESSES = [2, 3, 4, 5, 6]
+EVENTS = 4
+
+
+@pytest.mark.parametrize("num_processes", PROCESSES)
+def test_lattice_enumeration(benchmark, num_processes):
+    comp = random_computation(
+        num_processes, EVENTS, message_density=0.1, seed=13
+    )
+    count = benchmark(count_consistent_cuts, comp)
+    # With density 0.1 the lattice stays near the full grid (events+1)^n.
+    assert count <= (EVENTS + 1) ** num_processes
+    assert count >= (EVENTS + 1) ** (num_processes - 1)
+    benchmark.extra_info["num_processes"] = num_processes
+    benchmark.extra_info["lattice_size"] = count
+
+
+@pytest.mark.parametrize("num_processes", [2, 3, 4, 5])
+def test_lattice_width_growth(benchmark, num_processes):
+    comp = random_computation(
+        num_processes, EVENTS, message_density=0.1, seed=13
+    )
+    width = benchmark(lattice_width, comp)
+    benchmark.extra_info["num_processes"] = num_processes
+    benchmark.extra_info["width"] = width

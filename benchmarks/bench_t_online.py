@@ -1,0 +1,61 @@
+"""Experiment T-online — streaming monitor throughput.
+
+The online conjunctive monitor must keep up with the event stream of a
+live system.  This bench measures observations/second while replaying
+recorded traces and confirms the verdict matches offline CPDHB.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import some_linearization
+from repro.detection import detect_conjunctive
+from repro.monitor import OnlineConjunctiveMonitor
+from repro.predicates import conjunctive, local
+from repro.trace import BoolVar, random_computation
+
+PROCESSES = [4, 8, 16]
+
+
+def prepared_stream(num_processes):
+    comp = random_computation(
+        num_processes, 32, 0.2, seed=31,
+        variables=[BoolVar("x", 0.3)],
+    )
+    order = some_linearization(comp)
+    observations = []
+    for p in range(num_processes):
+        ev = comp.initial_event(p)
+        observations.append(
+            (p, 0, comp.clock(ev.event_id), bool(ev.value("x", False)))
+        )
+    for eid in order:
+        ev = comp.event(eid)
+        observations.append(
+            (eid[0], eid[1], comp.clock(eid), bool(ev.value("x", False)))
+        )
+    return comp, observations
+
+
+@pytest.mark.parametrize("num_processes", PROCESSES)
+def test_online_replay(benchmark, num_processes):
+    comp, observations = prepared_stream(num_processes)
+
+    def replay():
+        monitor = OnlineConjunctiveMonitor(num_processes, range(num_processes))
+        for p, index, clock, truth in observations:
+            if monitor.observe(p, index, clock, truth):
+                break
+        else:
+            monitor.finish_all()
+        return monitor
+
+    monitor = benchmark(replay)
+    offline = detect_conjunctive(
+        comp, conjunctive(*(local(p, "x") for p in range(num_processes)))
+    )
+    assert monitor.detected == offline.holds
+    benchmark.extra_info["num_processes"] = num_processes
+    benchmark.extra_info["observations"] = len(observations)
+    benchmark.extra_info["detected"] = monitor.detected

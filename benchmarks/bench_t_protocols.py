@@ -1,0 +1,98 @@
+"""Experiment T-protocols — detection cost on realistic protocol traces.
+
+End-to-end timings of the paper's motivating queries on the simulator's
+protocol library: mutual-exclusion violation (conjunctive), leader
+uniqueness (symmetric, definitely), replication progress (relational ±1),
+commit point (definitely, conjunctive), deadlock (stable).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection import (
+    definitely_enumerate,
+    detect_conjunctive,
+    detect_stable,
+    possibly_sum,
+    possibly_symmetric,
+)
+from repro.predicates import (
+    conjunctive,
+    exactly_k_tokens,
+    local,
+    sum_predicate,
+)
+from repro.simulation.protocols import (
+    build_leader_election,
+    build_lock_scenario,
+    build_primary_backup,
+    build_resource_pool,
+    build_ricart_agrawala,
+    build_token_ring,
+    build_two_phase_commit,
+)
+
+
+def test_mutual_exclusion_scan(benchmark):
+    comp = build_token_ring(6, hops=10, seed=21, rogue_process=2)
+    pred = conjunctive(local(1, "cs"), local(2, "cs"))
+    result = benchmark(detect_conjunctive, comp, pred)
+    benchmark.extra_info["events"] = comp.total_events()
+    benchmark.extra_info["violation"] = result.holds
+
+
+def test_leader_uniqueness(benchmark):
+    comp = build_leader_election(8, seed=21)
+    pred = exactly_k_tokens("leader", 8, 1)
+
+    def run():
+        from repro.detection import definitely_symmetric
+
+        return definitely_symmetric(comp, pred)
+
+    result = benchmark(run)
+    assert result.holds
+    benchmark.extra_info["events"] = comp.total_events()
+
+
+def test_replication_progress(benchmark):
+    comp = build_primary_backup(3, 4, seed=21)
+    pred = sum_predicate("applied", "==", 8)
+    result = benchmark(possibly_sum, comp, pred)
+    assert result.holds
+    benchmark.extra_info["events"] = comp.total_events()
+
+
+def test_pool_saturation(benchmark):
+    comp = build_resource_pool(6, 2, rounds=3, seed=21)
+    pred = exactly_k_tokens("busy", 7, 2)
+    result = benchmark(possibly_symmetric, comp, pred)
+    benchmark.extra_info["events"] = comp.total_events()
+    benchmark.extra_info["saturated"] = result.holds
+
+
+def test_commit_point(benchmark):
+    comp = build_two_phase_commit(4, seed=21)
+    pred = conjunctive(*(local(p, "committed") for p in range(1, 5)))
+    result = benchmark(definitely_enumerate, comp, pred)
+    assert result.holds
+    benchmark.extra_info["events"] = comp.total_events()
+
+
+def test_ricart_agrawala_scan(benchmark):
+    """CPDHB on the message-heavy mutex (far more concurrency than the
+    token ring)."""
+    comp = build_ricart_agrawala(5, rounds=2, seed=21, never_defers=2)
+    pred = conjunctive(local(1, "cs"), local(2, "cs"))
+    result = benchmark(detect_conjunctive, comp, pred)
+    benchmark.extra_info["events"] = comp.total_events()
+    benchmark.extra_info["violation"] = result.holds
+
+
+def test_deadlock_verdict(benchmark):
+    comp = build_lock_scenario(False, seed=21, stagger=0.3)
+    pred = conjunctive(local(2, "blocked"), local(3, "blocked"))
+    result = benchmark(detect_stable, comp, pred)
+    assert result.holds
+    benchmark.extra_info["events"] = comp.total_events()

@@ -1,0 +1,64 @@
+"""Experiment T-slice — ablation: slicing vs filtering the full lattice.
+
+The slice of a conjunctive predicate enumerates only the satisfying
+sublattice; filtering the full lattice pays for every consistent cut.  On
+selective predicates the gap grows with the lattice while the slice stays
+small — the follow-up idea the paper's algorithms seeded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import iter_consistent_cuts
+from repro.predicates import conjunctive, local
+from repro.slicing import ConjunctiveSlice
+from repro.trace import BoolVar, random_computation
+
+PROCESSES = [3, 4, 5]
+
+
+def workload(num_processes):
+    comp = random_computation(
+        num_processes, 5, 0.2, seed=29,
+        variables=[BoolVar("x", 0.45)],
+    )
+    pred = conjunctive(*(local(p, "x") for p in range(num_processes)))
+    return comp, pred
+
+
+@pytest.mark.parametrize("num_processes", PROCESSES)
+def test_slice_enumeration(benchmark, num_processes):
+    comp, pred = workload(num_processes)
+    slc = ConjunctiveSlice(comp, pred)
+    count = benchmark(slc.count)
+    benchmark.extra_info["num_processes"] = num_processes
+    benchmark.extra_info["satisfying_cuts"] = count
+
+
+@pytest.mark.parametrize("num_processes", PROCESSES)
+def test_lattice_filtering(benchmark, num_processes):
+    comp, pred = workload(num_processes)
+
+    def filter_lattice():
+        return sum(
+            1 for cut in iter_consistent_cuts(comp) if pred.evaluate(cut)
+        )
+
+    count = benchmark(filter_lattice)
+    slc = ConjunctiveSlice(comp, pred)
+    assert count == slc.count()
+    benchmark.extra_info["num_processes"] = num_processes
+    benchmark.extra_info["satisfying_cuts"] = count
+
+
+def test_slice_extremes(benchmark):
+    comp, pred = workload(5)
+
+    def extremes():
+        slc = ConjunctiveSlice(comp, pred)
+        return slc.least, slc.greatest
+
+    least, greatest = benchmark(extremes)
+    if least is not None:
+        assert least.subset_of(greatest)

@@ -1,0 +1,81 @@
+"""Experiment T-sym — Section 4.3 applications: symmetric predicates on
+realistic protocol traces.
+
+Claim reproduced: every symmetric predicate the paper names (absence of
+simple majority, absence of two-thirds majority, exactly-k tokens,
+exclusive-or, not-all-equal) is decided in polynomial time on traces from
+the simulator's protocol library, with the expected verdicts (e.g. a
+capacity-2 pool never shows 3 busy workers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection import definitely_symmetric, possibly_symmetric
+from repro.predicates import (
+    absence_of_simple_majority,
+    absence_of_two_thirds_majority,
+    exactly_k_tokens,
+    exclusive_or,
+    not_all_equal,
+)
+from repro.simulation.protocols import (
+    build_leader_election,
+    build_resource_pool,
+)
+
+WORKERS = 8
+CAPACITY = 3
+
+
+@pytest.fixture(scope="module")
+def pool_trace():
+    return build_resource_pool(WORKERS, CAPACITY, rounds=3, seed=5)
+
+
+@pytest.fixture(scope="module")
+def election_trace():
+    return build_leader_election(8, seed=5)
+
+
+def test_absence_of_simple_majority(benchmark, pool_trace):
+    pred = absence_of_simple_majority("busy", WORKERS + 1)
+    result = benchmark(possibly_symmetric, pool_trace, pred)
+    assert result.holds  # the initial state has nobody busy
+
+
+def test_absence_of_two_thirds_majority(benchmark, pool_trace):
+    pred = absence_of_two_thirds_majority("busy", WORKERS + 1)
+    result = benchmark(possibly_symmetric, pool_trace, pred)
+    assert result.holds
+
+
+def test_exactly_capacity_tokens(benchmark, pool_trace):
+    pred = exactly_k_tokens("busy", WORKERS + 1, CAPACITY)
+    result = benchmark(possibly_symmetric, pool_trace, pred)
+    benchmark.extra_info["holds"] = result.holds
+
+
+def test_capacity_never_exceeded(benchmark, pool_trace):
+    pred = exactly_k_tokens("busy", WORKERS + 1, CAPACITY + 1)
+    result = benchmark(possibly_symmetric, pool_trace, pred)
+    assert not result.holds  # the coordinator enforces the capacity
+
+
+def test_exclusive_or(benchmark, pool_trace):
+    pred = exclusive_or("busy", WORKERS + 1)
+    result = benchmark(possibly_symmetric, pool_trace, pred)
+    assert result.holds  # a single busy worker is an odd count
+
+
+def test_not_all_equal(benchmark, pool_trace):
+    pred = not_all_equal("busy", WORKERS + 1)
+    result = benchmark(possibly_symmetric, pool_trace, pred)
+    assert result.holds
+
+
+def test_definitely_one_leader(benchmark, election_trace):
+    pred = exactly_k_tokens("leader", 8, 1)
+    result = benchmark(definitely_symmetric, election_trace, pred)
+    assert result.holds

@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Bounds every benchmark to a couple of measured rounds: the workloads are
+seeded and deterministic, several of them are deliberately expensive (they
+demonstrate NP-complete cells), and the quantity EXPERIMENTS.md tracks is
+the *shape* across a sweep, not nanosecond-stable medians.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(
+            pytest.mark.benchmark(min_rounds=2, max_time=0.5, warmup=False)
+        )

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Debugging a distributed mutual-exclusion protocol.
+
+The paper's motivating scenario (Section 1): "when debugging a distributed
+mutual exclusion algorithm, detecting concurrent accesses to a shared
+resource is useful."  This example runs a token-ring mutual exclusion
+protocol on the bundled simulator twice — once correct, once with an
+injected bug where a rogue process enters the critical section without the
+token — and uses conjunctive predicate detection (Garg–Waldecker CPDHB,
+polynomial) to find the violation and print the *global state* in which it
+occurs, something no single process ever observes locally.
+
+Run:  python examples/debug_mutual_exclusion.py
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.detection import detect_conjunctive
+from repro.predicates import conjunctive, local
+from repro.simulation.protocols import build_token_ring
+
+NUM_PROCESSES = 5
+HOPS = 8
+SEED = 2026
+
+
+def check_mutual_exclusion(comp, tag: str) -> None:
+    """Scan every pair of processes for a simultaneous critical section."""
+    print(f"--- {tag}: {comp.total_events()} events, "
+          f"{len(comp.messages)} messages ---")
+    violations = 0
+    for i, j in itertools.combinations(range(NUM_PROCESSES), 2):
+        pred = conjunctive(local(i, "cs"), local(j, "cs"))
+        result = detect_conjunctive(comp, pred)
+        if result.holds:
+            violations += 1
+            witness = result.witness
+            print(f"VIOLATION: processes {i} and {j} are both in their "
+                  f"critical section at global state {witness.frontier}")
+            holders = [
+                p
+                for p in range(NUM_PROCESSES)
+                if witness.value(p, "token", False)
+            ]
+            print(f"  token holder(s) at that state: {holders or 'none'}")
+            print(f"  scan statistics: {result.stats}")
+    if not violations:
+        print("mutual exclusion holds for every pair "
+              f"({NUM_PROCESSES * (NUM_PROCESSES - 1) // 2} pairs checked)")
+    print()
+
+
+def main() -> None:
+    print("token-ring mutual exclusion on the discrete-event simulator\n")
+
+    correct = build_token_ring(NUM_PROCESSES, hops=HOPS, seed=SEED)
+    check_mutual_exclusion(correct, "correct execution")
+
+    buggy = build_token_ring(
+        NUM_PROCESSES, hops=HOPS, seed=SEED, rogue_process=3
+    )
+    check_mutual_exclusion(buggy, "execution with rogue process 3")
+
+    print("Why predicate detection, not logging?  The violation is a "
+          "property of a *consistent cut*: the two critical sections may "
+          "never overlap in wall-clock time at any single observer, yet "
+          "some consistent global state contains both — exactly what "
+          "possibly(cs_i AND cs_j) checks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""The paper's two NP-completeness reductions, executed end to end.
+
+Theorem 1: non-monotone 3-SAT reduces to singular 2-CNF detection
+(Figure 3).  Theorem 2: SUBSET-SUM reduces to ``possibly(sum = k)`` with
+arbitrary increments.  This example builds both gadgets from concrete
+instances, runs the library's detectors on them, and translates the
+witnesses back into certificates of the source problems — demonstrating
+that the reductions are not just proofs on paper but working code.
+
+Run:  python examples/np_hardness_gadgets.py
+"""
+
+from __future__ import annotations
+
+from repro.detection import detect_by_chain_choice, possibly_sum
+from repro.reductions import (
+    CNFFormula,
+    SubsetSumInstance,
+    assignment_from_witness,
+    dpll_solve,
+    satisfiability_to_detection,
+    solve_subset_sum,
+    subset_from_witness,
+    subset_sum_to_detection,
+    to_nonmonotone_3cnf,
+)
+
+
+def theorem1_demo() -> None:
+    print("=== Theorem 1: 3-SAT -> singular 2-CNF detection ===\n")
+    # (x1 v x2 v x3) & (~x1 v x2) & (~x2 v ~x3) & (x3 v ~x1)
+    formula = CNFFormula(((1, 2, 3), (-1, 2), (-2, -3), (3, -1)))
+    print(f"source formula: {formula}")
+
+    nonmono, aux = to_nonmonotone_3cnf(formula)
+    print(f"non-monotone form ({len(aux)} auxiliary variable(s)): {nonmono}")
+
+    instance = satisfiability_to_detection(nonmono)
+    comp = instance.computation
+    print(f"gadget computation: {comp.num_processes} processes, "
+          f"{comp.total_events()} events, {len(comp.messages)} conflict "
+          f"messages")
+    print(f"detection predicate: {instance.predicate.description()}")
+
+    result = detect_by_chain_choice(comp, instance.predicate)
+    print(f"\npossibly(B) on the gadget = {result.holds} "
+          f"(CPDHB invocations: {result.stats['invocations']})")
+
+    if result.holds:
+        assignment = assignment_from_witness(instance, result.witness)
+        readable = {f"x{v}": val for v, val in sorted(assignment.items())}
+        print(f"witness cut {result.witness.frontier} decodes to the "
+              f"satisfying assignment:\n  {readable}")
+        assert nonmono.evaluate(assignment)
+    independent_check = dpll_solve(nonmono) is not None
+    print(f"cross-check with the DPLL solver: satisfiable = "
+          f"{independent_check} (must match)")
+    assert result.holds == independent_check
+
+    # An unsatisfiable formula maps to an undetectable predicate.
+    unsat = CNFFormula(((1,), (-1,)))
+    unsat_instance = satisfiability_to_detection(unsat)
+    unsat_result = detect_by_chain_choice(
+        unsat_instance.computation, unsat_instance.predicate
+    )
+    print(f"\nunsatisfiable control {unsat}: possibly(B) = "
+          f"{unsat_result.holds} (expected False)\n")
+
+
+def theorem2_demo() -> None:
+    print("=== Theorem 2: SUBSET-SUM -> possibly(sum = k) ===\n")
+    instance = SubsetSumInstance(sizes=(14, 27, 8, 33, 5, 19), target=60)
+    print(f"sizes = {list(instance.sizes)}, target = {instance.target}")
+
+    comp, predicate = subset_sum_to_detection(instance)
+    print(f"gadget: {comp.num_processes} processes, one event each, "
+          f"no messages (all events pairwise concurrent)")
+    print(f"predicate: {predicate.description()}")
+
+    result = possibly_sum(comp, predicate)
+    print(f"\npossibly(sum = {instance.target}) = {result.holds} "
+          f"[{result.algorithm}]")
+    if result.holds:
+        subset = subset_from_witness(instance, result.witness)
+        chosen = [instance.sizes[j] for j in subset]
+        print(f"witness cut selects elements {subset} with sizes {chosen} "
+              f"(sum {sum(chosen)})")
+    reference = solve_subset_sum(instance)
+    print(f"cross-check with the DP solver: solvable = "
+          f"{reference is not None} (must match)")
+    assert result.holds == (reference is not None)
+
+    impossible = SubsetSumInstance(sizes=(2, 4, 8), target=5)
+    comp2, pred2 = subset_sum_to_detection(impossible)
+    result2 = possibly_sum(comp2, pred2)
+    print(f"\nimpossible control (even sizes, odd target): "
+          f"possibly(sum = 5) = {result2.holds} (expected False)")
+    print("\nContrast with Section 4.2: were the variables restricted to "
+          "±1 steps per event, the same query would fall to the polynomial "
+          "Theorem 7 algorithm — the hardness lives entirely in the "
+          "arbitrary increments.")
+
+
+def main() -> None:
+    theorem1_demo()
+    theorem2_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Protocol audits with TraceChecker — predicate detection as CI.
+
+Each protocol in the library ships with correctness properties; this
+example writes them as fluent trace assertions, the way a project would
+pin protocol behaviour in its test suite.  One deliberately buggy run
+shows the failure report (which names the violating global state).
+
+Run:  python examples/trace_assertions.py
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro import TraceAssertionError, TraceChecker
+from repro.predicates import (
+    conjunction,
+    conjunctive,
+    exactly_k_tokens,
+    local,
+    quiescent,
+    sum_predicate,
+)
+from repro.simulation.protocols import (
+    build_leader_election,
+    build_token_ring,
+    build_two_phase_commit,
+    build_work_stealing,
+)
+
+
+def audit_token_ring() -> None:
+    print("token ring (correct):")
+    trace = build_token_ring(4, hops=6, seed=3)
+    checker = TraceChecker(trace)
+    for i, j in itertools.combinations(range(4), 2):
+        checker.never(
+            conjunctive(local(i, "cs"), local(j, "cs")), f"mutex({i},{j})"
+        )
+    checker.never(exactly_k_tokens("token", 4, 2), "at most one token")
+    checker.sometimes(local(3, "cs"), "last process gets a turn")
+    print(f"  {checker.checked} properties hold\n")
+
+
+def audit_election() -> None:
+    print("leader election:")
+    trace = build_leader_election(5, seed=3)
+    checker = (
+        TraceChecker(trace)
+        .inevitably(exactly_k_tokens("leader", 5, 1), "exactly one leader")
+        .never(
+            exactly_k_tokens("leader", 5, 2), "never two leaders"
+        )
+    )
+    print(f"  {checker.checked} properties hold\n")
+
+
+def audit_commit() -> None:
+    print("two-phase commit (unanimous yes):")
+    trace = build_two_phase_commit(3, seed=4)
+    committed = conjunctive(*(local(p, "committed") for p in (1, 2, 3)))
+    checker = (
+        TraceChecker(trace)
+        .inevitably(committed, "commit point (the paper's example)")
+        .finally_(committed, "stays committed")
+        .initially(sum_predicate("committed", "==", 0))
+    )
+    print(f"  {checker.checked} properties hold\n")
+
+
+def audit_termination() -> None:
+    print("work-stealing termination:")
+    trace = build_work_stealing(4, initial_tasks=2, seed=5)
+    n = 4
+    all_idle = conjunctive(*(local(p, "idle") for p in range(n)))
+    terminated = conjunction(all_idle, quiescent())
+    checker = (
+        TraceChecker(trace)
+        .finally_(terminated, "terminated: all idle and channels empty")
+        .inevitably(terminated, "every schedule terminates")
+    )
+    print(f"  {checker.checked} properties hold\n")
+
+
+def show_a_failure() -> None:
+    print("token ring with an injected rogue process — the audit fails:")
+    trace = build_token_ring(4, hops=6, seed=3, rogue_process=2)
+    try:
+        checker = TraceChecker(trace)
+        for i, j in itertools.combinations(range(4), 2):
+            checker.never(
+                conjunctive(local(i, "cs"), local(j, "cs")),
+                f"mutex({i},{j})",
+            )
+    except TraceAssertionError as failure:
+        print(f"  {failure}")
+
+
+def main() -> None:
+    audit_token_ring()
+    audit_election()
+    audit_commit()
+    audit_termination()
+    show_a_failure()
+
+
+if __name__ == "__main__":
+    main()

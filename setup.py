@@ -1,0 +1,10 @@
+"""Setup shim enabling legacy editable installs in offline environments.
+
+The execution environment has no ``wheel`` package, so PEP-517 editable
+installs fail; ``pip install -e . --no-build-isolation --no-use-pep517``
+works through this shim.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — global predicate detection in distributed computations.
+
+A full reproduction of Mittal & Garg, *On Detecting Global Predicates in
+Distributed Computations* (ICDCS 2001): the computation/cut/lattice
+substrate, the paper's detection algorithms (singular k-CNF, conjunctive,
+relational-sum, symmetric), its NP-completeness reductions, and a
+message-passing simulator plus trace tooling for generating workloads.
+
+Quickstart::
+
+    from repro import ComputationBuilder, possibly
+    from repro.predicates import conjunction, local
+
+    b = ComputationBuilder(2)
+    b.internal(0, cs=True)
+    b.internal(1, cs=True)
+    comp = b.build()
+    both_in_cs = conjunction(local(0, "cs"), local(1, "cs"))
+    assert possibly(comp, both_in_cs)
+"""
+
+from repro.checker import TraceAssertionError, TraceChecker
+from repro.computation import (
+    Computation,
+    ComputationBuilder,
+    Cut,
+    final_cut,
+    initial_cut,
+)
+from repro.detection import definitely, detect, possibly
+from repro.events import Event, EventId, EventKind, VectorClock
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Computation",
+    "TraceAssertionError",
+    "TraceChecker",
+    "ComputationBuilder",
+    "Cut",
+    "Event",
+    "EventId",
+    "EventKind",
+    "VectorClock",
+    "definitely",
+    "detect",
+    "final_cut",
+    "initial_cut",
+    "possibly",
+    "__version__",
+]

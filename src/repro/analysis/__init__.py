@@ -1,0 +1,23 @@
+"""Structural analysis of traces (shape statistics for workloads)."""
+
+from repro.analysis.stats import (
+    MessageStatistics,
+    VariableProfile,
+    causal_density,
+    concurrency_width,
+    count_runs,
+    message_statistics,
+    summarize,
+    variable_profile,
+)
+
+__all__ = [
+    "MessageStatistics",
+    "VariableProfile",
+    "causal_density",
+    "concurrency_width",
+    "count_runs",
+    "message_statistics",
+    "summarize",
+    "variable_profile",
+]

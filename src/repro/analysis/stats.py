@@ -1,0 +1,213 @@
+"""Structural statistics of computations.
+
+Detection cost is governed by a trace's *shape* — how concurrent it is,
+how densely messages couple the processes, which variable regime its
+values follow.  This module quantifies that shape; the benchmark harness
+uses it to characterize workloads, and ``python -m repro info --deep``
+exposes it to users.
+
+* :func:`concurrency_width` — size of the largest antichain of events
+  (Dilworth: the minimum number of causal chains covering the trace); the
+  lattice of consistent cuts has dimension-like growth in this width.
+* :func:`causal_density` — fraction of ordered (non-initial) event pairs;
+  0 means fully concurrent processes, 1 a totally ordered execution.
+* :func:`message_statistics` — counts and per-process fan-in/out.
+* :func:`variable_profile` — value range and per-event step bound of a
+  monitored variable (decides whether the ±1 algorithms of Section 4.2
+  apply).
+* :func:`summarize` — everything above in one JSON-ready dictionary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.computation import Computation, minimum_chain_cover
+
+__all__ = [
+    "MessageStatistics",
+    "VariableProfile",
+    "concurrency_width",
+    "count_runs",
+    "causal_density",
+    "message_statistics",
+    "variable_profile",
+    "summarize",
+]
+
+
+def concurrency_width(computation: Computation) -> int:
+    """Largest antichain of non-initial events (0 for an empty trace)."""
+    ids = [ev.event_id for ev in computation.all_events()]
+    if not ids:
+        return 0
+    return len(minimum_chain_cover(computation, ids))
+
+
+def causal_density(computation: Computation) -> float:
+    """Ordered pairs / all pairs, over distinct non-initial events.
+
+    1.0 for a totally ordered execution (e.g. a single process), 0.0 when
+    every pair of events is concurrent.  Returns 0.0 for traces with fewer
+    than two events.
+    """
+    ids = [ev.event_id for ev in computation.all_events()]
+    n = len(ids)
+    if n < 2:
+        return 0.0
+    ordered = 0
+    for i, e in enumerate(ids):
+        for f in ids[i + 1 :]:
+            if computation.happened_before(e, f) or computation.happened_before(
+                f, e
+            ):
+                ordered += 1
+    return ordered / (n * (n - 1) / 2)
+
+
+@dataclass(frozen=True)
+class MessageStatistics:
+    """Message-level shape of a trace."""
+
+    total: int
+    senders: Dict[int, int]  # process -> messages sent
+    receivers: Dict[int, int]  # process -> messages received
+    max_fan_out: int  # most messages sent by a single event
+
+
+def message_statistics(computation: Computation) -> MessageStatistics:
+    """Counts of messages and their distribution over processes/events."""
+    senders: Dict[int, int] = {}
+    receivers: Dict[int, int] = {}
+    per_event: Dict[tuple, int] = {}
+    for send, recv in computation.messages:
+        senders[send[0]] = senders.get(send[0], 0) + 1
+        receivers[recv[0]] = receivers.get(recv[0], 0) + 1
+        per_event[send] = per_event.get(send, 0) + 1
+    return MessageStatistics(
+        total=len(computation.messages),
+        senders=senders,
+        receivers=receivers,
+        max_fan_out=max(per_event.values(), default=0),
+    )
+
+
+@dataclass(frozen=True)
+class VariableProfile:
+    """Value regime of one monitored variable."""
+
+    name: str
+    present: bool
+    minimum: Optional[Any]
+    maximum: Optional[Any]
+    max_step: Optional[int]  # None for non-numeric variables
+    unit_step: Optional[bool]
+    boolean: bool
+
+
+def variable_profile(computation: Computation, name: str) -> VariableProfile:
+    """Range and per-event step bound of ``name`` across all processes.
+
+    ``unit_step`` is the hypothesis of the paper's Section 4.2 algorithms;
+    booleans always satisfy it.
+    """
+    values: List[Any] = []
+    numeric = True
+    boolean = True
+    max_step: Optional[int] = 0
+    for p in range(computation.num_processes):
+        events = computation.events_of(p)
+        previous: Optional[Any] = None
+        for ev in events:
+            if name not in ev.values:
+                continue
+            value = ev.values[name]
+            values.append(value)
+            if not isinstance(value, bool):
+                boolean = False
+            if isinstance(value, bool):
+                value = int(value)
+            if not isinstance(value, (int, float)):
+                numeric = False
+            elif previous is not None and max_step is not None:
+                max_step = max(max_step, abs(int(value) - int(previous)))
+            if isinstance(value, (int, float)):
+                previous = value
+    if not values:
+        return VariableProfile(name, False, None, None, None, None, False)
+    if not numeric:
+        return VariableProfile(
+            name, True, None, None, None, None, boolean
+        )
+    numeric_values = [int(v) if isinstance(v, bool) else v for v in values]
+    return VariableProfile(
+        name=name,
+        present=True,
+        minimum=min(numeric_values),
+        maximum=max(numeric_values),
+        max_step=max_step,
+        unit_step=(max_step is not None and max_step <= 1),
+        boolean=boolean,
+    )
+
+
+def count_runs(computation: Computation) -> int:
+    """Number of runs (linearizations) of the computation.
+
+    Dynamic program over the cut lattice: the number of maximal chains
+    reaching a cut is the sum over its predecessors.  Exact; cost is the
+    lattice size, which grows exponentially with concurrency — use on
+    small traces (this is the very explosion the paper quantifies, now as
+    a number of *runs* rather than states).
+    """
+    from repro.computation import iter_levels
+
+    counts: Dict[tuple, int] = {}
+    levels = list(iter_levels(computation))
+    for level_index, level in enumerate(levels):
+        for cut in level:
+            if level_index == 0:
+                counts[cut.frontier] = 1
+            else:
+                counts[cut.frontier] = sum(
+                    counts[prev.frontier] for prev in cut.predecessors()
+                )
+    final_level = levels[-1]
+    assert len(final_level) == 1
+    return counts[final_level[0].frontier]
+
+
+def summarize(computation: Computation) -> Dict[str, Any]:
+    """One JSON-ready dictionary with the full structural profile."""
+    variables = sorted(
+        {
+            key
+            for ev in computation.all_events(include_initial=True)
+            for key in ev.values
+        }
+    )
+    messages = message_statistics(computation)
+    return {
+        "processes": computation.num_processes,
+        "events": computation.total_events(),
+        "events_per_process": [
+            computation.num_events(p)
+            for p in range(computation.num_processes)
+        ],
+        "messages": messages.total,
+        "max_fan_out": messages.max_fan_out,
+        "concurrency_width": concurrency_width(computation),
+        "causal_density": round(causal_density(computation), 4),
+        "variables": {
+            name: {
+                "min": profile.minimum,
+                "max": profile.maximum,
+                "max_step": profile.max_step,
+                "unit_step": profile.unit_step,
+                "boolean": profile.boolean,
+            }
+            for name in variables
+            for profile in [variable_profile(computation, name)]
+        },
+    }

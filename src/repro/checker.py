@@ -1,0 +1,148 @@
+"""Fluent assertions over traces — predicate detection for test suites.
+
+Wraps the detection facade in the vocabulary protocol tests actually use::
+
+    from repro import TraceChecker
+    from repro.predicates import conjunctive, local
+
+    TraceChecker(trace).never(
+        conjunctive(local(1, "cs"), local(2, "cs")),
+        "mutual exclusion",
+    ).inevitably(
+        conjunctive(local(1, "committed"), local(2, "committed")),
+        "commit point",
+    )
+
+Each assertion returns the checker (chaining) and raises
+:class:`TraceAssertionError` with the witness/modality details on failure,
+so a CI log shows *which global state* violated the property.
+
+Vocabulary (B a global predicate):
+
+* ``sometimes(B)`` — possibly(B): some consistent cut satisfies B;
+* ``never(B)`` — ¬possibly(B): no reachable global state satisfies B;
+* ``inevitably(B)`` — definitely(B): every run passes through B;
+* ``avoidably(B)`` — ¬definitely(B): some run never sees B;
+* ``finally_(B)`` — B holds at the final cut (the right form for stable
+  conditions such as termination or deadlock);
+* ``initially(B)`` — B holds at the initial cut.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.computation import Computation, final_cut, initial_cut
+from repro.detection import detect
+from repro.predicates.base import GlobalPredicate
+from repro.predicates.modalities import Modality
+
+__all__ = ["TraceChecker", "TraceAssertionError"]
+
+
+class TraceAssertionError(AssertionError):
+    """A trace property assertion failed."""
+
+
+class TraceChecker:
+    """Chainable property assertions over one computation."""
+
+    def __init__(self, computation: Computation):
+        self._comp = computation
+        self.checked = 0
+
+    # ------------------------------------------------------------------
+    def sometimes(
+        self, predicate: GlobalPredicate, label: Optional[str] = None
+    ) -> "TraceChecker":
+        """Assert possibly(B): some consistent cut satisfies B."""
+        result = detect(self._comp, predicate, Modality.POSSIBLY)
+        if not result.holds:
+            raise TraceAssertionError(
+                self._message("sometimes", predicate, label,
+                              "no consistent cut satisfies it")
+            )
+        return self._passed()
+
+    def never(
+        self, predicate: GlobalPredicate, label: Optional[str] = None
+    ) -> "TraceChecker":
+        """Assert ¬possibly(B): no reachable global state satisfies B."""
+        result = detect(self._comp, predicate, Modality.POSSIBLY)
+        if result.holds:
+            where = (
+                f" (witness global state {result.witness.frontier})"
+                if result.witness is not None
+                else ""
+            )
+            raise TraceAssertionError(
+                self._message("never", predicate, label,
+                              f"a consistent cut satisfies it{where}")
+            )
+        return self._passed()
+
+    def inevitably(
+        self, predicate: GlobalPredicate, label: Optional[str] = None
+    ) -> "TraceChecker":
+        """Assert definitely(B): every run passes through a B-state."""
+        result = detect(self._comp, predicate, Modality.DEFINITELY)
+        if not result.holds:
+            raise TraceAssertionError(
+                self._message("inevitably", predicate, label,
+                              "some run avoids it entirely")
+            )
+        return self._passed()
+
+    def avoidably(
+        self, predicate: GlobalPredicate, label: Optional[str] = None
+    ) -> "TraceChecker":
+        """Assert ¬definitely(B): some run never sees B."""
+        result = detect(self._comp, predicate, Modality.DEFINITELY)
+        if result.holds:
+            raise TraceAssertionError(
+                self._message("avoidably", predicate, label,
+                              "every run passes through it")
+            )
+        return self._passed()
+
+    def finally_(
+        self, predicate: GlobalPredicate, label: Optional[str] = None
+    ) -> "TraceChecker":
+        """Assert B at the final cut (stable conditions)."""
+        cut = final_cut(self._comp)
+        if not predicate.evaluate(cut):
+            raise TraceAssertionError(
+                self._message("finally", predicate, label,
+                              f"the final cut {cut.frontier} violates it")
+            )
+        return self._passed()
+
+    def initially(
+        self, predicate: GlobalPredicate, label: Optional[str] = None
+    ) -> "TraceChecker":
+        """Assert B at the initial cut."""
+        cut = initial_cut(self._comp)
+        if not predicate.evaluate(cut):
+            raise TraceAssertionError(
+                self._message("initially", predicate, label,
+                              "the initial cut violates it")
+            )
+        return self._passed()
+
+    # ------------------------------------------------------------------
+    def _passed(self) -> "TraceChecker":
+        self.checked += 1
+        return self
+
+    @staticmethod
+    def _message(
+        mode: str,
+        predicate: GlobalPredicate,
+        label: Optional[str],
+        reason: str,
+    ) -> str:
+        name = f"{label!r} " if label else ""
+        return (
+            f"trace property {name}failed: {mode}({predicate.description()})"
+            f" — {reason}"
+        )

@@ -1,0 +1,299 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``detect`` — run possibly/definitely detection of a predicate (in the
+  :mod:`repro.predicates.parser` language) against a JSON trace;
+* ``generate`` — produce a seeded random trace as JSON;
+* ``simulate`` — run one of the bundled protocols and dump its trace;
+* ``info`` — structural summary of a trace (processes, events, messages,
+  lattice size if small enough).
+
+Examples::
+
+    python -m repro simulate token-ring --processes 5 --seed 1 -o ring.json
+    python -m repro detect ring.json "cs@1 & cs@3"
+    python -m repro detect ring.json "count(token) >= 2" --modality definitely
+    python -m repro generate --processes 4 --events 10 --bool x -o random.json
+    python -m repro info random.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.computation import count_consistent_cuts
+from repro.detection import detect
+from repro.predicates import Modality
+from repro.predicates.parser import parse_predicate
+from repro.trace import (
+    BoolVar,
+    UnitWalkVar,
+    dump_computation,
+    load_computation,
+    random_computation,
+)
+
+__all__ = ["main"]
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    computation = load_computation(args.trace)
+    predicate = parse_predicate(
+        args.predicate, num_processes=computation.num_processes
+    )
+    modality = Modality(args.modality)
+    result = detect(computation, predicate, modality)
+    payload = {
+        "predicate": predicate.description(),
+        "modality": modality.value,
+        "holds": result.holds,
+        "algorithm": result.algorithm,
+        "stats": {k: _jsonable(v) for k, v in result.stats.items()},
+    }
+    if args.count_witnesses:
+        from repro.detection import count_witnesses
+
+        payload["witness_count"] = count_witnesses(computation, predicate)
+    if result.witness is not None:
+        payload["witness_frontier"] = list(result.witness.frontier)
+        if args.show_witness_values:
+            payload["witness_values"] = [
+                dict(result.witness.last_event(p).values)
+                for p in range(computation.num_processes)
+            ]
+    print(json.dumps(payload, indent=2))
+    return 0 if result.holds else 1
+
+
+def _jsonable(value):
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    variables = []
+    for name in args.bool or []:
+        variables.append(BoolVar(name, density=args.true_density))
+    for name in args.walk or []:
+        variables.append(UnitWalkVar(name, floor=None))
+    computation = random_computation(
+        num_processes=args.processes,
+        events_per_process=args.events,
+        message_density=args.message_density,
+        seed=args.seed,
+        variables=variables,
+    )
+    dump_computation(computation, args.output)
+    print(
+        f"wrote {computation.num_processes} processes, "
+        f"{computation.total_events()} events, "
+        f"{len(computation.messages)} messages to {args.output}"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulation.protocols import (
+        build_leader_election,
+        build_primary_backup,
+        build_resource_pool,
+        build_token_ring,
+    )
+
+    if args.protocol == "token-ring":
+        computation = build_token_ring(
+            args.processes,
+            hops=args.rounds,
+            seed=args.seed,
+            rogue_process=args.rogue,
+        )
+    elif args.protocol == "leader-election":
+        computation = build_leader_election(args.processes, seed=args.seed)
+    elif args.protocol == "primary-backup":
+        computation = build_primary_backup(
+            max(1, args.processes - 1), args.rounds, seed=args.seed
+        )
+    elif args.protocol == "resource-pool":
+        computation = build_resource_pool(
+            max(1, args.processes - 1),
+            capacity=max(1, args.processes // 3),
+            rounds=args.rounds,
+            seed=args.seed,
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.protocol)
+    dump_computation(computation, args.output)
+    print(
+        f"{args.protocol}: {computation.num_processes} processes, "
+        f"{computation.total_events()} events, "
+        f"{len(computation.messages)} messages -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.viz import computation_to_dot, lattice_to_dot
+
+    computation = load_computation(args.trace)
+    if args.what == "computation":
+        dot = computation_to_dot(computation, variable=args.variable)
+    else:
+        predicate = None
+        if args.predicate is not None:
+            predicate = parse_predicate(
+                args.predicate, num_processes=computation.num_processes
+            )
+        dot = lattice_to_dot(
+            computation, predicate=predicate, max_cuts=args.max_cuts
+        )
+    Path(args.output).write_text(dot)
+    print(f"wrote {args.what} DOT to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    computation = load_computation(args.trace)
+    if args.deep:
+        from repro.analysis import summarize
+
+        info = summarize(computation)
+    else:
+        info = {
+            "processes": computation.num_processes,
+            "events": computation.total_events(),
+            "messages": len(computation.messages),
+            "events_per_process": [
+                computation.num_events(p)
+                for p in range(computation.num_processes)
+            ],
+            "variables": sorted(
+                {
+                    key
+                    for event in computation.all_events(include_initial=True)
+                    for key in event.values
+                }
+            ),
+        }
+    if computation.total_events() <= args.lattice_limit:
+        info["consistent_cuts"] = count_consistent_cuts(computation)
+    print(json.dumps(info, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Global predicate detection in distributed computations "
+        "(Mittal & Garg, ICDCS 2001).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_detect = sub.add_parser("detect", help="detect a predicate on a trace")
+    p_detect.add_argument("trace", help="path to a repro-trace-v1 JSON file")
+    p_detect.add_argument("predicate", help='e.g. "(x@0 | x@1) & sum(v) == 2"')
+    p_detect.add_argument(
+        "--modality",
+        choices=["possibly", "definitely"],
+        default="possibly",
+    )
+    p_detect.add_argument(
+        "--show-witness-values",
+        action="store_true",
+        help="include per-process variable values at the witness cut",
+    )
+    p_detect.add_argument(
+        "--count-witnesses",
+        action="store_true",
+        help="also count every satisfying consistent cut (may be slow)",
+    )
+    p_detect.set_defaults(func=_cmd_detect)
+
+    p_gen = sub.add_parser("generate", help="generate a random trace")
+    p_gen.add_argument("--processes", type=int, default=4)
+    p_gen.add_argument("--events", type=int, default=10)
+    p_gen.add_argument("--message-density", type=float, default=0.3)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument(
+        "--bool", action="append", metavar="NAME",
+        help="add a boolean variable (repeatable)",
+    )
+    p_gen.add_argument(
+        "--walk", action="append", metavar="NAME",
+        help="add a ±1 integer variable (repeatable)",
+    )
+    p_gen.add_argument("--true-density", type=float, default=0.3)
+    p_gen.add_argument("-o", "--output", required=True)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_sim = sub.add_parser("simulate", help="run a bundled protocol")
+    p_sim.add_argument(
+        "protocol",
+        choices=[
+            "token-ring",
+            "leader-election",
+            "primary-backup",
+            "resource-pool",
+        ],
+    )
+    p_sim.add_argument("--processes", type=int, default=5)
+    p_sim.add_argument("--rounds", type=int, default=6)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--rogue", type=int, default=None,
+        help="token-ring only: index of the process with the injected bug",
+    )
+    p_sim.add_argument("-o", "--output", required=True)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_render = sub.add_parser(
+        "render", help="render a trace (or its cut lattice) as Graphviz DOT"
+    )
+    p_render.add_argument("trace")
+    p_render.add_argument(
+        "--what", choices=["computation", "lattice"], default="computation"
+    )
+    p_render.add_argument(
+        "--variable", default=None,
+        help="computation only: double-circle events where this boolean holds",
+    )
+    p_render.add_argument(
+        "--predicate", default=None,
+        help="lattice only: fill cuts satisfying this predicate expression",
+    )
+    p_render.add_argument("--max-cuts", type=int, default=500)
+    p_render.add_argument("-o", "--output", required=True)
+    p_render.set_defaults(func=_cmd_render)
+
+    p_info = sub.add_parser("info", help="summarize a trace")
+    p_info.add_argument("trace")
+    p_info.add_argument(
+        "--lattice-limit", type=int, default=24,
+        help="count consistent cuts only when total events <= this",
+    )
+    p_info.add_argument(
+        "--deep", action="store_true",
+        help="include structural statistics (width, density, variable "
+        "regimes)",
+    )
+    p_info.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

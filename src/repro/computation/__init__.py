@@ -1,0 +1,64 @@
+"""Computation poset, cuts, lattice and chain machinery (substrates S2–S4)."""
+
+from repro.computation.builder import ComputationBuilder
+from repro.computation.chains import (
+    HopcroftKarp,
+    greedy_chain_cover,
+    minimum_chain_cover,
+)
+from repro.computation.computation import Computation, MessageEdge
+from repro.computation.cut import (
+    Cut,
+    final_cut,
+    initial_cut,
+    least_consistent_cut,
+)
+from repro.computation.errors import (
+    ComputationError,
+    CyclicComputationError,
+    InvalidCutError,
+    UnknownEventError,
+)
+from repro.computation.reverse import (
+    reverse_computation,
+    reverse_event_id,
+    reverse_event_partner,
+)
+from repro.computation.lattice import (
+    count_consistent_cuts,
+    find_path,
+    iter_consistent_cuts,
+    iter_levels,
+    iter_linearizations,
+    lattice_width,
+    reachable_avoiding,
+    some_linearization,
+)
+
+__all__ = [
+    "Computation",
+    "ComputationBuilder",
+    "ComputationError",
+    "Cut",
+    "CyclicComputationError",
+    "HopcroftKarp",
+    "InvalidCutError",
+    "MessageEdge",
+    "UnknownEventError",
+    "count_consistent_cuts",
+    "final_cut",
+    "find_path",
+    "greedy_chain_cover",
+    "initial_cut",
+    "iter_consistent_cuts",
+    "iter_levels",
+    "iter_linearizations",
+    "lattice_width",
+    "least_consistent_cut",
+    "minimum_chain_cover",
+    "reachable_avoiding",
+    "reverse_computation",
+    "reverse_event_id",
+    "reverse_event_partner",
+    "some_linearization",
+]

@@ -1,0 +1,169 @@
+"""Incremental construction of computations.
+
+:class:`ComputationBuilder` offers the ergonomic way to write down a trace by
+hand (tests, examples, reduction gadgets) or programmatically (trace
+generator, simulator).  Initial events are created automatically; events are
+appended per process; messages may reference events by id or by label.
+
+Example — the paper's Figure 2 skeleton::
+
+    b = ComputationBuilder(4)
+    e = b.internal(0, label="e", x=True)
+    f = b.send(1, label="f", x=True)
+    ...
+    b.message(f, g)
+    comp = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.computation.computation import Computation, MessageEdge
+from repro.computation.errors import ComputationError
+from repro.events import Event, EventId, EventKind
+
+__all__ = ["ComputationBuilder"]
+
+EventRef = Union[EventId, str]
+
+
+class ComputationBuilder:
+    """Builds a :class:`Computation` event by event.
+
+    Local variable values persist between events of a process: an event's
+    value map is the previous map updated with the keyword arguments given
+    for that event, mirroring how a real process's state evolves.
+    """
+
+    def __init__(self, num_processes: int):
+        if num_processes <= 0:
+            raise ComputationError("need at least one process")
+        self._events: List[List[Event]] = []
+        self._state: List[Dict[str, Any]] = []
+        self._messages: List[MessageEdge] = []
+        self._labels: Dict[str, EventId] = {}
+        for p in range(num_processes):
+            self._events.append(
+                [Event(process=p, index=0, kind=EventKind.INITIAL, values={})]
+            )
+            self._state.append({})
+
+    @property
+    def num_processes(self) -> int:
+        """Number of processes being built."""
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    # Initial state
+    # ------------------------------------------------------------------
+    def init_values(self, process: int, **values: Any) -> None:
+        """Set the variable values carried by the initial event of ``process``.
+
+        Must be called before any event is appended to that process.
+        """
+        self._check_process(process)
+        if len(self._events[process]) > 1:
+            raise ComputationError(
+                "initial values must be set before appending events"
+            )
+        self._state[process].update(values)
+        self._events[process][0] = Event(
+            process=process,
+            index=0,
+            kind=EventKind.INITIAL,
+            values=dict(self._state[process]),
+        )
+
+    # ------------------------------------------------------------------
+    # Event appenders
+    # ------------------------------------------------------------------
+    def event(
+        self,
+        process: int,
+        kind: EventKind = EventKind.INTERNAL,
+        label: Optional[str] = None,
+        **values: Any,
+    ) -> EventId:
+        """Append an event of the given kind; returns its id."""
+        self._check_process(process)
+        if kind is EventKind.INITIAL:
+            raise ComputationError("cannot append an INITIAL event")
+        self._state[process].update(values)
+        index = len(self._events[process])
+        ev = Event(
+            process=process,
+            index=index,
+            kind=kind,
+            values=dict(self._state[process]),
+            label=label,
+        )
+        self._events[process].append(ev)
+        if label is not None:
+            if label in self._labels:
+                raise ComputationError(f"duplicate label {label!r}")
+            self._labels[label] = ev.event_id
+        return ev.event_id
+
+    def internal(self, process: int, label: Optional[str] = None, **values: Any) -> EventId:
+        """Append an internal event."""
+        return self.event(process, EventKind.INTERNAL, label, **values)
+
+    def send(self, process: int, label: Optional[str] = None, **values: Any) -> EventId:
+        """Append a send event (pair it later with :meth:`message`)."""
+        return self.event(process, EventKind.SEND, label, **values)
+
+    def receive(self, process: int, label: Optional[str] = None, **values: Any) -> EventId:
+        """Append a receive event (pair it later with :meth:`message`)."""
+        return self.event(process, EventKind.RECEIVE, label, **values)
+
+    def send_receive(
+        self, process: int, label: Optional[str] = None, **values: Any
+    ) -> EventId:
+        """Append an event that both sends and receives."""
+        return self.event(process, EventKind.SEND_RECEIVE, label, **values)
+
+    # ------------------------------------------------------------------
+    # Messages
+    # ------------------------------------------------------------------
+    def message(self, send: EventRef, receive: EventRef) -> None:
+        """Record a message from a send event to a receive event."""
+        self._messages.append((self._resolve(send), self._resolve(receive)))
+
+    def transmit(
+        self,
+        sender: int,
+        receiver: int,
+        send_label: Optional[str] = None,
+        receive_label: Optional[str] = None,
+        send_values: Optional[Dict[str, Any]] = None,
+        receive_values: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[EventId, EventId]:
+        """Append a fresh send on ``sender``, a fresh receive on ``receiver``,
+        and the message between them.  Returns both event ids."""
+        send_id = self.send(sender, send_label, **(send_values or {}))
+        recv_id = self.receive(receiver, receive_label, **(receive_values or {}))
+        self._messages.append((send_id, recv_id))
+        return send_id, recv_id
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def build(self) -> Computation:
+        """Validate and freeze into an immutable :class:`Computation`."""
+        return Computation(self._events, self._messages)
+
+    def resolve_label(self, label: str) -> EventId:
+        """Event id previously assigned to ``label``."""
+        if label not in self._labels:
+            raise ComputationError(f"unknown label {label!r}")
+        return self._labels[label]
+
+    def _resolve(self, ref: EventRef) -> EventId:
+        if isinstance(ref, str):
+            return self.resolve_label(ref)
+        return ref
+
+    def _check_process(self, process: int) -> None:
+        if not 0 <= process < len(self._events):
+            raise ComputationError(f"process {process} out of range")

@@ -1,0 +1,26 @@
+"""Errors raised by the computation substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ComputationError",
+    "CyclicComputationError",
+    "InvalidCutError",
+    "UnknownEventError",
+]
+
+
+class ComputationError(Exception):
+    """Base class for errors in the computation substrate."""
+
+
+class CyclicComputationError(ComputationError):
+    """The event dependencies contain a cycle, so no valid execution exists."""
+
+
+class InvalidCutError(ComputationError):
+    """A cut vector is malformed or does not denote a consistent cut."""
+
+
+class UnknownEventError(ComputationError, KeyError):
+    """An event id does not denote an event of this computation."""

@@ -1,0 +1,209 @@
+"""The lattice of consistent cuts (substrate S3).
+
+The consistent cuts of a computation, ordered by inclusion, form a
+distributive lattice whose size is exponential in the number of processes in
+general — the "combinatorial explosion" that motivates the paper.  This
+module provides:
+
+* breadth-first enumeration of all consistent cuts (by level = cut size),
+  which is the engine of the Cooper–Marzullo baseline detector;
+* restricted reachability (can the final cut be reached from the initial cut
+  through cuts avoiding a predicate?), the engine of exact ``definitely``
+  detection;
+* linearizations (runs) of the computation;
+* lattice statistics used by the benchmarks.
+
+All functions treat the computation as immutable and never materialize more
+state than a BFS frontier requires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.computation.computation import Computation
+from repro.computation.cut import Cut, final_cut, initial_cut
+from repro.events import EventId
+
+__all__ = [
+    "iter_consistent_cuts",
+    "iter_levels",
+    "count_consistent_cuts",
+    "reachable_avoiding",
+    "find_path",
+    "some_linearization",
+    "iter_linearizations",
+    "lattice_width",
+]
+
+CutPredicate = Callable[[Cut], bool]
+
+
+def iter_consistent_cuts(computation: Computation) -> Iterator[Cut]:
+    """Enumerate every consistent cut, in non-decreasing size order."""
+    for level in iter_levels(computation):
+        yield from level
+
+
+def iter_levels(computation: Computation) -> Iterator[List[Cut]]:
+    """Enumerate the level sets of the lattice.
+
+    Level *k* contains the consistent cuts with exactly *k* non-initial
+    events.  Every run visits exactly one cut per level, which is why the
+    Cooper–Marzullo ``definitely`` algorithm walks the lattice level by
+    level.
+    """
+    current: List[Cut] = [initial_cut(computation)]
+    while current:
+        yield current
+        next_level: Set[Cut] = set()
+        for cut in current:
+            next_level.update(cut.successors())
+        current = sorted(next_level, key=lambda c: c.frontier)
+
+
+def count_consistent_cuts(computation: Computation) -> int:
+    """Number of consistent cuts (size of the lattice)."""
+    return sum(len(level) for level in iter_levels(computation))
+
+
+def reachable_avoiding(
+    computation: Computation,
+    avoid: CutPredicate,
+    start: Optional[Cut] = None,
+    goal: Optional[Cut] = None,
+) -> bool:
+    """Is ``goal`` reachable from ``start`` through cuts where ``avoid`` is false?
+
+    Both endpoints must themselves avoid the predicate for the answer to be
+    True.  Defaults: ``start`` = initial cut, ``goal`` = final cut.  This is
+    exactly the complement query of ``definitely``: ``definitely(B)`` holds
+    iff the final cut is *not* reachable from the initial cut while avoiding
+    ``B`` (a run is a lattice path visiting one cut per level).
+    """
+    start = start if start is not None else initial_cut(computation)
+    goal = goal if goal is not None else final_cut(computation)
+    if avoid(start) or avoid(goal):
+        return False
+    if start == goal:
+        return True
+    if not goal.subset_of(start) and not start.subset_of(goal):
+        pass  # incomparable cuts can never reach each other; caught below
+    seen: Set[Cut] = {start}
+    queue: deque[Cut] = deque([start])
+    while queue:
+        cut = queue.popleft()
+        for nxt in cut.successors():
+            if nxt in seen or avoid(nxt):
+                continue
+            if not nxt.subset_of(goal):
+                continue  # moved outside the interval [start, goal]
+            if nxt == goal:
+                return True
+            seen.add(nxt)
+            queue.append(nxt)
+    return False
+
+
+def find_path(
+    computation: Computation,
+    start: Cut,
+    goal: Cut,
+    avoid: Optional[CutPredicate] = None,
+) -> Optional[List[Cut]]:
+    """A lattice path from ``start`` to ``goal`` (optionally avoiding cuts).
+
+    Returns the list of cuts along one shortest path, inclusive of both
+    endpoints, or None when no such path exists.  Used by the ±1 sum
+    algorithm's witness extraction (paper, Theorem 4).
+    """
+    if avoid is not None and (avoid(start) or avoid(goal)):
+        return None
+    if not start.subset_of(goal):
+        return None
+    if start == goal:
+        return [start]
+    parent: Dict[Cut, Cut] = {}
+    seen: Set[Cut] = {start}
+    queue: deque[Cut] = deque([start])
+    while queue:
+        cut = queue.popleft()
+        for nxt in cut.successors():
+            if nxt in seen or not nxt.subset_of(goal):
+                continue
+            if avoid is not None and avoid(nxt):
+                continue
+            parent[nxt] = cut
+            if nxt == goal:
+                path = [nxt]
+                while path[-1] != start:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            seen.add(nxt)
+            queue.append(nxt)
+    return None
+
+
+def some_linearization(computation: Computation) -> List[EventId]:
+    """One run of the computation: a total order consistent with causality.
+
+    Produced greedily by always executing the lowest-numbered enabled
+    process, so the result is deterministic.  Initial events are not listed
+    (they precede everything by definition).
+    """
+    order: List[EventId] = []
+    cut = initial_cut(computation)
+    target = final_cut(computation)
+    while cut != target:
+        for p in range(computation.num_processes):
+            if cut.is_enabled(p):
+                cut = cut.advance(p)
+                order.append(cut.last_event_id(p))
+                break
+        else:  # pragma: no cover - impossible for acyclic computations
+            raise RuntimeError("no enabled event but final cut not reached")
+    return order
+
+
+def iter_linearizations(
+    computation: Computation, limit: Optional[int] = None
+) -> Iterator[List[EventId]]:
+    """Enumerate runs (total orders) of the computation.
+
+    The number of runs is exponential; pass ``limit`` to stop early.  Runs
+    are produced in lexicographic order of the process choices.
+    """
+    produced = 0
+    target = final_cut(computation)
+
+    def extend(
+        cut: Cut, prefix: List[EventId]
+    ) -> Iterator[List[EventId]]:
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if cut == target:
+            produced += 1
+            yield list(prefix)
+            return
+        for p in range(computation.num_processes):
+            if cut.is_enabled(p):
+                nxt = cut.advance(p)
+                prefix.append(nxt.last_event_id(p))
+                yield from extend(nxt, prefix)
+                prefix.pop()
+                if limit is not None and produced >= limit:
+                    return
+
+    yield from extend(initial_cut(computation), [])
+
+
+def lattice_width(computation: Computation) -> int:
+    """Maximum number of consistent cuts in any single level.
+
+    A proxy for the per-level work of level-by-level algorithms; grows
+    exponentially with the number of truly concurrent processes.
+    """
+    return max(len(level) for level in iter_levels(computation))

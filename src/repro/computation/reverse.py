@@ -1,0 +1,89 @@
+"""Reversal of a computation.
+
+Reversing a computation flips the partial order: each process's events are
+listed backwards, every message edge swaps endpoints, and send/receive kinds
+swap.  Consistent cuts of the reversed computation are exactly the
+complements of consistent cuts of the original.
+
+The detection layer uses reversal to solve the *send-ordered* special case
+of singular-CNF detection (paper, Section 3.2) with the *receive-ordered*
+scan: sends of the original are receives of the reversal, and pairwise
+consistency transfers through the successor map — events ``e, f`` are
+consistent in the original iff ``sigma(e), sigma(f)`` are consistent in the
+reversal, where ``sigma(e)`` is the reversed image of ``succ(e)`` (the
+reversed initial event when ``e`` is final).  See
+:func:`reverse_event_partner` and the tests in
+``tests/test_reverse.py`` which verify the correspondence exhaustively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.computation.computation import Computation
+from repro.events import Event, EventId, EventKind
+
+__all__ = ["reverse_computation", "reverse_event_id", "reverse_event_partner"]
+
+_REVERSED_KIND = {
+    EventKind.INTERNAL: EventKind.INTERNAL,
+    EventKind.SEND: EventKind.RECEIVE,
+    EventKind.RECEIVE: EventKind.SEND,
+    EventKind.SEND_RECEIVE: EventKind.SEND_RECEIVE,
+}
+
+
+def reverse_computation(computation: Computation) -> Computation:
+    """The computation with the direction of time flipped.
+
+    The original event ``(p, j)`` (j >= 1) becomes reversed event
+    ``(p, m_p - j + 1)`` where ``m_p`` is the number of non-initial events of
+    process ``p``; a fresh initial event heads each reversed process.
+    """
+    process_events: List[List[Event]] = []
+    for p in range(computation.num_processes):
+        original = computation.events_of(p)
+        m = len(original) - 1
+        reversed_events: List[Event] = [
+            Event(process=p, index=0, kind=EventKind.INITIAL)
+        ]
+        for r in range(1, m + 1):
+            src = original[m - r + 1]
+            reversed_events.append(
+                Event(
+                    process=p,
+                    index=r,
+                    kind=_REVERSED_KIND[src.kind],
+                    values=src.values,
+                )
+            )
+        process_events.append(reversed_events)
+
+    messages = [
+        (reverse_event_id(computation, recv), reverse_event_id(computation, send))
+        for send, recv in computation.messages
+    ]
+    return Computation(process_events, messages)
+
+
+def reverse_event_id(computation: Computation, event_id: EventId) -> EventId:
+    """Reversed id of a non-initial event of the original computation."""
+    p, j = event_id
+    if j == 0:
+        raise ValueError("initial events have no reversed image")
+    m = computation.num_events(p)
+    return (p, m - j + 1)
+
+
+def reverse_event_partner(computation: Computation, event_id: EventId) -> EventId:
+    """The reversed event standing in for original event ``event_id``.
+
+    A cut passes through ``e`` iff the complementary reversed cut passes
+    through the reversed image of ``succ(e)`` — or through the reversed
+    initial event when ``e`` is the final event of its process.  Pairwise
+    consistency is preserved under this map.
+    """
+    succ = computation.successor(event_id)
+    if succ is None:
+        return (event_id[0], 0)
+    return reverse_event_id(computation, succ)

@@ -1,0 +1,140 @@
+"""One-call detection facade.
+
+:func:`possibly` and :func:`definitely` accept any
+:class:`~repro.predicates.base.GlobalPredicate` and dispatch to the fastest
+sound engine for its structure:
+
+===========================  =============================================
+predicate class              possibly engine
+===========================  =============================================
+ConjunctivePredicate         Garg–Waldecker CPDHB scan (polynomial)
+CNFPredicate, 1-CNF          CPDHB scan via conjunctive view (polynomial)
+CNFPredicate, singular       CPDSC special case when receive-/send-ordered,
+                             else chain-choice enumeration (Section 3.3)
+RelationalSumPredicate       min-cut / Theorem 7 / exact engines (Sec. 4)
+SymmetricPredicate           ±1 count algorithm (Section 4.3, polynomial)
+OrPredicate                  distribute possibly over the disjuncts
+anything else                Cooper–Marzullo lattice enumeration
+===========================  =============================================
+
+``definitely`` uses the Theorem 7(2) decomposition for unit-step sum
+equality and symmetric singletons, and the exact avoidance search
+otherwise.  :func:`detect` returns the full :class:`DetectionResult` with
+the witness cut and algorithm statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.computation import Computation, Cut
+from repro.detection.cooper_marzullo import (
+    definitely_enumerate,
+    possibly_enumerate,
+)
+from repro.detection.definitely_conjunctive import definitely_conjunctive
+from repro.detection.garg_waldecker import detect_conjunctive
+from repro.detection.relational_sum import definitely_sum, possibly_sum
+from repro.detection.result import DetectionResult
+from repro.detection.singular_cnf import detect_singular
+from repro.detection.stoller_schneider import detect_cnf_by_literal_choice
+from repro.detection.symmetric_detect import (
+    definitely_symmetric,
+    possibly_symmetric,
+)
+from repro.predicates.base import GlobalPredicate, OrPredicate
+from repro.predicates.boolean import CNFPredicate
+from repro.predicates.conjunctive import (
+    ConjunctivePredicate,
+    conjunctive_from_cnf,
+)
+from repro.predicates.local import LocalPredicate
+from repro.predicates.modalities import Modality
+from repro.predicates.relational import RelationalSumPredicate
+from repro.predicates.symmetric import SymmetricPredicate
+
+__all__ = ["possibly", "definitely", "detect"]
+
+
+def detect(
+    computation: Computation,
+    predicate: GlobalPredicate,
+    modality: Modality = Modality.POSSIBLY,
+) -> DetectionResult:
+    """Full detection result for the given predicate and modality."""
+    if modality is Modality.POSSIBLY:
+        return _possibly(computation, predicate)
+    return _definitely(computation, predicate)
+
+
+def possibly(computation: Computation, predicate: GlobalPredicate) -> bool:
+    """Does some consistent cut of the computation satisfy the predicate?"""
+    return _possibly(computation, predicate).holds
+
+
+def definitely(computation: Computation, predicate: GlobalPredicate) -> bool:
+    """Does every run of the computation pass through a satisfying cut?"""
+    return _definitely(computation, predicate).holds
+
+
+def _possibly(
+    computation: Computation, predicate: GlobalPredicate
+) -> DetectionResult:
+    if isinstance(predicate, ConjunctivePredicate):
+        return detect_conjunctive(computation, predicate)
+    if isinstance(predicate, LocalPredicate):
+        return detect_conjunctive(
+            computation, ConjunctivePredicate([predicate])
+        )
+    if isinstance(predicate, CNFPredicate):
+        if predicate.is_conjunctive() and predicate.is_singular():
+            return detect_conjunctive(
+                computation, conjunctive_from_cnf(predicate)
+            )
+        if predicate.is_singular():
+            return detect_singular(computation, predicate, strategy="auto")
+        # Non-singular CNF: the Stoller–Schneider decomposition into
+        # conjunctive sub-problems (exponential in clauses, but each
+        # sub-problem is a linear scan — far cheaper than the lattice).
+        return detect_cnf_by_literal_choice(computation, predicate)
+    if isinstance(predicate, RelationalSumPredicate):
+        return possibly_sum(computation, predicate)
+    if isinstance(predicate, SymmetricPredicate):
+        return possibly_symmetric(computation, predicate)
+    if isinstance(predicate, OrPredicate):
+        # possibly distributes over disjunction (paper, Section 4.3).
+        explored = 0
+        for part in predicate.parts:
+            result = _possibly(computation, part)
+            explored += int(result.stats.get("cuts_explored", 0))
+            if result.holds:
+                return DetectionResult(
+                    holds=True,
+                    witness=result.witness,
+                    algorithm="disjunction:" + result.algorithm,
+                    stats=result.stats,
+                )
+        return DetectionResult(
+            holds=False,
+            algorithm="disjunction",
+            stats={"cuts_explored": explored},
+        )
+    return possibly_enumerate(computation, predicate)
+
+
+def _definitely(
+    computation: Computation, predicate: GlobalPredicate
+) -> DetectionResult:
+    if isinstance(predicate, ConjunctivePredicate):
+        return definitely_conjunctive(computation, predicate)
+    if isinstance(predicate, CNFPredicate):
+        if predicate.is_conjunctive() and predicate.is_singular():
+            return definitely_conjunctive(
+                computation, conjunctive_from_cnf(predicate)
+            )
+        return definitely_enumerate(computation, predicate)
+    if isinstance(predicate, RelationalSumPredicate):
+        return definitely_sum(computation, predicate)
+    if isinstance(predicate, SymmetricPredicate):
+        return definitely_symmetric(computation, predicate)
+    return definitely_enumerate(computation, predicate)

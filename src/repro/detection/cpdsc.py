@@ -1,0 +1,215 @@
+"""Conjunctive detection on meta-processes (Tarafdar–Garg CPDSC).
+
+Section 3.2 of the paper solves singular k-CNF detection in polynomial time
+when the computation is *receive-ordered* or *send-ordered* with respect to
+the clause groups: view each group of processes as one *meta-process* whose
+events are only partially ordered (the strong-causality model of
+Tarafdar–Garg), and run conjunctive detection over meta-processes.
+
+The receive-ordered scan (all receive events of every meta-process totally
+ordered by happened-before) works as follows:
+
+1. Within each meta-process, extend the causal order by an arrow from every
+   event to each *independent* receive event of the same meta-process.  The
+   extension is acyclic (receive-ordering prevents receive/receive arrows in
+   both directions); we verify acyclicity and raise otherwise.
+2. Linearize the extended order per meta-process; sort each meta-process's
+   true events by that linearization.
+3. Run the CPDHB-style elimination scan over these sorted sequences, using
+   ordinary pairwise consistency.  Correctness rests on Property P: if
+   ``succ(e) -> f`` for a candidate ``f`` of meta-process B, then ``e`` is
+   inconsistent with every event of B after ``f`` in the linearization —
+   the causal path into B enters through a receive ``r <= f``, and every
+   later event either causally follows ``r`` or would have been pushed
+   before ``r`` by the added arrows.
+
+The send-ordered case is solved by duality: reverse the computation (sends
+become receives, so send-ordering becomes receive-ordering), map each true
+event ``t`` to the reversed image of ``succ(t)`` (pairwise consistency is
+preserved by this map; see :mod:`repro.computation.reverse`), run the
+receive-ordered scan, and map the witness back.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.computation import Computation
+from repro.computation.reverse import (
+    reverse_computation,
+    reverse_event_partner,
+)
+from repro.detection.garg_waldecker import SelectionScan
+from repro.events import EventId
+from repro.predicates.errors import UnsupportedPredicateError
+
+__all__ = [
+    "is_receive_ordered",
+    "is_send_ordered",
+    "meta_process_order",
+    "detect_receive_ordered",
+    "detect_send_ordered",
+]
+
+
+def _events_of_group(computation: Computation, group: Sequence[int]) -> List[EventId]:
+    ids: List[EventId] = []
+    for p in group:
+        for ev in computation.events_of(p):
+            ids.append(ev.event_id)
+    return ids
+
+
+def _totally_ordered(computation: Computation, ids: Sequence[EventId]) -> bool:
+    for i, e in enumerate(ids):
+        for f in ids[i + 1 :]:
+            if computation.concurrent(e, f):
+                return False
+    return True
+
+
+def is_receive_ordered(
+    computation: Computation, groups: Sequence[Sequence[int]]
+) -> bool:
+    """All receive events of every meta-process totally ordered by causality."""
+    for group in groups:
+        receives = [
+            eid for p in group for eid in computation.receive_events(p)
+        ]
+        if not _totally_ordered(computation, receives):
+            return False
+    return True
+
+
+def is_send_ordered(
+    computation: Computation, groups: Sequence[Sequence[int]]
+) -> bool:
+    """All send events of every meta-process totally ordered by causality."""
+    for group in groups:
+        sends = [eid for p in group for eid in computation.send_events(p)]
+        if not _totally_ordered(computation, sends):
+            return False
+    return True
+
+
+def meta_process_order(
+    computation: Computation, group: Sequence[int]
+) -> Dict[EventId, int]:
+    """Linearization rank of the group's events in the extended order.
+
+    The extended order is causality restricted to the group, plus an arrow
+    from each event to every independent receive event of the group.
+
+    Raises:
+        UnsupportedPredicateError: If the extension is cyclic (the group is
+            not receive-ordered).
+    """
+    ids = _events_of_group(computation, group)
+    id_set = set(ids)
+    succs: Dict[EventId, Set[EventId]] = {eid: set() for eid in ids}
+    indegree: Dict[EventId, int] = {eid: 0 for eid in ids}
+
+    receives = [
+        eid
+        for eid in ids
+        if eid[1] > 0 and computation.event(eid).kind.is_receive
+    ]
+    for e in ids:
+        for f in ids:
+            if e == f:
+                continue
+            if computation.happened_before(e, f):
+                if f not in succs[e]:
+                    succs[e].add(f)
+                    indegree[f] += 1
+    for r in receives:
+        for e in ids:
+            if e == r or computation.happened_before(e, r) or computation.happened_before(r, e):
+                continue
+            if r not in succs[e]:
+                succs[e].add(r)
+                indegree[r] += 1
+
+    order: Dict[EventId, int] = {}
+    ready = deque(sorted(eid for eid in ids if indegree[eid] == 0))
+    rank = 0
+    while ready:
+        eid = ready.popleft()
+        order[eid] = rank
+        rank += 1
+        for f in sorted(succs[eid]):
+            indegree[f] -= 1
+            if indegree[f] == 0:
+                ready.append(f)
+    if len(order) != len(ids):
+        raise UnsupportedPredicateError(
+            "meta-process extension is cyclic: the computation is not "
+            "receive-ordered for this group"
+        )
+    return order
+
+
+def detect_receive_ordered(
+    computation: Computation,
+    groups: Sequence[Sequence[int]],
+    group_true_events: Sequence[Sequence[EventId]],
+) -> Optional[List[EventId]]:
+    """CPDSC scan for receive-ordered computations.
+
+    Args:
+        computation: The trace.
+        groups: Process set of each meta-process (pairwise disjoint).
+        group_true_events: For each meta-process, the events (on its
+            processes) after which its clause is true.
+
+    Returns:
+        A pairwise-consistent selection of one true event per meta-process,
+        or None when the predicate never holds.
+
+    Raises:
+        UnsupportedPredicateError: If the computation is not receive-ordered
+            with respect to the groups.
+    """
+    sequences: List[List[EventId]] = []
+    for group, trues in zip(groups, group_true_events):
+        order = meta_process_order(computation, group)
+        unknown = [eid for eid in trues if eid not in order]
+        if unknown:
+            raise UnsupportedPredicateError(
+                f"true events {unknown} are not on the group's processes"
+            )
+        sequences.append(sorted(trues, key=lambda eid: order[eid]))
+    return SelectionScan(computation, sequences).run()
+
+
+def detect_send_ordered(
+    computation: Computation,
+    groups: Sequence[Sequence[int]],
+    group_true_events: Sequence[Sequence[EventId]],
+) -> Optional[List[EventId]]:
+    """CPDSC scan for send-ordered computations, via reversal.
+
+    Maps every true event ``t`` to the reversed partner of ``succ(t)``,
+    runs the receive-ordered scan on the reversed computation, and maps the
+    witness selection back to original events.
+    """
+    reversed_comp = reverse_computation(computation)
+    partner: Dict[EventId, EventId] = {}
+    mapped: List[List[EventId]] = []
+    back: List[Dict[EventId, EventId]] = []
+    for trues in group_true_events:
+        mapped_group: List[EventId] = []
+        back_group: Dict[EventId, EventId] = {}
+        for t in trues:
+            image = reverse_event_partner(computation, t)
+            mapped_group.append(image)
+            # Two distinct true events never share an image: the partner map
+            # is injective per process.
+            back_group[image] = t
+        mapped.append(mapped_group)
+        back.append(back_group)
+    selection = detect_receive_ordered(reversed_comp, groups, mapped)
+    if selection is None:
+        return None
+    return [back[i][image] for i, image in enumerate(selection)]

@@ -1,0 +1,34 @@
+"""Common result type for detection algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.computation import Cut
+
+__all__ = ["DetectionResult"]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of one detection query.
+
+    Attributes:
+        holds: Whether the queried modality holds for the predicate.
+        witness: For satisfied ``possibly`` queries, a consistent cut
+            satisfying the predicate; for refuted ``definitely`` queries the
+            detectors leave this None (the counterexample is a run, not a
+            cut).  None whenever no witness applies.
+        algorithm: Name of the algorithm that produced the answer.
+        stats: Algorithm-specific counters (cuts explored, CPDHB
+            invocations, flow value, ...) used by benchmarks and tests.
+    """
+
+    holds: bool
+    witness: Optional[Cut] = None
+    algorithm: str = "?"
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.holds

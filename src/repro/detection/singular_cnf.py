@@ -1,0 +1,228 @@
+"""Detection of singular k-CNF predicates (paper, Section 3).
+
+A singular k-CNF predicate assigns each clause a *group* of processes, and
+no process serves two clauses.  By Observation 1, ``possibly(B)`` holds iff
+there are pairwise-consistent *clause-true events*, one per group (an event
+is clause-true when it makes some literal of its process true).
+
+The general problem is NP-complete (Theorem 1; see
+:mod:`repro.reductions.sat_to_detection`), so this module offers the
+paper's full algorithm menu:
+
+* :func:`detect_special_case` — polynomial when the computation is
+  receive-ordered or send-ordered with respect to the groups (Section 3.2,
+  via the CPDSC meta-process scan);
+* :func:`detect_by_process_choice` — Section 3.3, first algorithm: try all
+  ``prod |G_j|`` choices of one process per group and run the polynomial
+  CPDHB scan on each (at most ``k^m`` invocations);
+* :func:`detect_by_chain_choice` — Section 3.3, second algorithm: cover the
+  true events of each group with a *minimum* set of causal chains and try
+  all chain combinations (at most ``prod c_j`` invocations with
+  ``c_j <= |G_j|`` — an exponential reduction whenever chains are fewer
+  than processes);
+* :func:`detect_singular` — facade choosing the cheapest applicable engine.
+
+All engines return a witness cut when the predicate possibly holds.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.computation import (
+    Computation,
+    Cut,
+    least_consistent_cut,
+    minimum_chain_cover,
+)
+from repro.detection.cooper_marzullo import possibly_enumerate
+from repro.detection.cpdsc import (
+    detect_receive_ordered,
+    detect_send_ordered,
+    is_receive_ordered,
+    is_send_ordered,
+)
+from repro.detection.garg_waldecker import SelectionScan
+from repro.detection.result import DetectionResult
+from repro.events import EventId
+from repro.predicates.boolean import Clause, CNFPredicate
+from repro.predicates.errors import UnsupportedPredicateError
+
+__all__ = [
+    "clause_true_events",
+    "clause_true_events_on",
+    "detect_special_case",
+    "detect_by_process_choice",
+    "detect_by_chain_choice",
+    "detect_singular",
+]
+
+
+def clause_true_events_on(
+    computation: Computation, cl: Clause, process: int
+) -> List[EventId]:
+    """Events of ``process`` making some literal of the clause true."""
+    literals = [lit for lit in cl.literals if lit.process == process]
+    if not literals:
+        return []
+    result: List[EventId] = []
+    for event in computation.events_of(process):
+        if any(lit.holds_after(event) for lit in literals):
+            result.append(event.event_id)
+    return result
+
+
+def clause_true_events(computation: Computation, cl: Clause) -> List[EventId]:
+    """All events (across the clause's group) making the clause true."""
+    result: List[EventId] = []
+    for process in sorted(cl.processes()):
+        result.extend(clause_true_events_on(computation, cl, process))
+    return result
+
+
+def _groups(predicate: CNFPredicate) -> List[List[int]]:
+    predicate.require_singular()
+    return [sorted(cl.processes()) for cl in predicate.clauses]
+
+
+def _witness(
+    computation: Computation,
+    predicate: CNFPredicate,
+    selection: Sequence[EventId],
+) -> Cut:
+    witness = least_consistent_cut(computation, selection)
+    assert witness is not None, "pairwise-consistent selection must admit a cut"
+    assert predicate.evaluate(witness), "witness cut must satisfy the predicate"
+    return witness
+
+
+def detect_special_case(
+    computation: Computation, predicate: CNFPredicate
+) -> DetectionResult:
+    """Polynomial detection for receive-ordered / send-ordered computations.
+
+    Raises:
+        UnsupportedPredicateError: If the computation is neither
+            receive-ordered nor send-ordered with respect to the clause
+            groups — use one of the general engines then.
+    """
+    groups = _groups(predicate)
+    trues = [clause_true_events(computation, cl) for cl in predicate.clauses]
+    if is_receive_ordered(computation, groups):
+        selection = detect_receive_ordered(computation, groups, trues)
+        variant = "receive-ordered"
+    elif is_send_ordered(computation, groups):
+        selection = detect_send_ordered(computation, groups, trues)
+        variant = "send-ordered"
+    else:
+        raise UnsupportedPredicateError(
+            "computation is neither receive-ordered nor send-ordered with "
+            "respect to the clause groups; use detect_by_chain_choice"
+        )
+    stats = {"variant": variant}
+    if selection is None:
+        return DetectionResult(holds=False, algorithm="cpdsc", stats=stats)
+    return DetectionResult(
+        holds=True,
+        witness=_witness(computation, predicate, selection),
+        algorithm="cpdsc",
+        stats=stats,
+    )
+
+
+def detect_by_process_choice(
+    computation: Computation, predicate: CNFPredicate
+) -> DetectionResult:
+    """Try every one-process-per-group choice; CPDHB on each (Section 3.3a)."""
+    groups = _groups(predicate)
+    per_group_chains: List[List[List[EventId]]] = []
+    for cl, group in zip(predicate.clauses, groups):
+        per_group_chains.append(
+            [clause_true_events_on(computation, cl, p) for p in group]
+        )
+    return _detect_by_combinations(
+        computation, predicate, per_group_chains, algorithm="process-choice"
+    )
+
+
+def detect_by_chain_choice(
+    computation: Computation, predicate: CNFPredicate
+) -> DetectionResult:
+    """Try every one-chain-per-group choice; CPDHB on each (Section 3.3b).
+
+    Uses a minimum chain cover of each group's true events, so the number of
+    CPDHB invocations is ``prod c_j`` where ``c_j`` is the width (largest
+    antichain) of group j's true events — never more than the process-choice
+    engine, exponentially fewer when groups communicate internally.
+    """
+    groups = _groups(predicate)
+    per_group_chains: List[List[List[EventId]]] = []
+    for cl in predicate.clauses:
+        trues = clause_true_events(computation, cl)
+        chains = minimum_chain_cover(computation, trues)
+        per_group_chains.append([list(chain) for chain in chains])
+    return _detect_by_combinations(
+        computation, predicate, per_group_chains, algorithm="chain-choice"
+    )
+
+
+def _detect_by_combinations(
+    computation: Computation,
+    predicate: CNFPredicate,
+    per_group_chains: Sequence[Sequence[List[EventId]]],
+    algorithm: str,
+) -> DetectionResult:
+    """Shared driver: CPDHB over every combination of one chain per group."""
+    total = math.prod(len(chains) for chains in per_group_chains)
+    stats: Dict[str, object] = {
+        "combinations": total,
+        "invocations": 0,
+        "advances": 0,
+    }
+    if total == 0:
+        # Some group has no true event at all: the clause can never hold.
+        return DetectionResult(holds=False, algorithm=algorithm, stats=stats)
+    for combo in itertools.product(*per_group_chains):
+        stats["invocations"] = int(stats["invocations"]) + 1
+        scan = SelectionScan(computation, list(combo))
+        selection = scan.run()
+        stats["advances"] = int(stats["advances"]) + scan.advances
+        if selection is not None:
+            return DetectionResult(
+                holds=True,
+                witness=_witness(computation, predicate, selection),
+                algorithm=algorithm,
+                stats=stats,
+            )
+    return DetectionResult(holds=False, algorithm=algorithm, stats=stats)
+
+
+def detect_singular(
+    computation: Computation,
+    predicate: CNFPredicate,
+    strategy: str = "auto",
+) -> DetectionResult:
+    """Facade for singular k-CNF ``possibly`` detection.
+
+    Strategies: ``"auto"`` (polynomial special case when applicable, else
+    chain-choice), ``"special"``, ``"process-choice"``, ``"chain-choice"``,
+    ``"enumerate"`` (Cooper–Marzullo baseline).
+    """
+    if strategy == "auto":
+        groups = _groups(predicate)
+        if is_receive_ordered(computation, groups) or is_send_ordered(
+            computation, groups
+        ):
+            return detect_special_case(computation, predicate)
+        return detect_by_chain_choice(computation, predicate)
+    if strategy == "special":
+        return detect_special_case(computation, predicate)
+    if strategy == "process-choice":
+        return detect_by_process_choice(computation, predicate)
+    if strategy == "chain-choice":
+        return detect_by_chain_choice(computation, predicate)
+    if strategy == "enumerate":
+        return possibly_enumerate(computation, predicate)
+    raise ValueError(f"unknown strategy {strategy!r}")

@@ -1,0 +1,107 @@
+"""Stoller–Schneider decomposition: arbitrary CNF via conjunctive scans.
+
+The paper's related work (its reference [15]) describes detecting a
+predicate "satisfying certain structure by reducing the problem to
+multiple predicate detection problems each of which is solvable using
+Garg and Waldecker's algorithm", practical when "the number of new
+predicate detection problems generated is not too large".
+
+For a CNF predicate — singular or not — that decomposition is: choose one
+literal from every clause; the conjunction of the chosen literals is a
+*conjunctive* predicate (literals landing on the same process AND together
+into one local predicate), decidable by CPDHB in polynomial time; and
+
+    ``possibly(CNF)  <=>  OR over all choices of possibly(conjunction)``.
+
+(⇐ is monotone weakening; ⇒ holds because a witness cut satisfies some
+literal of every clause — pick those.)  The number of sub-problems is the
+product of the clause widths, so this engine is exponential in the number
+of clauses in the worst case — consistent with the paper's Theorem 1 — but
+each sub-problem is cheap and, unlike lattice enumeration, the cost is
+independent of the trace length beyond the linear scan.
+
+Choices whose chosen literals are contradictory on a process (``x`` and
+``not x``) are skipped without a scan.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.computation import Computation, least_consistent_cut
+from repro.detection.garg_waldecker import SelectionScan
+from repro.detection.result import DetectionResult
+from repro.events import Event, EventId
+from repro.predicates.boolean import CNFPredicate
+from repro.predicates.local import Literal
+
+__all__ = ["detect_cnf_by_literal_choice"]
+
+
+def _true_events_for_conjunction(
+    computation: Computation, process: int, literals: Sequence[Literal]
+) -> List[EventId]:
+    """Events of ``process`` where all given literals hold."""
+    result: List[EventId] = []
+    for event in computation.events_of(process):
+        if all(lit.holds_after(event) for lit in literals):
+            result.append(event.event_id)
+    return result
+
+
+def detect_cnf_by_literal_choice(
+    computation: Computation, predicate: CNFPredicate
+) -> DetectionResult:
+    """Decide ``possibly`` of an arbitrary CNF predicate (Stoller–Schneider).
+
+    Works for non-singular predicates too.  Returns a witness cut when the
+    predicate possibly holds; ``stats`` reports the number of literal
+    combinations, how many were contradictory (skipped), and how many
+    CPDHB invocations ran.
+    """
+    clause_literals: List[Tuple[Literal, ...]] = [
+        cl.literals for cl in predicate.clauses
+    ]
+    total = math.prod(len(lits) for lits in clause_literals)
+    stats: Dict[str, object] = {
+        "combinations": total,
+        "contradictory": 0,
+        "invocations": 0,
+    }
+    for choice in itertools.product(*clause_literals):
+        # Group the chosen literals by process; duplicates merge, and a
+        # variable chosen in both polarities kills the combination.
+        by_process: Dict[int, Dict[Tuple[str, bool], Literal]] = {}
+        contradictory = False
+        for lit in choice:
+            bucket = by_process.setdefault(lit.process, {})
+            bucket[(lit.variable, lit.negated)] = lit
+            if (lit.variable, not lit.negated) in bucket:
+                contradictory = True
+                break
+        if contradictory:
+            stats["contradictory"] = int(stats["contradictory"]) + 1
+            continue
+        chains = [
+            _true_events_for_conjunction(
+                computation, process, list(bucket.values())
+            )
+            for process, bucket in sorted(by_process.items())
+        ]
+        stats["invocations"] = int(stats["invocations"]) + 1
+        selection = SelectionScan(computation, chains).run()
+        if selection is not None:
+            witness = least_consistent_cut(computation, selection)
+            assert witness is not None
+            assert predicate.evaluate(witness)
+            return DetectionResult(
+                holds=True,
+                witness=witness,
+                algorithm="stoller-schneider",
+                stats=stats,
+            )
+    return DetectionResult(
+        holds=False, algorithm="stoller-schneider", stats=stats
+    )

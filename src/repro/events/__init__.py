@@ -1,0 +1,10 @@
+"""Event model and logical clocks (substrate S1).
+
+Public names: :class:`Event`, :class:`EventKind`, :class:`VectorClock`,
+and the :data:`EventId` alias.
+"""
+
+from repro.events.event import Event, EventId, EventKind
+from repro.events.vector_clock import VectorClock
+
+__all__ = ["Event", "EventId", "EventKind", "VectorClock"]

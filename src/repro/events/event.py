@@ -1,0 +1,93 @@
+"""Event model for distributed computations.
+
+The paper (Section 2.1) models a local computation as a sequence of events on
+each process.  Every process starts with a fictitious *initial event* that
+initializes its state; subsequent events are internal, send, or receive events
+(an event may be both a send and a receive — the results of the paper hold for
+the restricted model too, and our model permits either convention).
+
+We identify an event by the pair ``(process, index)`` where ``index`` is its
+position in the process's local sequence (index 0 is the initial event).  This
+makes predecessor/successor navigation O(1) and lets consistent cuts be stored
+as integer frontier vectors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Tuple
+
+__all__ = ["EventKind", "EventId", "Event"]
+
+
+class EventKind(enum.Enum):
+    """Classification of an event within a local computation."""
+
+    INITIAL = "initial"
+    INTERNAL = "internal"
+    SEND = "send"
+    RECEIVE = "receive"
+    #: An event that both sends and receives (permitted by the paper's model).
+    SEND_RECEIVE = "send_receive"
+
+    @property
+    def is_send(self) -> bool:
+        """True if the event emits at least one message."""
+        return self in (EventKind.SEND, EventKind.SEND_RECEIVE)
+
+    @property
+    def is_receive(self) -> bool:
+        """True if the event consumes at least one message."""
+        return self in (EventKind.RECEIVE, EventKind.SEND_RECEIVE)
+
+
+# An event id is (process index, local event index).  Local index 0 is the
+# initial event, so real events have indices >= 1.
+EventId = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One event of a distributed computation.
+
+    Attributes:
+        process: Index of the process the event occurs on.
+        index: Position in the process's local sequence (0 = initial event).
+        kind: Event classification (initial / internal / send / receive).
+        values: Snapshot of the process's monitored local variables *after*
+            executing this event.  Predicates are evaluated against these
+            values.  Keys are variable names; values are arbitrary (booleans
+            and integers in this library).
+        label: Optional human-readable name (e.g. the paper's ``e, f, g, h``).
+    """
+
+    process: int
+    index: int
+    kind: EventKind = EventKind.INTERNAL
+    values: Mapping[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    @property
+    def event_id(self) -> EventId:
+        """The ``(process, index)`` identifier of this event."""
+        return (self.process, self.index)
+
+    @property
+    def is_initial(self) -> bool:
+        """True for the fictitious initial event of a process."""
+        return self.index == 0
+
+    def value(self, name: str, default: Any = None) -> Any:
+        """Return the value of local variable ``name`` after this event."""
+        return self.values.get(name, default)
+
+    def __str__(self) -> str:
+        tag = self.label if self.label is not None else f"e{self.process}.{self.index}"
+        return f"{tag}@p{self.process}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(process={self.process}, index={self.index}, "
+            f"kind={self.kind.value}, label={self.label!r})"
+        )

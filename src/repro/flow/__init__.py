@@ -1,0 +1,19 @@
+"""Max-flow / min-cut machinery (substrate S5)."""
+
+from repro.flow.ideal_optimization import (
+    event_deltas,
+    max_sum_cut,
+    maximize_ideal_weight,
+    min_sum_cut,
+    sum_range,
+)
+from repro.flow.maxflow import MaxFlow
+
+__all__ = [
+    "MaxFlow",
+    "event_deltas",
+    "max_sum_cut",
+    "maximize_ideal_weight",
+    "min_sum_cut",
+    "sum_range",
+]

@@ -1,0 +1,167 @@
+"""Maximum flow via Dinic's algorithm (substrate S5).
+
+Implemented from scratch: adjacency-list residual graph, BFS level graph,
+DFS blocking flows.  Integer capacities only — every use in this library has
+integral weights, and integrality keeps min-cut extraction exact.
+
+This powers :mod:`repro.flow.ideal_optimization`, which computes the
+min/max of a sum of local variables over all consistent cuts — the engine
+behind the paper's polynomial cells for relational predicates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Set, Tuple
+
+__all__ = ["MaxFlow"]
+
+
+class _Edge:
+    __slots__ = ("to", "capacity", "flow", "rev")
+
+    def __init__(self, to: int, capacity: int, rev: int):
+        self.to = to
+        self.capacity = capacity
+        self.flow = 0
+        self.rev = rev  # index of the reverse edge in adj[to]
+
+    @property
+    def residual(self) -> int:
+        return self.capacity - self.flow
+
+
+class MaxFlow:
+    """A max-flow problem instance on ``n`` nodes.
+
+    Usage::
+
+        mf = MaxFlow(n)
+        mf.add_edge(u, v, capacity)
+        value = mf.solve(source, sink)
+        side = mf.min_cut_source_side(source)   # after solve()
+    """
+
+    def __init__(self, num_nodes: int):
+        if num_nodes <= 0:
+            raise ValueError("need at least one node")
+        self._n = num_nodes
+        self._adj: List[List[_Edge]] = [[] for _ in range(num_nodes)]
+        self._solved_source: int = -1
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the flow network."""
+        return self._n
+
+    def add_edge(self, u: int, v: int, capacity: int) -> None:
+        """Add a directed edge ``u -> v`` with the given integer capacity."""
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise ValueError(f"edge ({u}, {v}) out of range")
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if u == v:
+            return  # self-loops never carry useful flow
+        forward = _Edge(v, int(capacity), len(self._adj[v]))
+        backward = _Edge(u, 0, len(self._adj[u]))
+        self._adj[u].append(forward)
+        self._adj[v].append(backward)
+
+    def solve(self, source: int, sink: int) -> int:
+        """Maximum flow value from ``source`` to ``sink`` (Dinic)."""
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        total = 0
+        while True:
+            level = self._bfs_levels(source, sink)
+            if level[sink] < 0:
+                break
+            iters = [0] * self._n
+            while True:
+                pushed = self._dfs_push(source, sink, None, level, iters)
+                if pushed == 0:
+                    break
+                total += pushed
+        self._solved_source = source
+        return total
+
+    def min_cut_source_side(self, source: int) -> Set[int]:
+        """Nodes reachable from ``source`` in the residual graph.
+
+        Must be called after :meth:`solve`; the returned set S gives the
+        minimum cut (S, V-S).
+        """
+        if self._solved_source != source:
+            raise RuntimeError("call solve() with this source first")
+        seen = {source}
+        queue: deque[int] = deque([source])
+        while queue:
+            u = queue.popleft()
+            for edge in self._adj[u]:
+                if edge.residual > 0 and edge.to not in seen:
+                    seen.add(edge.to)
+                    queue.append(edge.to)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Dinic internals
+    # ------------------------------------------------------------------
+    def _bfs_levels(self, source: int, sink: int) -> List[int]:
+        level = [-1] * self._n
+        level[source] = 0
+        queue: deque[int] = deque([source])
+        while queue:
+            u = queue.popleft()
+            for edge in self._adj[u]:
+                if edge.residual > 0 and level[edge.to] < 0:
+                    level[edge.to] = level[u] + 1
+                    queue.append(edge.to)
+        return level
+
+    def _dfs_push(
+        self,
+        u: int,
+        sink: int,
+        limit: int | None,
+        level: List[int],
+        iters: List[int],
+    ) -> int:
+        """Iterative blocking-flow DFS pushing up to ``limit`` units."""
+        # An explicit stack avoids recursion limits on deep gadget graphs.
+        path: List[Tuple[int, int]] = []  # (node, edge index into adj[node])
+        node = u
+        while True:
+            if node == sink:
+                bottleneck = None
+                for n_, ei in path:
+                    e = self._adj[n_][ei]
+                    bottleneck = (
+                        e.residual
+                        if bottleneck is None
+                        else min(bottleneck, e.residual)
+                    )
+                assert bottleneck is not None and bottleneck > 0
+                if limit is not None:
+                    bottleneck = min(bottleneck, limit)
+                for n_, ei in path:
+                    e = self._adj[n_][ei]
+                    e.flow += bottleneck
+                    self._adj[e.to][e.rev].flow -= bottleneck
+                return bottleneck
+            advanced = False
+            while iters[node] < len(self._adj[node]):
+                edge = self._adj[node][iters[node]]
+                if edge.residual > 0 and level[edge.to] == level[node] + 1:
+                    path.append((node, iters[node]))
+                    node = edge.to
+                    advanced = True
+                    break
+                iters[node] += 1
+            if advanced:
+                continue
+            # Dead end: retreat.
+            level[node] = -1
+            if not path:
+                return 0
+            node, _ = path.pop()
+            iters[node] += 1

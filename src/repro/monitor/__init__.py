@@ -1,0 +1,6 @@
+"""Online (streaming) predicate monitors."""
+
+from repro.monitor.multiplex import MonitorGroup
+from repro.monitor.online import MonitorError, OnlineConjunctiveMonitor
+
+__all__ = ["MonitorError", "MonitorGroup", "OnlineConjunctiveMonitor"]

@@ -1,0 +1,125 @@
+"""Running many conjunctive monitors over one observation stream.
+
+Real debugging sessions watch many queries at once — e.g. mutual exclusion
+is ``possibly(cs_i AND cs_j)`` for *every* pair of processes.  Feeding
+each monitor separately re-delivers the stream once per query;
+:class:`MonitorGroup` fans a single stream out to any number of
+:class:`~repro.monitor.online.OnlineConjunctiveMonitor` instances and
+reports detections as they fire.
+
+Convenience constructors cover the common shapes: all pairs over a set of
+processes (mutual exclusion, Section 1 of the paper) and one monitor per
+explicit process set.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.events import VectorClock
+from repro.monitor.online import MonitorError, OnlineConjunctiveMonitor
+
+__all__ = ["MonitorGroup"]
+
+#: Maps a process to whether its conjunct holds after the observed event.
+TruthFunction = Callable[[int], bool]
+
+
+class MonitorGroup:
+    """A set of named conjunctive monitors sharing one observation stream.
+
+    Args:
+        num_processes: Clock dimension of the monitored system.
+
+    Observations carry per-process truth *per query*: ``observe`` takes the
+    event's process, index, clock, and a mapping ``query name -> truth of
+    that query's conjunct on this process`` (queries not monitoring the
+    process ignore the entry).
+    """
+
+    def __init__(self, num_processes: int):
+        self._n = num_processes
+        self._monitors: Dict[str, OnlineConjunctiveMonitor] = {}
+        self._interested: Dict[int, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, name: str, processes: Sequence[int]) -> None:
+        """Register a conjunctive query over the given processes."""
+        if name in self._monitors:
+            raise MonitorError(f"duplicate monitor name {name!r}")
+        monitor = OnlineConjunctiveMonitor(self._n, processes)
+        self._monitors[name] = monitor
+        for p in processes:
+            self._interested.setdefault(p, []).append(name)
+
+    @classmethod
+    def all_pairs(
+        cls, num_processes: int, processes: Optional[Iterable[int]] = None
+    ) -> "MonitorGroup":
+        """One monitor per unordered pair — the mutual-exclusion shape."""
+        group = cls(num_processes)
+        pool = list(processes) if processes is not None else list(
+            range(num_processes)
+        )
+        for i, j in itertools.combinations(pool, 2):
+            group.add(f"pair({i},{j})", [i, j])
+        return group
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        process: int,
+        index: int,
+        clock: VectorClock,
+        truth: bool,
+    ) -> List[str]:
+        """Deliver one event to every monitor watching ``process``.
+
+        ``truth`` is the process's local-predicate value after the event
+        (shared by all queries — the common case of one variable, e.g.
+        ``cs``).  Returns the names of monitors that fired *on this
+        observation*.
+        """
+        fired: List[str] = []
+        for name in self._interested.get(process, ()):
+            monitor = self._monitors[name]
+            if monitor.detected or monitor.impossible:
+                continue
+            if monitor.observe(process, index, clock, truth):
+                fired.append(name)
+        return fired
+
+    def finish_all(self) -> None:
+        """Declare the end of every stream to every monitor."""
+        for monitor in self._monitors.values():
+            if not monitor.detected:
+                monitor.finish_all()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def detected(self) -> Dict[str, OnlineConjunctiveMonitor]:
+        """All monitors that found a witness, by name."""
+        return {
+            name: monitor
+            for name, monitor in self._monitors.items()
+            if monitor.detected
+        }
+
+    def verdicts(self) -> Dict[str, bool]:
+        """Name -> detected for every registered monitor."""
+        return {
+            name: monitor.detected
+            for name, monitor in self._monitors.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._monitors)
+
+    def __getitem__(self, name: str) -> OnlineConjunctiveMonitor:
+        return self._monitors[name]

@@ -1,0 +1,210 @@
+"""Online (streaming) conjunctive predicate detection.
+
+The offline CPDHB scan (:mod:`repro.detection.garg_waldecker`) assumes the
+whole trace is available.  In a deployed monitor — the paper's motivating
+setting — each process reports its events *as they happen*, and a checker
+process must raise the alarm the moment ``possibly(B)`` becomes true.
+
+:class:`OnlineConjunctiveMonitor` is that checker.  Each monitored process
+streams ``(index, vector clock, local-predicate value)`` triples in local
+order (any interleaving across processes).  The monitor keeps a queue of
+pending true events per process and runs the Garg–Waldecker elimination
+incrementally, exploiting the O(1) happened-before test
+
+    ``succ(e) -> f   <=>   vc(f)[p(e)] >= index(e) + 2``
+
+(component ``p`` of a Fidge–Mattern clock counts the events of process
+``p``, including its initial event, in the causal past), so eliminations
+never need the successor's full clock — a candidate pair's verdict is
+final the moment both clocks are known.  Detection is therefore announced
+at the earliest possible observation point, with the witness event per
+process.
+
+The stream for process p must include *all* its events (true and false):
+false events cost O(1) and carry the causal information that eliminates
+stale candidates... they are simply ignored by the queues, but feeding
+them is how a real monitor works and keeps indices honest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.events import VectorClock
+
+__all__ = ["OnlineConjunctiveMonitor", "MonitorError"]
+
+
+class MonitorError(Exception):
+    """Monitor misuse: out-of-order or malformed observations."""
+
+
+class _Candidate:
+    __slots__ = ("index", "clock")
+
+    def __init__(self, index: int, clock: VectorClock):
+        self.index = index
+        self.clock = clock
+
+
+class OnlineConjunctiveMonitor:
+    """Streaming detector for a conjunctive predicate.
+
+    Args:
+        num_processes: Total processes in the system (clock dimension).
+        monitored: The processes hosting a conjunct, in any order.
+
+    Feed observations with :meth:`observe`; query :attr:`detected` /
+    :attr:`witness` at any time.  Call :meth:`finish` when a process's
+    stream ends so the monitor can conclude impossibility.
+    """
+
+    def __init__(self, num_processes: int, monitored: Sequence[int]):
+        if not monitored:
+            raise MonitorError("need at least one monitored process")
+        seen = set()
+        for p in monitored:
+            if not 0 <= p < num_processes:
+                raise MonitorError(f"process {p} out of range")
+            if p in seen:
+                raise MonitorError(f"process {p} monitored twice")
+            seen.add(p)
+        self._n = num_processes
+        self._monitored: Tuple[int, ...] = tuple(monitored)
+        self._queues: Dict[int, Deque[_Candidate]] = {
+            p: deque() for p in self._monitored
+        }
+        self._last_index: Dict[int, int] = {p: -1 for p in self._monitored}
+        self._finished: Dict[int, bool] = {p: False for p in self._monitored}
+        self._witness: Optional[Dict[int, Tuple[int, VectorClock]]] = None
+        self._impossible = False
+        self.observations = 0
+        self.eliminations = 0
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    @property
+    def detected(self) -> bool:
+        """Has a witness (pairwise-consistent true events) been found?"""
+        return self._witness is not None
+
+    @property
+    def impossible(self) -> bool:
+        """Has the monitor proven the predicate can never hold?"""
+        return self._impossible
+
+    @property
+    def witness(self) -> Optional[Dict[int, Tuple[int, VectorClock]]]:
+        """Per monitored process, the witness (event index, clock)."""
+        if self._witness is None:
+            return None
+        return dict(self._witness)
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        process: int,
+        index: int,
+        clock: VectorClock,
+        truth: bool,
+    ) -> bool:
+        """Report one event of a monitored process.
+
+        Args:
+            process: The reporting process.
+            index: The event's local index (0 = initial event); must arrive
+                in strictly increasing order per process.
+            clock: The event's Fidge–Mattern clock.
+            truth: Whether the process's conjunct holds after this event.
+
+        Returns:
+            True iff the predicate has been detected (now or earlier).
+        """
+        if self.detected or self._impossible:
+            return self.detected
+        if process not in self._queues:
+            raise MonitorError(f"process {process} is not monitored")
+        if self._finished[process]:
+            raise MonitorError(f"process {process} already finished")
+        if len(clock) != self._n:
+            raise MonitorError("clock dimension mismatch")
+        if index <= self._last_index[process]:
+            raise MonitorError(
+                f"out-of-order observation for process {process}: "
+                f"{index} after {self._last_index[process]}"
+            )
+        self._last_index[process] = index
+        self.observations += 1
+        if truth:
+            self._queues[process].append(_Candidate(index, clock))
+            self._settle()
+        return self.detected
+
+    def finish(self, process: int) -> None:
+        """Declare that a monitored process will report no more events."""
+        if process not in self._finished:
+            raise MonitorError(f"process {process} is not monitored")
+        self._finished[process] = True
+        self._check_impossible()
+
+    def finish_all(self) -> None:
+        """Declare the end of every stream."""
+        for p in self._monitored:
+            self._finished[p] = True
+        self._check_impossible()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _eliminates(left: _Candidate, left_process: int, right: _Candidate) -> bool:
+        """succ(left) happened-before right (O(1) clock-component test)."""
+        return right.clock[left_process] >= left.index + 2
+
+    def _settle(self) -> None:
+        """Run eliminations until the heads are stable, then conclude."""
+        changed = True
+        while changed:
+            changed = False
+            for i in self._monitored:
+                if not self._queues[i]:
+                    continue
+                head_i = self._queues[i][0]
+                for j in self._monitored:
+                    if i == j or not self._queues[j]:
+                        continue
+                    head_j = self._queues[j][0]
+                    if self._eliminates(head_i, i, head_j):
+                        # head_i can never pair with head_j nor with any
+                        # later true event of j: clocks grow monotonically
+                        # along a process, so the test stays true for them.
+                        self._queues[i].popleft()
+                        self.eliminations += 1
+                        changed = True
+                        break
+                    if self._eliminates(head_j, j, head_i):
+                        self._queues[j].popleft()
+                        self.eliminations += 1
+                        changed = True
+                        break
+                if changed:
+                    break
+        if all(self._queues[p] for p in self._monitored):
+            self._witness = {
+                p: (self._queues[p][0].index, self._queues[p][0].clock)
+                for p in self._monitored
+            }
+        else:
+            self._check_impossible()
+
+    def _check_impossible(self) -> None:
+        if self.detected:
+            return
+        for p in self._monitored:
+            if not self._queues[p] and self._finished[p]:
+                self._impossible = True
+                return

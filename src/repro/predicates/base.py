@@ -1,0 +1,180 @@
+"""Global predicate abstraction.
+
+A *global predicate* is a boolean-valued function of a consistent cut
+(paper, Section 2.3).  Every predicate in this library is a
+:class:`GlobalPredicate`; concrete classes expose enough structure for the
+detection layer to dispatch to the right algorithm (conjunctive scan, CNF
+engines, min-cut, lattice search).
+
+Combinators :func:`conjunction`, :func:`disjunction` and :func:`negation`
+build arbitrary boolean combinations; they remain detectable by the
+Cooper–Marzullo baseline and, where structure permits, by faster engines.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.computation import Cut
+
+__all__ = [
+    "GlobalPredicate",
+    "FunctionPredicate",
+    "AndPredicate",
+    "OrPredicate",
+    "NotPredicate",
+    "ConstantPredicate",
+    "conjunction",
+    "disjunction",
+    "negation",
+]
+
+
+class GlobalPredicate(abc.ABC):
+    """A boolean-valued function on consistent cuts."""
+
+    @abc.abstractmethod
+    def evaluate(self, cut: Cut) -> bool:
+        """Truth value of the predicate at the given cut."""
+
+    def __call__(self, cut: Cut) -> bool:
+        return self.evaluate(cut)
+
+    # Convenience operators so predicates compose readably.
+    def __and__(self, other: "GlobalPredicate") -> "AndPredicate":
+        return AndPredicate([self, other])
+
+    def __or__(self, other: "GlobalPredicate") -> "OrPredicate":
+        return OrPredicate([self, other])
+
+    def __invert__(self) -> "NotPredicate":
+        return NotPredicate(self)
+
+    def description(self) -> str:
+        """Human-readable rendering (used in reports and benchmarks)."""
+        return repr(self)
+
+
+class FunctionPredicate(GlobalPredicate):
+    """Wraps an arbitrary ``Cut -> bool`` function.
+
+    The most general predicate form; only the enumeration-based detectors
+    accept it.
+    """
+
+    def __init__(self, fn: Callable[[Cut], bool], name: str = "<function>"):
+        self._fn = fn
+        self._name = name
+
+    def evaluate(self, cut: Cut) -> bool:
+        return bool(self._fn(cut))
+
+    def description(self) -> str:
+        return self._name
+
+    def __repr__(self) -> str:
+        return f"FunctionPredicate({self._name})"
+
+
+class ConstantPredicate(GlobalPredicate):
+    """A predicate that ignores the cut."""
+
+    def __init__(self, value: bool):
+        self._value = bool(value)
+
+    def evaluate(self, cut: Cut) -> bool:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"ConstantPredicate({self._value})"
+
+
+class AndPredicate(GlobalPredicate):
+    """Conjunction of sub-predicates."""
+
+    def __init__(self, parts: Iterable[GlobalPredicate]):
+        self.parts: Tuple[GlobalPredicate, ...] = tuple(parts)
+        if not self.parts:
+            raise ValueError("empty conjunction (use ConstantPredicate(True))")
+
+    def evaluate(self, cut: Cut) -> bool:
+        return all(part.evaluate(cut) for part in self.parts)
+
+    def description(self) -> str:
+        return "(" + " AND ".join(p.description() for p in self.parts) + ")"
+
+    def __repr__(self) -> str:
+        return f"AndPredicate({list(self.parts)!r})"
+
+
+class OrPredicate(GlobalPredicate):
+    """Disjunction of sub-predicates.
+
+    ``possibly`` distributes over disjunction (paper, Section 4.3), which the
+    detection facade exploits: ``possibly(A or B) = possibly(A) or
+    possibly(B)``.
+    """
+
+    def __init__(self, parts: Iterable[GlobalPredicate]):
+        self.parts: Tuple[GlobalPredicate, ...] = tuple(parts)
+        if not self.parts:
+            raise ValueError("empty disjunction (use ConstantPredicate(False))")
+
+    def evaluate(self, cut: Cut) -> bool:
+        return any(part.evaluate(cut) for part in self.parts)
+
+    def description(self) -> str:
+        return "(" + " OR ".join(p.description() for p in self.parts) + ")"
+
+    def __repr__(self) -> str:
+        return f"OrPredicate({list(self.parts)!r})"
+
+
+class NotPredicate(GlobalPredicate):
+    """Negation of a sub-predicate."""
+
+    def __init__(self, inner: GlobalPredicate):
+        self.inner = inner
+
+    def evaluate(self, cut: Cut) -> bool:
+        return not self.inner.evaluate(cut)
+
+    def description(self) -> str:
+        return f"NOT {self.inner.description()}"
+
+    def __repr__(self) -> str:
+        return f"NotPredicate({self.inner!r})"
+
+
+def conjunction(*parts: GlobalPredicate) -> GlobalPredicate:
+    """AND of the given predicates (flattening nested ANDs)."""
+    flat: List[GlobalPredicate] = []
+    for part in parts:
+        if isinstance(part, AndPredicate):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if len(flat) == 1:
+        return flat[0]
+    return AndPredicate(flat)
+
+
+def disjunction(*parts: GlobalPredicate) -> GlobalPredicate:
+    """OR of the given predicates (flattening nested ORs)."""
+    flat: List[GlobalPredicate] = []
+    for part in parts:
+        if isinstance(part, OrPredicate):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if len(flat) == 1:
+        return flat[0]
+    return OrPredicate(flat)
+
+
+def negation(part: GlobalPredicate) -> GlobalPredicate:
+    """NOT of the given predicate (collapsing double negation)."""
+    if isinstance(part, NotPredicate):
+        return part.inner
+    return NotPredicate(part)

@@ -1,0 +1,95 @@
+"""Channel-state predicates: properties of the messages in flight.
+
+A global state is more than the local states — it includes the channel
+contents (the messages sent but not yet received at the cut).  Classical
+conditions need them:
+
+* termination = every process idle **and** no message in flight;
+* token conservation = tokens held + tokens in flight = 1.
+
+:class:`InFlightPredicate` counts the messages crossing a cut, optionally
+restricted to one (source, destination) channel, and compares the count
+against a constant.  Channel predicates carry no special structure the
+paper's fast algorithms exploit, so the detection facade evaluates them by
+enumeration (or as conjuncts of :class:`~repro.predicates.base.AndPredicate`
+combinations); the stable-predicate detector handles the common
+termination form in O(messages).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.computation import Cut
+from repro.predicates.base import GlobalPredicate
+from repro.predicates.relational import Relop
+
+__all__ = ["InFlightPredicate", "in_flight", "quiescent"]
+
+
+class InFlightPredicate(GlobalPredicate):
+    """``#messages crossing the cut  relop  constant``.
+
+    Args:
+        relop: Comparison operator.
+        constant: Right-hand side.
+        source: Restrict to messages sent by this process (None = any).
+        destination: Restrict to messages received by this process.
+    """
+
+    def __init__(
+        self,
+        relop: Relop,
+        constant: int,
+        source: Optional[int] = None,
+        destination: Optional[int] = None,
+    ):
+        self.relop = relop
+        self.constant = int(constant)
+        self.source = source
+        self.destination = destination
+
+    def count(self, cut: Cut) -> int:
+        """Number of matching in-flight messages at the cut."""
+        total = 0
+        for send, recv in cut.crossing_messages():
+            if self.source is not None and send[0] != self.source:
+                continue
+            if self.destination is not None and recv[0] != self.destination:
+                continue
+            total += 1
+        return total
+
+    def evaluate(self, cut: Cut) -> bool:
+        return self.relop.compare(self.count(cut), self.constant)
+
+    def description(self) -> str:
+        scope = ""
+        if self.source is not None:
+            scope += f" from p{self.source}"
+        if self.destination is not None:
+            scope += f" to p{self.destination}"
+        return f"in_flight{scope} {self.relop.value} {self.constant}"
+
+    def __repr__(self) -> str:
+        return (
+            f"InFlightPredicate({self.relop.value!r}, {self.constant}, "
+            f"source={self.source}, destination={self.destination})"
+        )
+
+
+def in_flight(
+    relop: str,
+    constant: int,
+    source: Optional[int] = None,
+    destination: Optional[int] = None,
+) -> InFlightPredicate:
+    """Shorthand: ``in_flight("==", 0)`` — no message crossing the cut."""
+    return InFlightPredicate(
+        Relop.from_symbol(relop), constant, source, destination
+    )
+
+
+def quiescent() -> InFlightPredicate:
+    """No message in flight — the channel half of termination."""
+    return in_flight("==", 0)

@@ -1,0 +1,22 @@
+"""Errors raised by the predicate layer."""
+
+from __future__ import annotations
+
+__all__ = ["PredicateError", "NotSingularError", "UnsupportedPredicateError"]
+
+
+class PredicateError(Exception):
+    """Base class for predicate-layer errors."""
+
+
+class NotSingularError(PredicateError):
+    """A CNF predicate violates the singularity condition.
+
+    A CNF predicate is *singular* iff no two clauses contain variables from
+    the same process (paper, Section 2.3); algorithms that require
+    singularity raise this error otherwise.
+    """
+
+
+class UnsupportedPredicateError(PredicateError):
+    """A detection algorithm was handed a predicate class it cannot solve."""

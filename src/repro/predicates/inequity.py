@@ -1,0 +1,97 @@
+"""Inequity predicates: conjunctions of ``u_i != v_i`` clauses.
+
+The paper's Corollary 2: detecting a conjunction of clauses of the form
+``x relop y`` with relop in {<, <=, >, >=, !=}, where each clause's two
+integer variables live on their own pair of processes (no process serves
+two clauses), is NP-complete.  The witness construction encodes a boolean
+clause ``a OR b`` as ``u != v`` where ``u`` is 1 unless ``a`` holds (then
+2) and ``v`` is 1 unless ``b`` holds (then 0) — see
+:mod:`repro.reductions.inequity`.
+
+This module provides the predicate class itself.  Each clause compares the
+values of one variable on two distinct processes; the conjunction requires
+every clause to hold at the cut.  Detection dispatches to enumeration (the
+class is NP-complete in general; that is the point of the corollary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from repro.computation import Cut
+from repro.predicates.base import GlobalPredicate
+from repro.predicates.errors import PredicateError
+from repro.predicates.relational import Relop
+
+__all__ = ["InequityClause", "InequityPredicate"]
+
+
+@dataclass(frozen=True)
+class InequityClause:
+    """``variable@left  relop  variable@right`` on two distinct processes."""
+
+    left_process: int
+    right_process: int
+    variable: str
+    relop: Relop = Relop.NE
+
+    def __post_init__(self) -> None:
+        if self.left_process == self.right_process:
+            raise PredicateError("inequity clause needs two distinct processes")
+        if self.relop is Relop.EQ:
+            raise PredicateError(
+                "equality clauses are excluded by the corollary; use NE or "
+                "an order comparison"
+            )
+
+    def evaluate(self, cut: Cut) -> bool:
+        left = int(cut.value(self.left_process, self.variable, 0))
+        right = int(cut.value(self.right_process, self.variable, 0))
+        return self.relop.compare(left, right)
+
+    def processes(self) -> Tuple[int, int]:
+        return (self.left_process, self.right_process)
+
+    def description(self) -> str:
+        return (
+            f"{self.variable}@p{self.left_process} {self.relop.value} "
+            f"{self.variable}@p{self.right_process}"
+        )
+
+
+class InequityPredicate(GlobalPredicate):
+    """Conjunction of inequity clauses over pairwise-disjoint process pairs.
+
+    The process-disjointness mirrors the singularity condition of the
+    paper's CNF predicates; it is what Corollary 2's hardness statement is
+    about (without it the problem is *also* hard, but the corollary is the
+    sharper claim).
+    """
+
+    def __init__(self, clauses: Iterable[InequityClause]):
+        self.clauses: Tuple[InequityClause, ...] = tuple(clauses)
+        if not self.clauses:
+            raise PredicateError("an inequity predicate needs a clause")
+        seen: Set[int] = set()
+        for cl in self.clauses:
+            procs = set(cl.processes())
+            if seen & procs:
+                raise PredicateError(
+                    f"processes {sorted(seen & procs)} serve two clauses; "
+                    "inequity predicates require disjoint pairs"
+                )
+            seen |= procs
+
+    def evaluate(self, cut: Cut) -> bool:
+        return all(cl.evaluate(cut) for cl in self.clauses)
+
+    def groups(self) -> List[Tuple[int, int]]:
+        """The process pair of each clause."""
+        return [cl.processes() for cl in self.clauses]
+
+    def description(self) -> str:
+        return " AND ".join(cl.description() for cl in self.clauses)
+
+    def __repr__(self) -> str:
+        return f"InequityPredicate({list(self.clauses)!r})"

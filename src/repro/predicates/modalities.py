@@ -1,0 +1,29 @@
+"""Detection modalities.
+
+The predicate-detection problem comes in two modalities (paper, Section 2.3,
+after Cooper–Marzullo):
+
+* ``possibly(B)`` — some consistent cut of the computation satisfies B;
+* ``definitely(B)`` — every run of the computation passes through a
+  consistent cut satisfying B.
+
+``possibly`` is suited to detecting *bad* conditions (mutual-exclusion
+violations, absence of majority); ``definitely`` to verifying *good* ones
+(commit points, leader election).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Modality"]
+
+
+class Modality(enum.Enum):
+    """Which quantification over runs/cuts a detection query uses."""
+
+    POSSIBLY = "possibly"
+    DEFINITELY = "definitely"
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,105 @@
+"""Relational sum predicates: ``x_1 + ... + x_n relop k``.
+
+Each ``x_i`` is an integer variable on process *i* (paper, Section 2.3,
+following Tomlinson–Garg, with equality included as the paper does).  The
+complexity landscape the paper establishes:
+
+* relop in {<, <=, >, >=}: polynomial for arbitrary per-step changes
+  (min-cut; Chase–Garg / Tomlinson–Garg cell of Figure 1);
+* relop in {=, !=} with per-step changes of at most 1: polynomial
+  (this paper, Theorems 4–7);
+* relop = with arbitrary per-step changes: NP-complete
+  (this paper, Theorem 2, via SUBSET-SUM).
+
+:meth:`RelationalSumPredicate.unit_step` checks which regime a computation
+falls in.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict
+
+from repro.computation import Computation, Cut
+from repro.predicates.base import GlobalPredicate
+from repro.predicates.errors import PredicateError
+
+__all__ = ["Relop", "RelationalSumPredicate", "sum_predicate"]
+
+
+class Relop(enum.Enum):
+    """Comparison operators for relational predicates."""
+
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+
+    @property
+    def compare(self) -> Callable[[int, int], bool]:
+        """The operator as a two-argument function."""
+        return _COMPARATORS[self]
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "Relop":
+        """Parse ``<  <=  >  >=  ==  =  !=`` into a :class:`Relop`."""
+        normalized = {"=": "=="}.get(symbol, symbol)
+        for op in cls:
+            if op.value == normalized:
+                return op
+        raise PredicateError(f"unknown relational operator {symbol!r}")
+
+
+_COMPARATORS: Dict[Relop, Callable[[int, int], bool]] = {
+    Relop.LT: lambda a, b: a < b,
+    Relop.LE: lambda a, b: a <= b,
+    Relop.GT: lambda a, b: a > b,
+    Relop.GE: lambda a, b: a >= b,
+    Relop.EQ: lambda a, b: a == b,
+    Relop.NE: lambda a, b: a != b,
+}
+
+
+class RelationalSumPredicate(GlobalPredicate):
+    """``sum over processes of variable  relop  constant``."""
+
+    def __init__(self, variable: str, relop: Relop, constant: int):
+        self.variable = variable
+        self.relop = relop
+        self.constant = int(constant)
+
+    def evaluate(self, cut: Cut) -> bool:
+        return self.relop.compare(cut.variable_sum(self.variable), self.constant)
+
+    def unit_step(self, computation: Computation) -> bool:
+        """True iff every event changes the variable by at most 1.
+
+        This is the hypothesis of the paper's polynomial algorithm for
+        ``sum = k`` (Section 4.2); boolean variables encoded as 0/1 always
+        satisfy it.
+        """
+        for p in range(computation.num_processes):
+            events = computation.events_of(p)
+            previous = int(events[0].value(self.variable, 0))
+            for event in events[1:]:
+                current = int(event.value(self.variable, 0))
+                if abs(current - previous) > 1:
+                    return False
+                previous = current
+        return True
+
+    def description(self) -> str:
+        return f"sum({self.variable}) {self.relop.value} {self.constant}"
+
+    def __repr__(self) -> str:
+        return (
+            f"RelationalSumPredicate({self.variable!r}, "
+            f"{self.relop.value!r}, {self.constant})"
+        )
+
+
+def sum_predicate(variable: str, relop: str, constant: int) -> RelationalSumPredicate:
+    """Shorthand: ``sum_predicate("x", "<=", 3)``."""
+    return RelationalSumPredicate(variable, Relop.from_symbol(relop), constant)

@@ -1,0 +1,144 @@
+"""Symmetric global predicates on boolean variables.
+
+A predicate of boolean variables is *symmetric* iff it is invariant under
+every permutation of its variables (paper, Section 4.3).  A symmetric
+predicate of n variables is fully specified by the set S of counts for
+which it is true: it holds iff exactly j of the variables are true for some
+j in S (Kohavi's classical characterization, cited by the paper).
+
+Because booleans are 0/1-valued, every event changes the count by at most 1,
+so ``possibly``/``definitely`` of each "exactly j" term reduces to the
+paper's ±1 sum algorithm, and ``possibly`` distributes over the disjunction
+across S.  Factories for the predicates the paper names are provided:
+absence of simple majority, absence of two-thirds majority, exactly-k
+tokens, exclusive-or, and not-all-equal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Sequence
+
+from repro.computation import Cut
+from repro.predicates.base import GlobalPredicate
+from repro.predicates.errors import PredicateError
+
+__all__ = [
+    "SymmetricPredicate",
+    "symmetric_from_counts",
+    "symmetric_from_truth_function",
+    "absence_of_simple_majority",
+    "absence_of_two_thirds_majority",
+    "exactly_k_tokens",
+    "exclusive_or",
+    "not_all_equal",
+    "all_equal",
+]
+
+
+class SymmetricPredicate(GlobalPredicate):
+    """Holds iff the number of processes whose variable is true lies in S."""
+
+    def __init__(self, variable: str, num_processes: int, counts: Iterable[int]):
+        if num_processes <= 0:
+            raise PredicateError("num_processes must be positive")
+        self.variable = variable
+        self.num_processes = num_processes
+        self.counts: FrozenSet[int] = frozenset(int(c) for c in counts)
+        for c in self.counts:
+            if not 0 <= c <= num_processes:
+                raise PredicateError(
+                    f"count {c} outside [0, {num_processes}]"
+                )
+
+    def true_count(self, cut: Cut) -> int:
+        """Number of processes whose variable is true at the cut."""
+        total = 0
+        for p in range(self.num_processes):
+            if bool(cut.value(p, self.variable, False)):
+                total += 1
+        return total
+
+    def evaluate(self, cut: Cut) -> bool:
+        return self.true_count(cut) in self.counts
+
+    def complement(self) -> "SymmetricPredicate":
+        """The negated symmetric predicate (complement count set)."""
+        return SymmetricPredicate(
+            self.variable,
+            self.num_processes,
+            set(range(self.num_processes + 1)) - self.counts,
+        )
+
+    def description(self) -> str:
+        return (
+            f"|{{i : {self.variable}_i}}| in {sorted(self.counts)} "
+            f"(n={self.num_processes})"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SymmetricPredicate({self.variable!r}, {self.num_processes}, "
+            f"{sorted(self.counts)})"
+        )
+
+
+def symmetric_from_counts(
+    variable: str, num_processes: int, counts: Iterable[int]
+) -> SymmetricPredicate:
+    """Symmetric predicate true exactly when the true-count lies in counts."""
+    return SymmetricPredicate(variable, num_processes, counts)
+
+
+def symmetric_from_truth_function(
+    variable: str, num_processes: int, fn: Callable[[int, int], bool]
+) -> SymmetricPredicate:
+    """Build the count set by evaluating ``fn(count, n)`` for each count.
+
+    Any symmetric boolean function arises this way; the factories below are
+    special cases.
+    """
+    counts = [j for j in range(num_processes + 1) if fn(j, num_processes)]
+    return SymmetricPredicate(variable, num_processes, counts)
+
+
+def absence_of_simple_majority(variable: str, num_processes: int) -> SymmetricPredicate:
+    """No strict majority of the processes has the variable true.
+
+    Paper example: true iff the true-count is at most floor(n/2).
+    """
+    return symmetric_from_truth_function(
+        variable, num_processes, lambda j, n: j <= n // 2
+    )
+
+
+def absence_of_two_thirds_majority(
+    variable: str, num_processes: int
+) -> SymmetricPredicate:
+    """The true-count is below the two-thirds threshold ceil(2n/3)."""
+    return symmetric_from_truth_function(
+        variable, num_processes, lambda j, n: 3 * j < 2 * n
+    )
+
+
+def exactly_k_tokens(variable: str, num_processes: int, k: int) -> SymmetricPredicate:
+    """Exactly ``k`` of the processes hold a token (variable true)."""
+    return SymmetricPredicate(variable, num_processes, [k])
+
+
+def exclusive_or(variable: str, num_processes: int) -> SymmetricPredicate:
+    """XOR of the local predicates: an odd number of variables is true."""
+    return symmetric_from_truth_function(
+        variable, num_processes, lambda j, n: j % 2 == 1
+    )
+
+
+def not_all_equal(variable: str, num_processes: int) -> SymmetricPredicate:
+    """Not all variables have the same value (count strictly between 0 and n)."""
+    return symmetric_from_truth_function(
+        variable, num_processes, lambda j, n: 0 < j < n
+    )
+
+
+def all_equal(variable: str, num_processes: int) -> SymmetricPredicate:
+    """All variables equal: count 0 or n."""
+    return SymmetricPredicate(variable, num_processes, [0, num_processes])

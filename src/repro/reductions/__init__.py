@@ -1,0 +1,64 @@
+"""NP-completeness machinery (substrate S8): SAT, the paper's reductions,
+and SAT-based cross-check oracles."""
+
+from repro.reductions.detection_to_sat import (
+    DetectionEncoding,
+    encode_possibly,
+    possibly_via_sat,
+)
+from repro.reductions.dimacs import DimacsError, parse_dimacs, to_dimacs
+from repro.reductions.inequity import (
+    INEQUITY_VARIABLE,
+    singular_2cnf_to_inequity,
+)
+from repro.reductions.nonmonotone import (
+    restrict_assignment,
+    to_nonmonotone_3cnf,
+)
+from repro.reductions.sat import (
+    CNFFormula,
+    brute_force_solve,
+    dpll_solve,
+    random_3cnf,
+)
+from repro.reductions.sat_to_detection import (
+    DetectionInstance,
+    assignment_from_witness,
+    satisfiability_to_detection,
+    witness_from_assignment,
+)
+from repro.reductions.subset_sum import (
+    SubsetSumInstance,
+    random_instance,
+    solve_subset_sum,
+    subset_from_witness,
+    subset_sum_to_detection,
+    witness_from_subset,
+)
+
+__all__ = [
+    "CNFFormula",
+    "DimacsError",
+    "INEQUITY_VARIABLE",
+    "singular_2cnf_to_inequity",
+    "DetectionEncoding",
+    "DetectionInstance",
+    "SubsetSumInstance",
+    "assignment_from_witness",
+    "brute_force_solve",
+    "dpll_solve",
+    "encode_possibly",
+    "parse_dimacs",
+    "possibly_via_sat",
+    "random_3cnf",
+    "random_instance",
+    "restrict_assignment",
+    "satisfiability_to_detection",
+    "solve_subset_sum",
+    "subset_from_witness",
+    "subset_sum_to_detection",
+    "to_dimacs",
+    "to_nonmonotone_3cnf",
+    "witness_from_assignment",
+    "witness_from_subset",
+]

@@ -1,0 +1,107 @@
+"""DIMACS CNF interchange for the SAT layer.
+
+The standard textual format SAT solvers speak::
+
+    c a comment
+    p cnf 3 2
+    1 -2 3 0
+    -1 2 0
+
+Lets real benchmark formulas flow into the Theorem 1 pipeline::
+
+    formula = parse_dimacs(path.read_text())
+    nonmono, _ = to_nonmonotone_3cnf(formula)       # if 3-CNF
+    instance = satisfiability_to_detection(nonmono)
+
+and lets this library's formulas (including the SAT encodings of
+detection queries) be exported to external solvers for yet another
+cross-check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.reductions.sat import CNFFormula
+
+__all__ = ["parse_dimacs", "to_dimacs", "DimacsError"]
+
+
+class DimacsError(ValueError):
+    """Malformed DIMACS input."""
+
+
+def parse_dimacs(text: str) -> CNFFormula:
+    """Parse DIMACS CNF text into a :class:`CNFFormula`.
+
+    Tolerates comments anywhere, clauses spanning lines, and a missing
+    final ``0``; validates the header's variable/clause counts when
+    present.
+    """
+    declared_vars: int | None = None
+    declared_clauses: int | None = None
+    clauses: List[Tuple[int, ...]] = []
+    current: List[int] = []
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsError(
+                    f"line {line_number}: bad problem line {line!r}"
+                )
+            try:
+                declared_vars = int(parts[2])
+                declared_clauses = int(parts[3])
+            except ValueError:
+                raise DimacsError(
+                    f"line {line_number}: non-integer counts in {line!r}"
+                )
+            continue
+        if line.startswith("%"):  # some benchmark files end with % / 0
+            break
+        for token in line.split():
+            try:
+                literal = int(token)
+            except ValueError:
+                raise DimacsError(
+                    f"line {line_number}: unexpected token {token!r}"
+                )
+            if literal == 0:
+                if current:
+                    clauses.append(tuple(current))
+                    current = []
+            else:
+                current.append(literal)
+    if current:
+        clauses.append(tuple(current))
+
+    if declared_clauses is not None and len(clauses) != declared_clauses:
+        raise DimacsError(
+            f"header declares {declared_clauses} clauses, found {len(clauses)}"
+        )
+    formula = CNFFormula(tuple(clauses))
+    if declared_vars is not None:
+        widest = max(formula.variables(), default=0)
+        if widest > declared_vars:
+            raise DimacsError(
+                f"header declares {declared_vars} variables, literal "
+                f"{widest} exceeds it"
+            )
+    return formula
+
+
+def to_dimacs(formula: CNFFormula, comment: str = "") -> str:
+    """Render a :class:`CNFFormula` as DIMACS CNF text."""
+    lines: List[str] = []
+    if comment:
+        for row in comment.splitlines():
+            lines.append(f"c {row}")
+    num_vars = max(formula.variables(), default=0)
+    lines.append(f"p cnf {num_vars} {formula.num_clauses}")
+    for cl in formula.clauses:
+        lines.append(" ".join(str(lit) for lit in cl) + " 0")
+    return "\n".join(lines) + "\n"

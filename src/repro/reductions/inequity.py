@@ -1,0 +1,87 @@
+"""Corollary 2: singular 2-CNF detection reduces to inequity detection.
+
+The paper derives from Theorem 1 that detecting ``AND_i (u_i != v_i)``
+over process-disjoint clause pairs is NP-complete, via a value encoding of
+each boolean clause ``a OR b``:
+
+* ``u`` (on ``a``'s process) is 1 while ``a`` is false and 2 while true;
+* ``v`` (on ``b``'s process) is 1 while ``b`` is false and 0 while true;
+
+so ``u == v`` exactly when both literals are false, i.e.
+``a OR b  <=>  u != v``.
+
+:func:`singular_2cnf_to_inequity` rewrites a detection instance — the
+computation gains the derived integer variable on every participating
+process; the events and message structure are untouched, so the consistent
+cuts (and hence the answer) correspond one to one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.computation import Computation
+from repro.events import Event, EventId
+from repro.predicates.boolean import CNFPredicate
+from repro.predicates.inequity import InequityClause, InequityPredicate
+from repro.predicates.local import Literal
+
+__all__ = ["INEQUITY_VARIABLE", "singular_2cnf_to_inequity"]
+
+#: Name of the derived integer variable added to every clause process.
+INEQUITY_VARIABLE = "u"
+
+
+def singular_2cnf_to_inequity(
+    computation: Computation, predicate: CNFPredicate
+) -> Tuple[Computation, InequityPredicate]:
+    """Rewrite a singular 2-CNF instance as an inequity instance.
+
+    Every clause must have exactly two literals on two distinct processes.
+    Returns a computation identical up to the added derived variable, and
+    the equivalent :class:`InequityPredicate` — a consistent cut satisfies
+    the one iff (the corresponding cut of the other computation satisfies)
+    the other.
+
+    Raises:
+        ValueError: If some clause is not a two-process two-literal clause.
+    """
+    predicate.require_singular()
+    encoders: Dict[int, Tuple[Literal, int, int]] = {}
+    clauses: List[InequityClause] = []
+    for cl in predicate.clauses:
+        if len(cl.literals) != 2:
+            raise ValueError("Corollary 2 applies to 2-literal clauses")
+        first, second = cl.literals
+        if first.process == second.process:
+            raise ValueError("clause literals must be on distinct processes")
+        # u: 1 when the literal is false, 2 when true (left side);
+        # v: 1 when false, 0 when true (right side).
+        encoders[first.process] = (first, 1, 2)
+        encoders[second.process] = (second, 1, 0)
+        clauses.append(
+            InequityClause(first.process, second.process, INEQUITY_VARIABLE)
+        )
+
+    process_events: List[List[Event]] = []
+    for p in range(computation.num_processes):
+        events: List[Event] = []
+        for ev in computation.events_of(p):
+            values = dict(ev.values)
+            if p in encoders:
+                literal, when_false, when_true = encoders[p]
+                values[INEQUITY_VARIABLE] = (
+                    when_true if literal.holds_after(ev) else when_false
+                )
+            events.append(
+                Event(
+                    process=ev.process,
+                    index=ev.index,
+                    kind=ev.kind,
+                    values=values,
+                    label=ev.label,
+                )
+            )
+        process_events.append(events)
+    derived = Computation(process_events, computation.messages)
+    return derived, InequityPredicate(clauses)

@@ -1,0 +1,75 @@
+"""3-CNF → non-monotone 3-CNF (paper, Section 3.1).
+
+The paper's NP-hardness proof starts from the *non-monotone 3-SAT* problem:
+CNF formulas whose clauses have at most three literals and whose 3-literal
+clauses each contain at least one positive and one negative literal.  It is
+NP-complete because any 3-CNF formula converts in polynomial time:
+
+* an all-positive clause ``(a v b v c)`` becomes ``(a v b v ~z)`` together
+  with ``(z v c)`` and ``(~z v ~c)``, which force ``z = ~c`` in every
+  satisfying assignment;
+* an all-negative clause is handled symmetrically with ``z = ~c`` for one
+  of its variables, producing ``(~a v ~b v z)``.
+
+The transformation preserves satisfiability exactly, and any satisfying
+assignment of the output restricts to one of the input (and vice versa,
+extending by ``z = ~c``); tests verify both directions with the DPLL
+solver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.reductions.sat import Assignment, CNFFormula, ClauseT
+
+__all__ = ["to_nonmonotone_3cnf", "restrict_assignment"]
+
+
+def to_nonmonotone_3cnf(formula: CNFFormula) -> Tuple[CNFFormula, Dict[int, int]]:
+    """Convert a 3-CNF formula into an equisatisfiable non-monotone one.
+
+    Returns the new formula and the map ``auxiliary variable -> original
+    variable`` recording that the auxiliary is the negation of the original
+    in every satisfying assignment.
+
+    Raises:
+        ValueError: If some clause has more than three literals.
+    """
+    if any(len(cl) > 3 for cl in formula.clauses):
+        raise ValueError("input must be in 3-CNF (clauses of at most three literals)")
+    next_var = max(formula.variables(), default=0) + 1
+    aux_of: Dict[int, int] = {}
+    clauses: List[ClauseT] = []
+    for cl in formula.clauses:
+        if len(cl) < 3:
+            clauses.append(cl)
+            continue
+        positives = [lit for lit in cl if lit > 0]
+        negatives = [lit for lit in cl if lit < 0]
+        if positives and negatives:
+            clauses.append(cl)
+            continue
+        # Monotone 3-literal clause: swap the polarity of its last literal
+        # through a fresh variable z constrained to z = ~|literal|.
+        *rest, last = cl
+        var = abs(last)
+        z = next_var
+        next_var += 1
+        aux_of[z] = var
+        if last > 0:  # all-positive clause: replace c by ~z
+            clauses.append((*rest, -z))
+        else:  # all-negative clause: replace ~c by z
+            clauses.append((*rest, z))
+        clauses.append((z, var))
+        clauses.append((-z, -var))
+    result = CNFFormula(tuple(clauses))
+    assert result.is_nonmonotone_3cnf()
+    return result, aux_of
+
+
+def restrict_assignment(
+    assignment: Assignment, aux_of: Dict[int, int]
+) -> Assignment:
+    """Project a satisfying assignment of the output back to the input."""
+    return {var: val for var, val in assignment.items() if var not in aux_of}

@@ -1,0 +1,226 @@
+"""Propositional CNF formulas and a DPLL SAT solver (substrate S8).
+
+The NP-completeness side of the paper needs working satisfiability
+machinery: formulas, evaluation, a complete solver (for verifying the
+reduction both ways on real instances), and seeded random formula
+generators for the benchmarks.  Everything is implemented here — no
+external SAT solver.
+
+Representation: variables are positive integers ``1..n``; a literal is a
+non-zero integer (negative = negated); a clause is a tuple of literals; a
+formula is a :class:`CNFFormula` wrapping a tuple of clauses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "CNFFormula",
+    "dpll_solve",
+    "brute_force_solve",
+    "random_3cnf",
+]
+
+Literal = int
+ClauseT = Tuple[Literal, ...]
+Assignment = Dict[int, bool]
+
+
+@dataclass(frozen=True)
+class CNFFormula:
+    """A propositional formula in conjunctive normal form."""
+
+    clauses: Tuple[ClauseT, ...]
+
+    def __post_init__(self) -> None:
+        for cl in self.clauses:
+            if not cl:
+                raise ValueError("empty clause (formula trivially unsat); "
+                                 "represent unsatisfiability explicitly instead")
+            if any(lit == 0 for lit in cl):
+                raise ValueError("literal 0 is invalid")
+
+    @classmethod
+    def from_clauses(cls, clauses: Iterable[Sequence[Literal]]) -> "CNFFormula":
+        """Build from any iterable of literal sequences."""
+        return cls(tuple(tuple(cl) for cl in clauses))
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def variables(self) -> Set[int]:
+        """The set of variables appearing in the formula."""
+        return {abs(lit) for cl in self.clauses for lit in cl}
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        """Truth value under a (total, for appearing variables) assignment."""
+        for cl in self.clauses:
+            if not any(self._lit_value(lit, assignment) for lit in cl):
+                return False
+        return True
+
+    @staticmethod
+    def _lit_value(lit: Literal, assignment: Assignment) -> bool:
+        value = assignment.get(abs(lit), False)
+        return value if lit > 0 else not value
+
+    def is_tautological_clause(self, cl: ClauseT) -> bool:
+        """Does the clause contain a variable and its negation?"""
+        return any(-lit in cl for lit in cl)
+
+    def without_tautologies(self) -> "CNFFormula":
+        """Drop clauses containing complementary literals."""
+        kept = tuple(
+            cl for cl in self.clauses if not self.is_tautological_clause(cl)
+        )
+        if not kept:
+            # All clauses tautological: formula is valid; represent by a
+            # single tautological clause over variable 1.
+            kept = ((1, -1),)
+        return CNFFormula(kept)
+
+    def is_nonmonotone_3cnf(self) -> bool:
+        """Paper's non-monotone 3-SAT shape: clauses of at most three
+        literals, and every 3-literal clause mixes a positive and a
+        negative literal."""
+        for cl in self.clauses:
+            if len(cl) > 3:
+                return False
+            if len(cl) == 3:
+                if not any(lit > 0 for lit in cl):
+                    return False
+                if not any(lit < 0 for lit in cl):
+                    return False
+        return True
+
+    def __str__(self) -> str:
+        def render(cl: ClauseT) -> str:
+            return "(" + " v ".join(
+                (f"x{lit}" if lit > 0 else f"~x{-lit}") for lit in cl
+            ) + ")"
+
+        return " & ".join(render(cl) for cl in self.clauses)
+
+
+def dpll_solve(formula: CNFFormula) -> Optional[Assignment]:
+    """Complete DPLL with unit propagation and pure-literal elimination.
+
+    Returns a satisfying assignment covering every variable of the formula,
+    or None when unsatisfiable.
+    """
+    assignment: Assignment = {}
+    clauses = [frozenset(cl) for cl in formula.clauses]
+    result = _dpll(clauses, assignment)
+    if result is None:
+        return None
+    for var in formula.variables():
+        result.setdefault(var, False)
+    return result
+
+
+def _dpll(
+    clauses: List[FrozenSet[Literal]], assignment: Assignment
+) -> Optional[Assignment]:
+    clauses = list(clauses)
+    assignment = dict(assignment)
+
+    while True:
+        simplified = _simplify(clauses, assignment)
+        if simplified is None:
+            return None
+        clauses = simplified
+        if not clauses:
+            return assignment
+        unit = next((cl for cl in clauses if len(cl) == 1), None)
+        if unit is not None:
+            (lit,) = unit
+            assignment[abs(lit)] = lit > 0
+            continue
+        pure = _find_pure_literal(clauses)
+        if pure is not None:
+            assignment[abs(pure)] = pure > 0
+            continue
+        break
+
+    # Branch on the most frequent variable.
+    counts: Dict[int, int] = {}
+    for cl in clauses:
+        for lit in cl:
+            counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+    var = max(counts, key=lambda v: (counts[v], -v))
+    for value in (True, False):
+        trial = dict(assignment)
+        trial[var] = value
+        result = _dpll(clauses, trial)
+        if result is not None:
+            return result
+    return None
+
+
+def _simplify(
+    clauses: List[FrozenSet[Literal]], assignment: Assignment
+) -> Optional[List[FrozenSet[Literal]]]:
+    """Apply the assignment; None signals an empty (falsified) clause."""
+    out: List[FrozenSet[Literal]] = []
+    for cl in clauses:
+        satisfied = False
+        remaining: List[Literal] = []
+        for lit in cl:
+            var = abs(lit)
+            if var in assignment:
+                if (lit > 0) == assignment[var]:
+                    satisfied = True
+                    break
+            else:
+                remaining.append(lit)
+        if satisfied:
+            continue
+        if not remaining:
+            return None
+        out.append(frozenset(remaining))
+    return out
+
+
+def _find_pure_literal(clauses: List[FrozenSet[Literal]]) -> Optional[Literal]:
+    polarity: Dict[int, Set[bool]] = {}
+    for cl in clauses:
+        for lit in cl:
+            polarity.setdefault(abs(lit), set()).add(lit > 0)
+    for var, signs in sorted(polarity.items()):
+        if len(signs) == 1:
+            return var if True in signs else -var
+    return None
+
+
+def brute_force_solve(formula: CNFFormula) -> Optional[Assignment]:
+    """Exhaustive 2^n reference solver (tests cross-check DPLL against it)."""
+    variables = sorted(formula.variables())
+    n = len(variables)
+    for mask in range(1 << n):
+        assignment = {
+            var: bool(mask >> i & 1) for i, var in enumerate(variables)
+        }
+        if formula.evaluate(assignment):
+            return assignment
+    return None
+
+
+def random_3cnf(
+    num_variables: int, num_clauses: int, seed: int
+) -> CNFFormula:
+    """Seeded uniform random 3-CNF (distinct variables within a clause)."""
+    if num_variables < 3:
+        raise ValueError("need at least three variables for 3-CNF")
+    rng = random.Random(seed)
+    clauses: List[ClauseT] = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_variables + 1), 3)
+        clause = tuple(
+            var if rng.random() < 0.5 else -var for var in variables
+        )
+        clauses.append(clause)
+    return CNFFormula(tuple(clauses))

@@ -1,0 +1,26 @@
+"""Discrete-event simulator, middleware and snapshots (substrate S9)."""
+
+from repro.simulation.channels import (
+    Channel,
+    FIFODelayChannel,
+    UniformDelayChannel,
+)
+from repro.simulation.middleware import ClockedMessage, VectorClockMiddleware
+from repro.simulation.process import Message, ProcessContext, ProcessProgram
+from repro.simulation.simulator import SimulationError, Simulator
+from repro.simulation.snapshot import SnapshotAdapter, snapshot_cut
+
+__all__ = [
+    "Channel",
+    "ClockedMessage",
+    "FIFODelayChannel",
+    "Message",
+    "ProcessContext",
+    "ProcessProgram",
+    "SimulationError",
+    "SnapshotAdapter",
+    "Simulator",
+    "UniformDelayChannel",
+    "VectorClockMiddleware",
+    "snapshot_cut",
+]

@@ -1,0 +1,62 @@
+"""Channel models for the simulator.
+
+The paper assumes reliable channels that need not be FIFO (Section 2.1).
+:class:`UniformDelayChannel` is the default: every message is delivered
+after an independent uniform random delay, so messages routinely overtake
+one another.  :class:`FIFODelayChannel` clamps delivery times to be
+monotone per (source, destination) pair — required by Chandy–Lamport
+snapshots.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+__all__ = ["Channel", "UniformDelayChannel", "FIFODelayChannel"]
+
+
+class Channel:
+    """Delivery-time policy for messages.
+
+    Subclasses implement :meth:`delivery_time`; the simulator calls it once
+    per message send.
+    """
+
+    def delivery_time(self, source: int, destination: int, now: float) -> float:
+        """Absolute simulated time at which the message arrives."""
+        raise NotImplementedError
+
+
+class UniformDelayChannel(Channel):
+    """Reliable, non-FIFO: i.i.d. uniform delay in [min_delay, max_delay]."""
+
+    def __init__(self, rng: random.Random, min_delay: float = 1.0, max_delay: float = 10.0):
+        if min_delay <= 0 or max_delay < min_delay:
+            raise ValueError("need 0 < min_delay <= max_delay")
+        self._rng = rng
+        self._min = min_delay
+        self._max = max_delay
+
+    def delivery_time(self, source: int, destination: int, now: float) -> float:
+        return now + self._rng.uniform(self._min, self._max)
+
+
+class FIFODelayChannel(Channel):
+    """Reliable FIFO: random delays, but per-pair delivery order preserved."""
+
+    def __init__(self, rng: random.Random, min_delay: float = 1.0, max_delay: float = 10.0):
+        if min_delay <= 0 or max_delay < min_delay:
+            raise ValueError("need 0 < min_delay <= max_delay")
+        self._rng = rng
+        self._min = min_delay
+        self._max = max_delay
+        self._last_delivery: Dict[Tuple[int, int], float] = {}
+
+    def delivery_time(self, source: int, destination: int, now: float) -> float:
+        raw = now + self._rng.uniform(self._min, self._max)
+        key = (source, destination)
+        # Nudge past the previous delivery so order is strictly preserved.
+        at = max(raw, self._last_delivery.get(key, 0.0) + 1e-9)
+        self._last_delivery[key] = at
+        return at

@@ -1,0 +1,111 @@
+"""Process programming model for the simulator.
+
+A simulated process is a :class:`ProcessProgram` subclass.  The simulator
+invokes its callbacks; every callback invocation becomes exactly one event
+of the recorded computation, whose kind is derived from what the callback
+did (received a message / sent messages / neither).
+
+Callbacks interact with the world only through the :class:`ProcessContext`
+they are handed — sending messages, arming timers, updating the monitored
+local variables that global predicates later read.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Message", "ProcessContext", "ProcessProgram"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message in flight or being delivered.
+
+    Attributes:
+        source: Sending process.
+        destination: Receiving process.
+        payload: Arbitrary application data (kept immutable by convention).
+    """
+
+    source: int
+    destination: int
+    payload: Any
+
+
+class ProcessContext:
+    """Capabilities available to a process callback.
+
+    Created fresh by the simulator for each callback invocation; the
+    messages sent and values updated during the invocation are collected
+    and turned into one trace event.
+    """
+
+    def __init__(
+        self,
+        process_id: int,
+        now: float,
+        rng: random.Random,
+        values: Dict[str, Any],
+        num_processes: int,
+    ):
+        self.process_id = process_id
+        self.now = now
+        self.random = rng
+        self.num_processes = num_processes
+        self._values = values
+        self.sent: List[Message] = []
+        self.timers: List[Tuple[float, str]] = []
+        self.stopped = False
+
+    def send(self, destination: int, payload: Any) -> None:
+        """Send a message (delivery time decided by the channel model)."""
+        if not 0 <= destination < self.num_processes:
+            raise ValueError(f"destination {destination} out of range")
+        if destination == self.process_id:
+            raise ValueError("self-sends are not modelled; use a timer")
+        self.sent.append(Message(self.process_id, destination, payload))
+
+    def set_timer(self, delay: float, name: str = "timer") -> None:
+        """Arm a local timer firing after ``delay`` simulated time units."""
+        if delay <= 0:
+            raise ValueError("timer delay must be positive")
+        self.timers.append((delay, name))
+
+    def set_value(self, name: str, value: Any) -> None:
+        """Update a monitored local variable (read by global predicates)."""
+        self._values[name] = value
+
+    def get_value(self, name: str, default: Any = None) -> Any:
+        """Current value of a monitored local variable."""
+        return self._values.get(name, default)
+
+    def all_values(self) -> Dict[str, Any]:
+        """Snapshot (copy) of all monitored local variables."""
+        return dict(self._values)
+
+    def stop(self) -> None:
+        """Ask the simulator to ignore future deliveries to this process."""
+        self.stopped = True
+
+
+class ProcessProgram:
+    """Base class for simulated processes.  Override the callbacks you need.
+
+    Lifecycle: ``on_init`` (sets initial variable values; produces no
+    event), then ``on_start`` at time 0 (one event), then ``on_message`` /
+    ``on_timer`` as deliveries and timers fire.
+    """
+
+    def on_init(self, ctx: ProcessContext) -> None:
+        """Set initial monitored values.  Must not send or arm timers."""
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        """First action of the process at simulated time 0."""
+
+    def on_message(self, ctx: ProcessContext, message: Message) -> None:
+        """A message was delivered to this process."""
+
+    def on_timer(self, ctx: ProcessContext, name: str) -> None:
+        """A previously armed timer fired."""

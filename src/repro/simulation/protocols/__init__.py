@@ -1,0 +1,61 @@
+"""Protocol workloads (substrate S10) generating realistic traces."""
+
+from repro.simulation.protocols.lock_server import (
+    LockClientProcess,
+    LockServerProcess,
+    build_lock_scenario,
+)
+from repro.simulation.protocols.leader_election import (
+    ChangRobertsProcess,
+    build_leader_election,
+)
+from repro.simulation.protocols.primary_backup import (
+    BackupProcess,
+    PrimaryProcess,
+    build_primary_backup,
+)
+from repro.simulation.protocols.ricart_agrawala import (
+    RicartAgrawalaProcess,
+    build_ricart_agrawala,
+)
+from repro.simulation.protocols.resource_pool import (
+    CoordinatorProcess,
+    WorkerProcess,
+    build_resource_pool,
+)
+from repro.simulation.protocols.token_ring import (
+    TokenRingProcess,
+    build_token_ring,
+)
+from repro.simulation.protocols.work_stealing import (
+    WorkStealingWorker,
+    build_work_stealing,
+)
+from repro.simulation.protocols.two_phase_commit import (
+    CommitCoordinator,
+    CommitParticipant,
+    build_two_phase_commit,
+)
+
+__all__ = [
+    "BackupProcess",
+    "CommitCoordinator",
+    "CommitParticipant",
+    "ChangRobertsProcess",
+    "CoordinatorProcess",
+    "LockClientProcess",
+    "LockServerProcess",
+    "PrimaryProcess",
+    "RicartAgrawalaProcess",
+    "TokenRingProcess",
+    "WorkStealingWorker",
+    "WorkerProcess",
+    "build_leader_election",
+    "build_lock_scenario",
+    "build_primary_backup",
+    "build_resource_pool",
+    "build_ricart_agrawala",
+    "build_token_ring",
+    "build_two_phase_commit",
+    "build_work_stealing",
+]

@@ -1,0 +1,103 @@
+"""Chang–Roberts ring leader election (protocol workload P2).
+
+Every process starts an election by sending its unique identifier around a
+unidirectional ring; identifiers smaller than the receiver's are swallowed,
+larger ones are forwarded, and a process receiving its own identifier wins
+and announces itself with an ELECTED round.
+
+Monitored boolean variable per process: ``leader`` — "I believe I am the
+leader".  The natural verification queries map onto the paper's machinery:
+
+* *good outcome* — ``definitely(exactly one leader)``: a symmetric
+  predicate with count set {1}, decided by Theorem 7(2);
+* *safety* — ``possibly(two or more leaders)``: a symmetric predicate with
+  count set {2..n}, decided in polynomial time (and False for a correct
+  run).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.computation import Computation
+from repro.simulation.process import Message, ProcessContext, ProcessProgram
+from repro.simulation.simulator import Simulator
+
+__all__ = ["ChangRobertsProcess", "build_leader_election"]
+
+
+class ChangRobertsProcess(ProcessProgram):
+    """One ring member running Chang–Roberts.
+
+    Args:
+        num_processes: Ring size.
+        uid: This process's unique identifier.
+        usurper: If True, this process declares itself leader as soon as it
+            has forwarded any election message (injected bug producing a
+            two-leader state).
+    """
+
+    def __init__(self, num_processes: int, uid: int, usurper: bool = False):
+        self._n = num_processes
+        self._uid = uid
+        self._usurper = usurper
+
+    def on_init(self, ctx: ProcessContext) -> None:
+        ctx.set_value("leader", False)
+        ctx.set_value("elected_uid", None)
+        ctx.set_value("participating", False)
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.set_value("participating", True)
+        ctx.send(self._next(ctx), ("ELECTION", self._uid))
+
+    def on_message(self, ctx: ProcessContext, message: Message) -> None:
+        kind, value = message.payload
+        if kind == "ELECTION":
+            if value > self._uid:
+                ctx.send(self._next(ctx), ("ELECTION", value))
+                if self._usurper:
+                    # Bug: claim leadership despite seeing a larger id.
+                    ctx.set_value("leader", True)
+                    ctx.set_value("elected_uid", self._uid)
+            elif value == self._uid:
+                ctx.set_value("leader", True)
+                ctx.set_value("elected_uid", self._uid)
+                ctx.send(self._next(ctx), ("ELECTED", self._uid))
+            # value < uid: swallow (our own ELECTION already circulates).
+        elif kind == "ELECTED":
+            if value != self._uid:
+                ctx.set_value("elected_uid", value)
+                if not self._usurper:
+                    ctx.set_value("leader", False)
+                ctx.send(self._next(ctx), ("ELECTED", value))
+
+    def _next(self, ctx: ProcessContext) -> int:
+        return (ctx.process_id + 1) % self._n
+
+
+def build_leader_election(
+    num_processes: int,
+    seed: int = 0,
+    usurper_process: Optional[int] = None,
+) -> Computation:
+    """Run an election and return the recorded computation.
+
+    Identifiers are a seeded random permutation of 1..n, so the winner
+    varies with the seed.  ``usurper_process`` optionally injects the
+    two-leader bug.
+    """
+    if num_processes < 2:
+        raise ValueError("election needs at least two processes")
+    rng = random.Random(seed)
+    uids = list(range(1, num_processes + 1))
+    rng.shuffle(uids)
+    programs: List[ProcessProgram] = [
+        ChangRobertsProcess(
+            num_processes, uids[p], usurper=(p == usurper_process)
+        )
+        for p in range(num_processes)
+    ]
+    simulator = Simulator(programs, seed=seed)
+    return simulator.run(max_events=20 * num_processes * num_processes)

@@ -1,0 +1,147 @@
+"""Lock servers and clients — the paper's deadlock-detection scenario (P5).
+
+Section 1 motivates predicate detection with deadlock handling: "on
+detecting a deadlock one of the processes must be aborted and restarted".
+This workload produces both deadlocked and deadlock-free traces:
+
+* two lock servers (processes 0 and 1) manage locks A and B with FIFO wait
+  queues;
+* two clients (processes 2 and 3) each acquire both locks, work, and
+  release.  With a consistent acquisition order (both A-then-B) every run
+  completes; with opposite orders (A-then-B vs B-then-A) the classic
+  hold-and-wait cycle deadlocks the clients whenever the requests
+  interleave.
+
+Monitored client variables: ``blocked`` (sent a request, no grant yet),
+``holding`` (number of locks held), ``done`` (finished its work).
+
+Detection story (exercised in tests and the deadlock example):
+
+* transient double-block — ``possibly(blocked_2 AND blocked_3)`` — can be
+  True even in deadlock-free runs (both clients briefly wait); this is the
+  conjunctive ``possibly`` query, polynomial via CPDHB;
+* actual deadlock is the *stable* strengthening: both clients blocked at
+  the final cut (:func:`repro.detection.detect_stable`), true exactly for
+  the deadlocked executions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.computation import Computation
+from repro.simulation.process import Message, ProcessContext, ProcessProgram
+from repro.simulation.simulator import Simulator
+
+__all__ = ["LockServerProcess", "LockClientProcess", "build_lock_scenario"]
+
+
+class LockServerProcess(ProcessProgram):
+    """Grants one holder at a time; queues waiting clients FIFO."""
+
+    def __init__(self) -> None:
+        self._holder: Optional[int] = None
+        self._waiting: Deque[int] = deque()
+
+    def on_init(self, ctx: ProcessContext) -> None:
+        ctx.set_value("queue_length", 0)
+        ctx.set_value("held", False)
+
+    def on_message(self, ctx: ProcessContext, message: Message) -> None:
+        kind = message.payload
+        if kind == "ACQUIRE":
+            if self._holder is None:
+                self._holder = message.source
+                ctx.send(message.source, ("GRANT", ctx.process_id))
+            else:
+                self._waiting.append(message.source)
+        elif kind == "RELEASE":
+            if message.source != self._holder:
+                raise AssertionError(
+                    f"release from {message.source} but holder is {self._holder}"
+                )
+            if self._waiting:
+                self._holder = self._waiting.popleft()
+                ctx.send(self._holder, ("GRANT", ctx.process_id))
+            else:
+                self._holder = None
+        ctx.set_value("queue_length", len(self._waiting))
+        ctx.set_value("held", self._holder is not None)
+
+
+class LockClientProcess(ProcessProgram):
+    """Acquires the listed locks in order, works, then releases them all."""
+
+    def __init__(
+        self,
+        lock_order: Sequence[int],
+        start_delay: float,
+        work_time: float = 3.0,
+    ):
+        self._order: Tuple[int, ...] = tuple(lock_order)
+        self._delay = start_delay
+        self._work = work_time
+        self._acquired: List[int] = []
+
+    def on_init(self, ctx: ProcessContext) -> None:
+        ctx.set_value("blocked", False)
+        ctx.set_value("holding", 0)
+        ctx.set_value("done", False)
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.set_timer(self._delay, "begin")
+
+    def on_timer(self, ctx: ProcessContext, name: str) -> None:
+        if name == "begin":
+            self._request_next(ctx)
+        elif name == "work-done":
+            for server in reversed(self._acquired):
+                ctx.send(server, "RELEASE")
+            self._acquired.clear()
+            ctx.set_value("holding", 0)
+            ctx.set_value("done", True)
+
+    def on_message(self, ctx: ProcessContext, message: Message) -> None:
+        kind, server = message.payload
+        assert kind == "GRANT"
+        self._acquired.append(server)
+        ctx.set_value("blocked", False)
+        ctx.set_value("holding", len(self._acquired))
+        if len(self._acquired) < len(self._order):
+            self._request_next(ctx)
+        else:
+            ctx.set_timer(self._work, "work-done")
+
+    def _request_next(self, ctx: ProcessContext) -> None:
+        target = self._order[len(self._acquired)]
+        ctx.set_value("blocked", True)
+        ctx.send(target, "ACQUIRE")
+
+
+def build_lock_scenario(
+    consistent_order: bool,
+    seed: int = 0,
+    stagger: float = 0.5,
+) -> Computation:
+    """Two servers + two clients; deadlock iff orders conflict and requests
+    interleave.
+
+    Args:
+        consistent_order: True = both clients acquire A(0) then B(1), so no
+            deadlock is possible; False = client 3 acquires B then A, so
+            the run deadlocks when the first acquisitions overlap.
+        seed: Simulation seed (controls message delays).
+        stagger: Start-delay gap between the two clients; small values make
+            the conflicting-order case overlap (and deadlock).
+    """
+    order_a = [0, 1]
+    order_b = [0, 1] if consistent_order else [1, 0]
+    programs: List[ProcessProgram] = [
+        LockServerProcess(),
+        LockServerProcess(),
+        LockClientProcess(order_a, start_delay=1.0),
+        LockClientProcess(order_b, start_delay=1.0 + stagger),
+    ]
+    simulator = Simulator(programs, seed=seed)
+    return simulator.run(max_events=400)

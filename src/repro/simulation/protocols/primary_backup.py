@@ -1,0 +1,102 @@
+"""Primary-backup replication (protocol workload P3).
+
+Process 0 is the primary: it applies a stream of client updates locally
+and asynchronously replicates each to every backup.  Each process monitors
+the integer variable ``applied`` — the number of updates it has applied —
+which increases by exactly one per apply event: the ±1 regime of the
+paper's Section 4.2.
+
+Natural relational-sum queries on the recorded trace:
+
+* ``possibly(sum(applied) = j)`` for any j up to ``(backups+1) * updates``
+  — decided by Theorem 7 in polynomial time;
+* ``definitely(sum(applied) >= j)`` — replication progress guarantees;
+* staleness questions (primary far ahead) via general predicates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.computation import Computation
+from repro.simulation.process import Message, ProcessContext, ProcessProgram
+from repro.simulation.simulator import Simulator
+
+__all__ = ["PrimaryProcess", "BackupProcess", "build_primary_backup"]
+
+
+class PrimaryProcess(ProcessProgram):
+    """Applies ``num_updates`` client updates and replicates each."""
+
+    def __init__(self, num_processes: int, num_updates: int, interval: float = 3.0):
+        self._n = num_processes
+        self._updates = num_updates
+        self._interval = interval
+        self._applied = 0
+
+    def on_init(self, ctx: ProcessContext) -> None:
+        ctx.set_value("applied", 0)
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        if self._updates > 0:
+            ctx.set_timer(self._interval, "client-update")
+
+    def on_timer(self, ctx: ProcessContext, name: str) -> None:
+        assert name == "client-update"
+        self._applied += 1
+        ctx.set_value("applied", self._applied)
+        for backup in range(1, self._n):
+            ctx.send(backup, ("REPLICATE", self._applied))
+        if self._applied < self._updates:
+            ctx.set_timer(self._interval, "client-update")
+
+
+class BackupProcess(ProcessProgram):
+    """Applies replicated updates in sequence-number order.
+
+    Out-of-order deliveries (the channel is not FIFO) are buffered until
+    the gap fills, so ``applied`` still rises by exactly one per apply.
+    """
+
+    def __init__(self) -> None:
+        self._applied = 0
+        self._buffer: set[int] = set()
+
+    def on_init(self, ctx: ProcessContext) -> None:
+        ctx.set_value("applied", 0)
+
+    def on_message(self, ctx: ProcessContext, message: Message) -> None:
+        kind, sequence = message.payload
+        assert kind == "REPLICATE"
+        self._buffer.add(sequence)
+        self._apply_one(ctx)
+
+    def on_timer(self, ctx: ProcessContext, name: str) -> None:
+        assert name == "drain"
+        self._apply_one(ctx)
+
+    def _apply_one(self, ctx: ProcessContext) -> None:
+        """Apply at most one update per event, preserving the ±1 regime."""
+        if self._applied + 1 in self._buffer:
+            self._buffer.remove(self._applied + 1)
+            self._applied += 1
+            ctx.set_value("applied", self._applied)
+        if self._applied + 1 in self._buffer:
+            ctx.set_timer(0.1, "drain")
+
+
+def build_primary_backup(
+    num_backups: int,
+    num_updates: int,
+    seed: int = 0,
+) -> Computation:
+    """Run replication and return the recorded computation."""
+    if num_backups < 1:
+        raise ValueError("need at least one backup")
+    if num_updates < 1:
+        raise ValueError("need at least one update")
+    n = num_backups + 1
+    programs: List[ProcessProgram] = [PrimaryProcess(n, num_updates)]
+    programs.extend(BackupProcess() for _ in range(num_backups))
+    simulator = Simulator(programs, seed=seed)
+    return simulator.run(max_events=10 * n * num_updates + 100)

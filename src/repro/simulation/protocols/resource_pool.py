@@ -1,0 +1,108 @@
+"""Counting-semaphore resource pool (protocol workload P4).
+
+Process 0 is a coordinator holding ``capacity`` permits; worker processes
+repeatedly request a permit, hold the resource for a while (boolean
+variable ``busy`` true), release it, and idle.  Requests beyond capacity
+queue at the coordinator.
+
+The monitored ``busy`` variables feed the paper's Section 4.3 symmetric
+predicates directly:
+
+* ``absence_of_simple_majority("busy", n)`` — were more than half the
+  workers ever simultaneously busy?  (possibly of the complement);
+* ``exactly_k_tokens("busy", n, capacity)`` — was the pool ever saturated?
+* ``exclusive_or`` / ``not_all_equal`` — the paper's other examples.
+
+The coordinator enforces at most ``capacity`` concurrent holders, so
+``possibly(busy-count = j)`` must be False for every ``j > capacity`` —
+an invariant the integration tests check with the ±1 sum algorithm.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.computation import Computation
+from repro.simulation.process import Message, ProcessContext, ProcessProgram
+from repro.simulation.simulator import Simulator
+
+__all__ = ["CoordinatorProcess", "WorkerProcess", "build_resource_pool"]
+
+
+class CoordinatorProcess(ProcessProgram):
+    """Grants up to ``capacity`` permits; queues excess requests."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._free = capacity
+        self._waiting: Deque[int] = deque()
+
+    def on_init(self, ctx: ProcessContext) -> None:
+        ctx.set_value("free_permits", self._capacity)
+
+    def on_message(self, ctx: ProcessContext, message: Message) -> None:
+        kind = message.payload
+        if kind == "REQUEST":
+            if self._free > 0:
+                self._free -= 1
+                ctx.send(message.source, "GRANT")
+            else:
+                self._waiting.append(message.source)
+        elif kind == "RELEASE":
+            if self._waiting:
+                ctx.send(self._waiting.popleft(), "GRANT")
+            else:
+                self._free += 1
+        ctx.set_value("free_permits", self._free)
+
+
+class WorkerProcess(ProcessProgram):
+    """Requests, holds, releases — ``rounds`` times."""
+
+    def __init__(self, rounds: int, hold_time: float = 4.0, think_time: float = 6.0):
+        self._rounds = rounds
+        self._hold = hold_time
+        self._think = think_time
+
+    def on_init(self, ctx: ProcessContext) -> None:
+        ctx.set_value("busy", False)
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        if self._rounds > 0:
+            ctx.set_timer(ctx.random.uniform(0.5, self._think), "request")
+
+    def on_timer(self, ctx: ProcessContext, name: str) -> None:
+        if name == "request":
+            ctx.send(0, "REQUEST")
+        elif name == "release":
+            ctx.set_value("busy", False)
+            ctx.send(0, "RELEASE")
+            self._rounds -= 1
+            if self._rounds > 0:
+                ctx.set_timer(ctx.random.uniform(0.5, self._think), "request")
+
+    def on_message(self, ctx: ProcessContext, message: Message) -> None:
+        assert message.payload == "GRANT"
+        ctx.set_value("busy", True)
+        ctx.set_timer(ctx.random.uniform(0.5, self._hold), "release")
+
+
+def build_resource_pool(
+    num_workers: int,
+    capacity: int,
+    rounds: int = 2,
+    seed: int = 0,
+) -> Computation:
+    """Run the pool and return the recorded computation.
+
+    Process 0 is the coordinator; workers are processes 1..num_workers.
+    """
+    if num_workers < 1:
+        raise ValueError("need at least one worker")
+    programs: List[ProcessProgram] = [CoordinatorProcess(capacity)]
+    programs.extend(WorkerProcess(rounds) for _ in range(num_workers))
+    simulator = Simulator(programs, seed=seed)
+    return simulator.run(max_events=60 * num_workers * rounds + 200)

@@ -1,0 +1,161 @@
+"""Ricart–Agrawala distributed mutual exclusion (protocol workload P8).
+
+The permission-based counterpart to the token ring: a process wanting the
+critical section broadcasts a timestamped REQUEST and enters after
+collecting a REPLY from every peer; a peer defers its reply while it wants
+(or holds) the critical section with an earlier (timestamp, id) pair.
+Lamport logical clocks order the requests.
+
+Monitored variables per process: ``cs`` (in critical section),
+``requesting``, ``entries`` (completed critical sections, ±1 regime).
+
+Detection story: with correct deferral, ``possibly(cs_i AND cs_j)`` is
+False for every pair despite heavy message concurrency — a much stronger
+workout for CPDHB than the token ring, where the token serializes
+everything.  The injectable bug makes one process reply immediately even
+when it should defer, and the violation becomes detectable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.computation import Computation
+from repro.simulation.process import Message, ProcessContext, ProcessProgram
+from repro.simulation.simulator import Simulator
+
+__all__ = ["RicartAgrawalaProcess", "build_ricart_agrawala"]
+
+
+class RicartAgrawalaProcess(ProcessProgram):
+    """One participant.
+
+    Args:
+        num_processes: Total participants.
+        rounds: Number of critical-section entries this process performs.
+        never_defers: Injected bug — always reply immediately, even while
+            requesting/holding with priority.
+        cs_time: Simulated time inside the critical section.
+    """
+
+    def __init__(
+        self,
+        num_processes: int,
+        rounds: int,
+        never_defers: bool = False,
+        cs_time: float = 2.0,
+    ):
+        self._n = num_processes
+        self._rounds = rounds
+        self._never_defers = never_defers
+        self._cs_time = cs_time
+        self._lamport = 0
+        self._request_stamp: Optional[Tuple[int, int]] = None
+        self._replies: Set[int] = set()
+        self._deferred: List[Tuple[int, Tuple[int, int]]] = []
+        self._in_cs = False
+
+    # ------------------------------------------------------------------
+    def on_init(self, ctx: ProcessContext) -> None:
+        ctx.set_value("cs", False)
+        ctx.set_value("requesting", False)
+        ctx.set_value("entries", 0)
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        if self._rounds > 0:
+            ctx.set_timer(ctx.random.uniform(0.5, 4.0), "want-cs")
+
+    def on_timer(self, ctx: ProcessContext, name: str) -> None:
+        if name == "want-cs":
+            self._request(ctx)
+        elif name == "leave-cs":
+            self._release(ctx)
+
+    def on_message(self, ctx: ProcessContext, message: Message) -> None:
+        kind, stamp, sender_clock = message.payload
+        self._lamport = max(self._lamport, sender_clock) + 1
+        if kind == "REQUEST":
+            self._on_request(ctx, message.source, stamp)
+        elif kind == "REPLY":
+            self._on_reply(ctx, message.source, stamp)
+
+    # ------------------------------------------------------------------
+    def _request(self, ctx: ProcessContext) -> None:
+        self._lamport += 1
+        self._request_stamp = (self._lamport, ctx.process_id)
+        self._replies = set()
+        ctx.set_value("requesting", True)
+        for peer in range(self._n):
+            if peer != ctx.process_id:
+                ctx.send(
+                    peer, ("REQUEST", self._request_stamp, self._lamport)
+                )
+        if self._n == 1:  # pragma: no cover - degenerate configuration
+            self._enter(ctx)
+
+    def _on_request(self, ctx: ProcessContext, source: int, stamp) -> None:
+        mine = self._request_stamp
+        has_priority = (
+            not self._never_defers
+            and (self._in_cs or (mine is not None and tuple(mine) < tuple(stamp)))
+        )
+        if has_priority:
+            self._deferred.append((source, tuple(stamp)))
+        else:
+            self._lamport += 1
+            ctx.send(source, ("REPLY", tuple(stamp), self._lamport))
+
+    def _on_reply(self, ctx: ProcessContext, source: int, stamp) -> None:
+        if self._request_stamp is None or tuple(stamp) != self._request_stamp:
+            return  # stale reply for an earlier request
+        self._replies.add(source)
+        if len(self._replies) == self._n - 1:
+            self._enter(ctx)
+
+    def _enter(self, ctx: ProcessContext) -> None:
+        self._in_cs = True
+        ctx.set_value("requesting", False)
+        ctx.set_value("cs", True)
+        ctx.set_value("entries", ctx.get_value("entries") + 1)
+        ctx.set_timer(self._cs_time, "leave-cs")
+
+    def _release(self, ctx: ProcessContext) -> None:
+        self._in_cs = False
+        self._request_stamp = None
+        ctx.set_value("cs", False)
+        for peer, stamp in self._deferred:
+            self._lamport += 1
+            ctx.send(peer, ("REPLY", stamp, self._lamport))
+        self._deferred.clear()
+        self._rounds -= 1
+        if self._rounds > 0:
+            ctx.set_timer(ctx.random.uniform(0.5, 4.0), "want-cs")
+
+
+def build_ricart_agrawala(
+    num_processes: int,
+    rounds: int = 2,
+    seed: int = 0,
+    never_defers: Optional[int] = None,
+) -> Computation:
+    """Run the protocol and return the recorded computation.
+
+    Args:
+        num_processes: Participants (>= 2).
+        rounds: Critical-section entries per process.
+        seed: Simulation seed.
+        never_defers: Process index with the injected reply-always bug, or
+            None for a correct execution.
+    """
+    if num_processes < 2:
+        raise ValueError("need at least two processes")
+    programs: List[ProcessProgram] = [
+        RicartAgrawalaProcess(
+            num_processes,
+            rounds,
+            never_defers=(p == never_defers),
+        )
+        for p in range(num_processes)
+    ]
+    simulator = Simulator(programs, seed=seed)
+    return simulator.run(max_events=100 * num_processes * rounds + 200)

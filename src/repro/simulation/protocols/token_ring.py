@@ -1,0 +1,123 @@
+"""Token-ring mutual exclusion (protocol workload P1).
+
+A single token circulates a ring; a process enters its critical section
+only while holding the token, so two processes are never in the critical
+section simultaneously — *unless* the injectable bug is enabled, in which
+case one rogue process periodically enters without the token.
+
+The recorded trace carries two boolean variables per process:
+
+* ``token`` — the process currently holds the token;
+* ``cs`` — the process is in its critical section.
+
+This is the paper's introductory debugging scenario: a mutual-exclusion
+violation is ``possibly(cs_i AND cs_j)`` — a conjunctive predicate, solved
+in polynomial time by CPDHB.  With the bug disabled the detector reports
+False on every pair; with it enabled, pairs involving the rogue process
+report True.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.computation import Computation
+from repro.simulation.process import Message, ProcessContext, ProcessProgram
+from repro.simulation.simulator import Simulator
+
+__all__ = ["TokenRingProcess", "build_token_ring"]
+
+
+class TokenRingProcess(ProcessProgram):
+    """One member of the token ring.
+
+    Args:
+        num_processes: Ring size.
+        hops: How many times the token is passed in total.
+        rogue: If True, this process periodically enters the critical
+            section without the token (the injected safety bug).
+        hold_time: Simulated time spent in the critical section.
+    """
+
+    def __init__(
+        self,
+        num_processes: int,
+        hops: int,
+        rogue: bool = False,
+        hold_time: float = 2.0,
+    ):
+        self._n = num_processes
+        self._hops = hops
+        self._rogue = rogue
+        self._hold = hold_time
+        # Remaining token passes allowed while this process holds the token.
+        self._pending = 0
+
+    def on_init(self, ctx: ProcessContext) -> None:
+        ctx.set_value("token", ctx.process_id == 0)
+        ctx.set_value("cs", False)
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        if ctx.process_id == 0:
+            self._pending = self._hops
+            ctx.set_timer(1.0, "enter")
+        if self._rogue:
+            ctx.set_timer(ctx.random.uniform(2.0, 8.0), "rogue-enter")
+
+    def on_timer(self, ctx: ProcessContext, name: str) -> None:
+        if name == "enter":
+            ctx.set_value("cs", True)
+            ctx.set_timer(self._hold, "exit")
+        elif name == "exit":
+            ctx.set_value("cs", False)
+            self._pass_token(ctx)
+        elif name == "rogue-enter":
+            # Bug: enter the critical section without holding the token.
+            ctx.set_value("cs", True)
+            ctx.set_timer(self._hold, "rogue-exit")
+        elif name == "rogue-exit":
+            ctx.set_value("cs", False)
+
+    def on_message(self, ctx: ProcessContext, message: Message) -> None:
+        kind, remaining = message.payload
+        assert kind == "TOKEN"
+        ctx.set_value("token", True)
+        self._pending = remaining
+        ctx.set_timer(1.0, "enter")
+
+    def _pass_token(self, ctx: ProcessContext) -> None:
+        if self._pending <= 0:
+            return  # token retires here; ring goes quiet
+        ctx.set_value("token", False)
+        successor = (ctx.process_id + 1) % self._n
+        ctx.send(successor, ("TOKEN", self._pending - 1))
+
+
+def build_token_ring(
+    num_processes: int,
+    hops: int,
+    seed: int = 0,
+    rogue_process: Optional[int] = None,
+) -> Computation:
+    """Run the token ring and return the recorded computation.
+
+    Args:
+        num_processes: Ring size (>= 2).
+        hops: Total token passes.
+        seed: Simulation seed.
+        rogue_process: Process index that violates mutual exclusion, or
+            None for a correct execution.
+    """
+    if num_processes < 2:
+        raise ValueError("token ring needs at least two processes")
+    programs: List[ProcessProgram] = [
+        TokenRingProcess(
+            num_processes,
+            hops,
+            rogue=(p == rogue_process),
+        )
+        for p in range(num_processes)
+    ]
+    simulator = Simulator(programs, seed=seed)
+    return simulator.run(max_events=50 * (hops + num_processes))

@@ -1,0 +1,128 @@
+"""Two-phase commit (protocol workload P6).
+
+The paper's own example for the ``definitely`` modality: "definitely true
+predicates are useful for verifying the occurrence of good conditions such
+as commit point of a transaction".  Process 0 coordinates; processes 1..n
+are participants.
+
+Phase 1: the coordinator sends PREPARE; each participant votes YES with
+probability ``yes_probability`` (NO otherwise) and records ``voted``.
+Phase 2: on unanimous YES the coordinator sends COMMIT, otherwise ABORT;
+participants apply the decision (``committed`` / ``aborted``).
+
+Monitored boolean variables per participant: ``voted``, ``committed``,
+``aborted``.  The verification queries map straight onto the paper:
+
+* **commit point** — ``definitely(all participants committed)`` holds on
+  every all-YES run: whatever the interleaving, the system passes through
+  the fully-committed state (and stays there — it is also stable);
+* **atomicity** — ``possibly(committed_i AND aborted_j)`` must be False
+  for every pair: no consistent global state mixes outcomes.  The
+  injectable bug (a participant that unilaterally commits without waiting
+  for the decision) makes exactly this query turn True.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.computation import Computation
+from repro.simulation.process import Message, ProcessContext, ProcessProgram
+from repro.simulation.simulator import Simulator
+
+__all__ = [
+    "CommitCoordinator",
+    "CommitParticipant",
+    "build_two_phase_commit",
+]
+
+
+class CommitCoordinator(ProcessProgram):
+    """Collects votes; decides COMMIT on unanimity, else ABORT."""
+
+    def __init__(self, num_participants: int):
+        self._n = num_participants
+        self._votes: List[bool] = []
+
+    def on_init(self, ctx: ProcessContext) -> None:
+        ctx.set_value("decision", None)
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        for participant in range(1, self._n + 1):
+            ctx.send(participant, "PREPARE")
+
+    def on_message(self, ctx: ProcessContext, message: Message) -> None:
+        kind, vote = message.payload
+        assert kind == "VOTE"
+        self._votes.append(vote)
+        if len(self._votes) == self._n:
+            decision = "COMMIT" if all(self._votes) else "ABORT"
+            ctx.set_value("decision", decision)
+            for participant in range(1, self._n + 1):
+                ctx.send(participant, decision)
+
+
+class CommitParticipant(ProcessProgram):
+    """Votes on PREPARE and applies the coordinator's decision.
+
+    Args:
+        yes_probability: Chance of voting YES (drawn from the process's
+            seeded RNG, so runs are reproducible).
+        unilateral: Injected bug — commit immediately after voting YES,
+            without waiting for the global decision.
+    """
+
+    def __init__(self, yes_probability: float = 1.0, unilateral: bool = False):
+        self._yes_probability = yes_probability
+        self._unilateral = unilateral
+
+    def on_init(self, ctx: ProcessContext) -> None:
+        ctx.set_value("voted", False)
+        ctx.set_value("committed", False)
+        ctx.set_value("aborted", False)
+
+    def on_message(self, ctx: ProcessContext, message: Message) -> None:
+        payload = message.payload
+        if payload == "PREPARE":
+            vote = ctx.random.random() < self._yes_probability
+            ctx.set_value("voted", True)
+            if self._unilateral and vote:
+                # Bug: apply the outcome before the decision arrives.
+                ctx.set_value("committed", True)
+            ctx.send(0, ("VOTE", vote))
+        elif payload == "COMMIT":
+            ctx.set_value("committed", True)
+        elif payload == "ABORT":
+            if not ctx.get_value("committed"):
+                ctx.set_value("aborted", True)
+            # A unilaterally-committed participant cannot abort: that is
+            # precisely the atomicity violation the monitor should catch.
+
+
+def build_two_phase_commit(
+    num_participants: int,
+    seed: int = 0,
+    yes_probability: float = 1.0,
+    unilateral_participant: Optional[int] = None,
+) -> Computation:
+    """Run one transaction and return the recorded computation.
+
+    Args:
+        num_participants: Number of participants (processes 1..n).
+        seed: Simulation seed.
+        yes_probability: Per-participant YES probability (1.0 = always).
+        unilateral_participant: Participant index (1-based process id) with
+            the unilateral-commit bug, or None.
+    """
+    if num_participants < 1:
+        raise ValueError("need at least one participant")
+    programs: List[ProcessProgram] = [CommitCoordinator(num_participants)]
+    for p in range(1, num_participants + 1):
+        programs.append(
+            CommitParticipant(
+                yes_probability=yes_probability,
+                unilateral=(p == unilateral_participant),
+            )
+        )
+    simulator = Simulator(programs, seed=seed)
+    return simulator.run(max_events=20 * num_participants + 50)

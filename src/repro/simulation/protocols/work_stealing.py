@@ -1,0 +1,120 @@
+"""Work-stealing workers with termination (protocol workload P7).
+
+Termination detection is the canonical *stable* predicate: once every
+process is idle and no work messages are in flight, that stays true
+forever.  This workload produces traces for it: workers process a local
+queue of tasks; each task may spawn subtasks shipped to random peers; when
+a worker drains its queue it goes idle (and wakes on new arrivals).
+
+Monitored variables per worker: ``idle`` (queue empty, not processing) and
+``processed`` (tasks completed, +1 per completion — ±1 regime).
+
+Detection story:
+
+* "all workers idle" — a conjunctive predicate — is **not** stable on its
+  own: workers can all be momentarily idle while a task is still in
+  flight (and such transient global states are detectable with
+  ``possibly``);
+* true termination is "all idle at the *final* cut", i.e. the
+  stable-predicate detector, or a Chandy–Lamport snapshot online: the
+  snapshot additionally records the in-flight tasks, and termination holds
+  iff all recorded states are idle *and* all recorded channels are empty —
+  exactly the classical algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.computation import Computation
+from repro.simulation.process import Message, ProcessContext, ProcessProgram
+from repro.simulation.simulator import Simulator
+
+__all__ = ["WorkStealingWorker", "build_work_stealing"]
+
+
+class WorkStealingWorker(ProcessProgram):
+    """Processes tasks; each task may spawn subtasks shipped to peers.
+
+    Args:
+        num_processes: Worker count.
+        initial_tasks: Tasks seeded in this worker's queue at start.
+        spawn_probability: Chance a processed task spawns one subtask.
+        max_spawns: Global cap on spawns by this worker (guarantees
+            termination).
+        task_time: Simulated processing time per task.
+    """
+
+    def __init__(
+        self,
+        num_processes: int,
+        initial_tasks: int,
+        spawn_probability: float = 0.3,
+        max_spawns: int = 5,
+        task_time: float = 2.0,
+    ):
+        self._n = num_processes
+        self._initial = initial_tasks
+        self._spawn_probability = spawn_probability
+        self._spawns_left = max_spawns
+        self._task_time = task_time
+        self._queue = 0
+        self._busy = False
+
+    def on_init(self, ctx: ProcessContext) -> None:
+        ctx.set_value("idle", True)
+        ctx.set_value("processed", 0)
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        self._queue = self._initial
+        self._maybe_begin(ctx)
+
+    def on_message(self, ctx: ProcessContext, message: Message) -> None:
+        assert message.payload == "TASK"
+        self._queue += 1
+        self._maybe_begin(ctx)
+
+    def on_timer(self, ctx: ProcessContext, name: str) -> None:
+        assert name == "task-done"
+        self._busy = False
+        ctx.set_value("processed", ctx.get_value("processed") + 1)
+        if (
+            self._spawns_left > 0
+            and ctx.random.random() < self._spawn_probability
+        ):
+            self._spawns_left -= 1
+            peer = ctx.random.randrange(self._n - 1)
+            if peer >= ctx.process_id:
+                peer += 1
+            ctx.send(peer, "TASK")
+        self._maybe_begin(ctx)
+
+    def _maybe_begin(self, ctx: ProcessContext) -> None:
+        if not self._busy and self._queue > 0:
+            self._queue -= 1
+            self._busy = True
+            ctx.set_value("idle", False)
+            ctx.set_timer(self._task_time, "task-done")
+        elif not self._busy:
+            ctx.set_value("idle", True)
+
+
+def build_work_stealing(
+    num_workers: int,
+    initial_tasks: int = 2,
+    seed: int = 0,
+    spawn_probability: float = 0.3,
+) -> Computation:
+    """Run the workers to quiescence and return the recorded computation."""
+    if num_workers < 2:
+        raise ValueError("need at least two workers")
+    programs: List[ProcessProgram] = [
+        WorkStealingWorker(
+            num_workers,
+            initial_tasks,
+            spawn_probability=spawn_probability,
+        )
+        for _ in range(num_workers)
+    ]
+    simulator = Simulator(programs, seed=seed)
+    return simulator.run(max_events=200 * num_workers)

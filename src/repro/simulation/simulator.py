@@ -1,0 +1,210 @@
+"""Discrete-event message-passing simulator (substrate S9).
+
+Runs a set of :class:`~repro.simulation.process.ProcessProgram` instances
+under a channel model and records the resulting *distributed computation*
+— the exact trace object the paper's detection algorithms consume.  One
+callback invocation = one event; messages become message edges; monitored
+variables snapshot into each event's value map.
+
+Determinism: all randomness flows from the seed passed to
+:class:`Simulator` (channel delays, per-process RNGs, tie-breaking), so a
+given (programs, seed) pair always records the same computation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.computation import Computation, ComputationBuilder
+from repro.events import EventId, EventKind
+from repro.simulation.channels import Channel, UniformDelayChannel
+from repro.simulation.process import Message, ProcessContext, ProcessProgram
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(Exception):
+    """Raised on simulator misuse (bad program behaviour, bad configuration)."""
+
+
+@dataclass(order=True)
+class _Scheduled:
+    time: float
+    sequence: int
+    kind: str = field(compare=False)  # "start" | "message" | "timer"
+    process: int = field(compare=False)
+    message: Optional[Message] = field(compare=False, default=None)
+    send_event: Optional[EventId] = field(compare=False, default=None)
+    timer_name: str = field(compare=False, default="")
+
+
+class Simulator:
+    """Executes programs and records the computation.
+
+    Args:
+        programs: One program per process.
+        seed: Master seed; derives channel and per-process RNG streams.
+        channel: Channel model; defaults to a reliable non-FIFO channel
+            with uniform delays (the paper's weakest assumption).
+    """
+
+    def __init__(
+        self,
+        programs: Sequence[ProcessProgram],
+        seed: int = 0,
+        channel: Optional[Channel] = None,
+    ):
+        if not programs:
+            raise SimulationError("need at least one process program")
+        self._programs = list(programs)
+        n = len(self._programs)
+        master = random.Random(seed)
+        self._channel = channel or UniformDelayChannel(
+            random.Random(master.randrange(2**63))
+        )
+        self._process_rngs = [
+            random.Random(master.randrange(2**63)) for _ in range(n)
+        ]
+        self._values: List[Dict[str, Any]] = [{} for _ in range(n)]
+        self._builder = ComputationBuilder(n)
+        self._queue: List[_Scheduled] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._stopped = [False] * n
+        self._events_executed = 0
+        self._finished = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callback invocations executed so far."""
+        return self._events_executed
+
+    def run(
+        self,
+        max_events: int = 10_000,
+        until: Optional[float] = None,
+    ) -> Computation:
+        """Run to quiescence (or a bound) and return the recorded trace.
+
+        Args:
+            max_events: Hard cap on callback invocations (guards against
+                non-terminating protocols).
+            until: Optional simulated-time horizon; scheduled occurrences
+                after it are discarded.
+        """
+        if self._finished:
+            raise SimulationError("simulator already ran; create a new one")
+        self._finished = True
+
+        n = len(self._programs)
+        # Initialization: on_init sets initial values (no event recorded).
+        for p, program in enumerate(self._programs):
+            ctx = self._context(p)
+            program.on_init(ctx)
+            if ctx.sent or ctx.timers:
+                raise SimulationError(
+                    f"process {p} sent or armed timers in on_init"
+                )
+            self._builder.init_values(p, **self._values[p])
+
+        for p in range(n):
+            self._schedule(
+                _Scheduled(
+                    time=0.0,
+                    sequence=next(self._sequence),
+                    kind="start",
+                    process=p,
+                )
+            )
+
+        while self._queue and self._events_executed < max_events:
+            item = heapq.heappop(self._queue)
+            if until is not None and item.time > until:
+                break
+            self._now = item.time
+            self._execute(item)
+
+        return self._builder.build()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _context(self, process: int) -> ProcessContext:
+        return ProcessContext(
+            process_id=process,
+            now=self._now,
+            rng=self._process_rngs[process],
+            values=self._values[process],
+            num_processes=len(self._programs),
+        )
+
+    def _schedule(self, item: _Scheduled) -> None:
+        heapq.heappush(self._queue, item)
+
+    def _execute(self, item: _Scheduled) -> None:
+        p = item.process
+        if self._stopped[p]:
+            return
+        program = self._programs[p]
+        ctx = self._context(p)
+        if item.kind == "start":
+            program.on_start(ctx)
+        elif item.kind == "timer":
+            program.on_timer(ctx, item.timer_name)
+        elif item.kind == "message":
+            assert item.message is not None
+            program.on_message(ctx, item.message)
+        else:  # pragma: no cover - internal invariant
+            raise SimulationError(f"unknown occurrence kind {item.kind!r}")
+        self._events_executed += 1
+
+        received = item.kind == "message"
+        sent = bool(ctx.sent)
+        if received and sent:
+            kind = EventKind.SEND_RECEIVE
+        elif received:
+            kind = EventKind.RECEIVE
+        elif sent:
+            kind = EventKind.SEND
+        else:
+            kind = EventKind.INTERNAL
+        event_id = self._builder.event(p, kind, **dict(self._values[p]))
+        if received:
+            assert item.send_event is not None
+            self._builder.message(item.send_event, event_id)
+
+        for message in ctx.sent:
+            at = self._channel.delivery_time(
+                message.source, message.destination, self._now
+            )
+            self._schedule(
+                _Scheduled(
+                    time=at,
+                    sequence=next(self._sequence),
+                    kind="message",
+                    process=message.destination,
+                    message=message,
+                    send_event=event_id,
+                )
+            )
+        for delay, name in ctx.timers:
+            self._schedule(
+                _Scheduled(
+                    time=self._now + delay,
+                    sequence=next(self._sequence),
+                    kind="timer",
+                    process=p,
+                    timer_name=name,
+                )
+            )
+        if ctx.stopped:
+            self._stopped[p] = True

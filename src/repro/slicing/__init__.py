@@ -1,0 +1,5 @@
+"""Computation slicing (the follow-up line to the paper's algorithms)."""
+
+from repro.slicing.slice import ConjunctiveSlice
+
+__all__ = ["ConjunctiveSlice"]

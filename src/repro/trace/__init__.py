@@ -1,0 +1,27 @@
+"""Trace generation and serialization (substrate S11)."""
+
+from repro.trace.generator import (
+    ArbitraryWalkVar,
+    BoolVar,
+    UnitWalkVar,
+    grouped_computation,
+    random_computation,
+)
+from repro.trace.io import (
+    computation_from_dict,
+    computation_to_dict,
+    dump_computation,
+    load_computation,
+)
+
+__all__ = [
+    "ArbitraryWalkVar",
+    "BoolVar",
+    "UnitWalkVar",
+    "computation_from_dict",
+    "computation_to_dict",
+    "dump_computation",
+    "grouped_computation",
+    "load_computation",
+    "random_computation",
+]

@@ -1,0 +1,229 @@
+"""Seeded random trace generation (substrate S11).
+
+The benchmarks sweep detection algorithms over families of computations
+with controlled shape: number of processes, events per process, message
+density, where receives/sends may occur (to produce the receive-ordered /
+send-ordered special cases of Section 3.2), and which monitored variables
+events carry:
+
+* boolean variables with a tunable true-density (for CNF predicates);
+* ±1 integer random walks (the paper's Section 4.2 regime);
+* arbitrary-increment integer walks (the NP-complete regime of Theorem 2).
+
+Generation is a single left-to-right pass over a random interleaving, so
+message edges always point forward in a valid run and the result is a
+legal computation by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.computation import Computation, ComputationBuilder
+from repro.events import EventId
+
+__all__ = [
+    "BoolVar",
+    "UnitWalkVar",
+    "ArbitraryWalkVar",
+    "random_computation",
+    "grouped_computation",
+]
+
+
+@dataclass(frozen=True)
+class BoolVar:
+    """A boolean variable: true after an event with probability ``density``."""
+
+    name: str
+    density: float = 0.3
+    initial: bool = False
+
+
+@dataclass(frozen=True)
+class UnitWalkVar:
+    """An integer variable changing by -1, 0, or +1 per event.
+
+    ``p_up``/``p_down`` are the per-event probabilities of +1/-1; the value
+    never drops below ``floor`` (steps that would are redrawn as 0).
+    """
+
+    name: str
+    initial: int = 0
+    p_up: float = 0.4
+    p_down: float = 0.4
+    floor: Optional[int] = 0
+
+
+@dataclass(frozen=True)
+class ArbitraryWalkVar:
+    """An integer variable jumping by a uniform amount in ±max_step."""
+
+    name: str
+    initial: int = 0
+    max_step: int = 10
+
+
+VariableSpec = BoolVar | UnitWalkVar | ArbitraryWalkVar
+
+
+def random_computation(
+    num_processes: int,
+    events_per_process: int,
+    message_density: float = 0.3,
+    seed: int = 0,
+    variables: Sequence[VariableSpec] = (),
+    receive_sites: Optional[Sequence[int]] = None,
+    send_sites: Optional[Sequence[int]] = None,
+) -> Computation:
+    """Generate a random computation.
+
+    Args:
+        num_processes: Number of processes (>= 1).
+        events_per_process: Non-initial events per process.
+        message_density: Per-event probability of attempting a send, and
+            independently of attempting a receive of a pending message.
+        seed: RNG seed — same arguments, same computation.
+        variables: Monitored-variable specs applied to every process.
+        receive_sites: If given, only these processes may receive.
+        send_sites: If given, only these processes may send.
+    """
+    if num_processes < 1:
+        raise ValueError("need at least one process")
+    if events_per_process < 0:
+        raise ValueError("events_per_process must be non-negative")
+    if not 0.0 <= message_density <= 1.0:
+        raise ValueError("message_density must be within [0, 1]")
+    rng = random.Random(seed)
+    builder = ComputationBuilder(num_processes)
+    may_receive = (
+        set(receive_sites) if receive_sites is not None else set(range(num_processes))
+    )
+    may_send = (
+        set(send_sites) if send_sites is not None else set(range(num_processes))
+    )
+
+    # Variable state per process.
+    state: List[Dict[str, object]] = []
+    for p in range(num_processes):
+        values: Dict[str, object] = {}
+        for spec in variables:
+            if isinstance(spec, BoolVar):
+                values[spec.name] = spec.initial
+            else:
+                values[spec.name] = spec.initial
+        builder.init_values(p, **values)
+        state.append(values)
+
+    # Random interleaving of all events.
+    schedule: List[int] = []
+    for p in range(num_processes):
+        schedule.extend([p] * events_per_process)
+    rng.shuffle(schedule)
+
+    pending_sends: List[Tuple[int, EventId]] = []  # (sender, send event id)
+
+    for p in schedule:
+        receives_from: Optional[EventId] = None
+        if p in may_receive and pending_sends and rng.random() < message_density:
+            candidates = [
+                (i, eid)
+                for i, (sender, eid) in enumerate(pending_sends)
+                if sender != p
+            ]
+            if candidates:
+                index, receives_from = candidates[
+                    rng.randrange(len(candidates))
+                ]
+                pending_sends.pop(index)
+        sends = p in may_send and rng.random() < message_density
+
+        values = _step_variables(rng, state[p], variables)
+        if receives_from is not None and sends:
+            eid = builder.send_receive(p, **values)
+            builder.message(receives_from, eid)
+            pending_sends.append((p, eid))
+        elif receives_from is not None:
+            eid = builder.receive(p, **values)
+            builder.message(receives_from, eid)
+        elif sends:
+            eid = builder.send(p, **values)
+            pending_sends.append((p, eid))
+        else:
+            builder.internal(p, **values)
+
+    return builder.build()
+
+
+def _step_variables(
+    rng: random.Random,
+    state: Dict[str, object],
+    variables: Sequence[VariableSpec],
+) -> Dict[str, object]:
+    """Advance every variable one step; returns the updates to record."""
+    updates: Dict[str, object] = {}
+    for spec in variables:
+        if isinstance(spec, BoolVar):
+            value = rng.random() < spec.density
+        elif isinstance(spec, UnitWalkVar):
+            current = int(state[spec.name])  # type: ignore[arg-type]
+            roll = rng.random()
+            if roll < spec.p_up:
+                step = 1
+            elif roll < spec.p_up + spec.p_down:
+                step = -1
+            else:
+                step = 0
+            value = current + step
+            if spec.floor is not None and value < spec.floor:
+                value = current
+        else:  # ArbitraryWalkVar
+            current = int(state[spec.name])  # type: ignore[arg-type]
+            value = current + rng.randint(-spec.max_step, spec.max_step)
+        state[spec.name] = value
+        updates[spec.name] = value
+    return updates
+
+
+def grouped_computation(
+    num_groups: int,
+    group_size: int,
+    events_per_process: int,
+    message_density: float = 0.3,
+    seed: int = 0,
+    variables: Sequence[VariableSpec] = (),
+    ordering: Optional[str] = None,
+) -> Computation:
+    """A computation whose processes split into equal clause groups.
+
+    Group j owns processes ``j*group_size .. (j+1)*group_size - 1`` — the
+    layout the singular-CNF benchmarks use for their clause groups.
+
+    ``ordering`` produces the paper's Section 3.2 special cases:
+
+    * ``"receive"`` — only the first process of each group may receive, so
+      every group's receives are totally ordered (receive-ordered);
+    * ``"send"`` — dually for sends (send-ordered);
+    * None — unrestricted (the general, NP-complete regime).
+    """
+    if num_groups < 1 or group_size < 1:
+        raise ValueError("need at least one group of at least one process")
+    n = num_groups * group_size
+    receive_sites = send_sites = None
+    if ordering == "receive":
+        receive_sites = [g * group_size for g in range(num_groups)]
+    elif ordering == "send":
+        send_sites = [g * group_size for g in range(num_groups)]
+    elif ordering is not None:
+        raise ValueError("ordering must be 'receive', 'send' or None")
+    return random_computation(
+        num_processes=n,
+        events_per_process=events_per_process,
+        message_density=message_density,
+        seed=seed,
+        variables=variables,
+        receive_sites=receive_sites,
+        send_sites=send_sites,
+    )

@@ -1,0 +1,100 @@
+"""JSON (de)serialization of computations.
+
+The on-disk format is deliberately simple and stable so traces recorded by
+other tooling can be imported::
+
+    {
+      "format": "repro-trace-v1",
+      "processes": [
+        [ {"kind": "initial", "values": {...}},
+          {"kind": "send", "values": {...}, "label": "f"}, ... ],
+        ...
+      ],
+      "messages": [ [[1, 1], [2, 1]], ... ]
+    }
+
+Only JSON-representable variable values survive a round trip (bool, int,
+float, str, None, and nested lists/dicts thereof) — which covers every
+predicate in this library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.computation import Computation
+from repro.events import Event, EventKind
+
+__all__ = [
+    "computation_to_dict",
+    "computation_from_dict",
+    "dump_computation",
+    "load_computation",
+]
+
+FORMAT = "repro-trace-v1"
+
+
+def computation_to_dict(computation: Computation) -> Dict[str, Any]:
+    """Serialize to a JSON-compatible dictionary."""
+    processes: List[List[Dict[str, Any]]] = []
+    for p in range(computation.num_processes):
+        events: List[Dict[str, Any]] = []
+        for ev in computation.events_of(p):
+            record: Dict[str, Any] = {
+                "kind": ev.kind.value,
+                "values": dict(ev.values),
+            }
+            if ev.label is not None:
+                record["label"] = ev.label
+            events.append(record)
+        processes.append(events)
+    return {
+        "format": FORMAT,
+        "processes": processes,
+        "messages": [
+            [list(send), list(recv)] for send, recv in computation.messages
+        ],
+    }
+
+
+def computation_from_dict(data: Dict[str, Any]) -> Computation:
+    """Deserialize a computation; validates structure and format tag."""
+    if data.get("format") != FORMAT:
+        raise ValueError(
+            f"unsupported trace format {data.get('format')!r}; expected {FORMAT!r}"
+        )
+    process_events: List[List[Event]] = []
+    for p, records in enumerate(data["processes"]):
+        events: List[Event] = []
+        for i, record in enumerate(records):
+            events.append(
+                Event(
+                    process=p,
+                    index=i,
+                    kind=EventKind(record["kind"]),
+                    values=dict(record.get("values", {})),
+                    label=record.get("label"),
+                )
+            )
+        process_events.append(events)
+    messages = [
+        ((send[0], send[1]), (recv[0], recv[1]))
+        for send, recv in data.get("messages", [])
+    ]
+    return Computation(process_events, messages)
+
+
+def dump_computation(
+    computation: Computation, path: Union[str, Path]
+) -> None:
+    """Write the computation as JSON to ``path``."""
+    payload = computation_to_dict(computation)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_computation(path: Union[str, Path]) -> Computation:
+    """Read a computation previously written by :func:`dump_computation`."""
+    return computation_from_dict(json.loads(Path(path).read_text()))

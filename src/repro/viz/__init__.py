@@ -1,0 +1,9 @@
+"""Graphviz DOT rendering of computations and cut lattices."""
+
+from repro.viz.dot import (
+    LatticeTooLargeError,
+    computation_to_dot,
+    lattice_to_dot,
+)
+
+__all__ = ["LatticeTooLargeError", "computation_to_dot", "lattice_to_dot"]

@@ -1,0 +1,127 @@
+"""Graphviz DOT export for computations and cut lattices.
+
+Space-time diagrams (one row per process, message arrows across) are how
+the paper draws its figures; the cut lattice is how its algorithms think.
+Both render to DOT text with no external dependency — feed the output to
+``dot -Tsvg`` or any Graphviz viewer.
+
+* :func:`computation_to_dot` — the space-time diagram, optionally
+  highlighting a cut's frontier and a chosen variable's truth;
+* :func:`lattice_to_dot` — the Hasse diagram of consistent cuts,
+  optionally coloring the cuts satisfying a predicate (refuses to render
+  lattices beyond ``max_cuts`` — they grow exponentially).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.computation import Computation, Cut, iter_consistent_cuts
+from repro.predicates.base import GlobalPredicate
+
+__all__ = ["computation_to_dot", "lattice_to_dot", "LatticeTooLargeError"]
+
+
+class LatticeTooLargeError(ValueError):
+    """The lattice exceeds the rendering budget."""
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def _event_node(process: int, index: int) -> str:
+    return f"e_{process}_{index}"
+
+
+def computation_to_dot(
+    computation: Computation,
+    highlight: Optional[Cut] = None,
+    variable: Optional[str] = None,
+) -> str:
+    """Render the computation as a DOT space-time diagram.
+
+    Args:
+        computation: The trace.
+        highlight: Optional cut whose frontier events are drawn bold.
+        variable: Optional boolean variable; events where it holds are
+            drawn as double circles (the paper's "encircled true events").
+    """
+    lines: List[str] = [
+        "digraph computation {",
+        "  rankdir=LR;",
+        '  node [shape=circle, fontsize=10, margin=0.02];',
+    ]
+    for p in range(computation.num_processes):
+        lines.append(f"  subgraph cluster_p{p} {{")
+        lines.append(f'    label="process {p}"; color=gray;')
+        for ev in computation.events_of(p):
+            node = _event_node(p, ev.index)
+            label = ev.label if ev.label is not None else (
+                "⊥" if ev.is_initial else f"{ev.index}"
+            )
+            attrs = [f"label={_quote(label)}"]
+            if variable is not None and bool(ev.value(variable, False)):
+                attrs.append("shape=doublecircle")
+            if ev.is_initial:
+                attrs.append("style=dashed")
+            if highlight is not None and highlight.passes_through(ev.event_id):
+                attrs.append("penwidth=3")
+                attrs.append("color=red")
+            lines.append(f"    {node} [{', '.join(attrs)}];")
+        lines.append("  }")
+    # Local order edges.
+    for p in range(computation.num_processes):
+        events = computation.events_of(p)
+        for a, b in zip(events, events[1:]):
+            lines.append(
+                f"  {_event_node(p, a.index)} -> {_event_node(p, b.index)};"
+            )
+    # Message edges.
+    for send, recv in computation.messages:
+        lines.append(
+            f"  {_event_node(*send)} -> {_event_node(*recv)} "
+            "[style=dashed, color=blue, constraint=false];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _cut_node(cut: Cut) -> str:
+    return "c_" + "_".join(str(c) for c in cut.frontier)
+
+
+def lattice_to_dot(
+    computation: Computation,
+    predicate: Optional[GlobalPredicate] = None,
+    max_cuts: int = 500,
+) -> str:
+    """Render the Hasse diagram of the consistent-cut lattice.
+
+    Cuts satisfying ``predicate`` (if given) are filled green.  Raises
+    :class:`LatticeTooLargeError` beyond ``max_cuts`` cuts.
+    """
+    cuts: List[Cut] = []
+    for cut in iter_consistent_cuts(computation):
+        cuts.append(cut)
+        if len(cuts) > max_cuts:
+            raise LatticeTooLargeError(
+                f"lattice exceeds {max_cuts} cuts; raise max_cuts to force"
+            )
+    lines: List[str] = [
+        "digraph lattice {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontsize=9, margin=0.04];',
+    ]
+    for cut in cuts:
+        label = "(" + ",".join(str(c - 1) for c in cut.frontier) + ")"
+        attrs = [f"label={_quote(label)}"]
+        if predicate is not None and predicate.evaluate(cut):
+            attrs.append("style=filled")
+            attrs.append("fillcolor=palegreen")
+        lines.append(f"  {_cut_node(cut)} [{', '.join(attrs)}];")
+    for cut in cuts:
+        for nxt in cut.successors():
+            lines.append(f"  {_cut_node(cut)} -> {_cut_node(nxt)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

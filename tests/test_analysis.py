@@ -1,0 +1,198 @@
+"""Tests for trace structural statistics."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.analysis import (
+    causal_density,
+    concurrency_width,
+    message_statistics,
+    summarize,
+    variable_profile,
+)
+from repro.computation import ComputationBuilder
+from repro.trace import (
+    ArbitraryWalkVar,
+    BoolVar,
+    UnitWalkVar,
+    random_computation,
+)
+
+
+def brute_width(comp):
+    ids = [ev.event_id for ev in comp.all_events()]
+    for size in range(len(ids), 0, -1):
+        for combo in itertools.combinations(ids, size):
+            if all(
+                comp.concurrent(a, b)
+                for a, b in itertools.combinations(combo, 2)
+            ):
+                return size
+    return 0
+
+
+class TestWidth:
+    def test_single_process_width_one(self):
+        builder = ComputationBuilder(1)
+        for _ in range(5):
+            builder.internal(0)
+        assert concurrency_width(builder.build()) == 1
+
+    def test_independent_processes(self):
+        builder = ComputationBuilder(3)
+        for p in range(3):
+            builder.internal(p)
+        assert concurrency_width(builder.build()) == 3
+
+    def test_empty_trace(self):
+        assert concurrency_width(ComputationBuilder(2).build()) == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        comp = random_computation(3, 3, 0.5, seed=seed)
+        assert concurrency_width(comp) == brute_width(comp)
+
+
+class TestDensity:
+    def test_total_order_is_one(self):
+        builder = ComputationBuilder(1)
+        for _ in range(4):
+            builder.internal(0)
+        assert causal_density(builder.build()) == 1.0
+
+    def test_fully_concurrent_is_zero(self):
+        builder = ComputationBuilder(4)
+        for p in range(4):
+            builder.internal(p)
+        assert causal_density(builder.build()) == 0.0
+
+    def test_small_trace(self):
+        assert causal_density(ComputationBuilder(2).build()) == 0.0
+
+    def test_messages_increase_density(self):
+        sparse = random_computation(3, 4, 0.0, seed=1)
+        dense = random_computation(3, 4, 0.9, seed=1)
+        assert causal_density(dense) > causal_density(sparse)
+
+    def test_bounds(self):
+        for seed in range(4):
+            comp = random_computation(3, 4, 0.5, seed=seed)
+            assert 0.0 <= causal_density(comp) <= 1.0
+
+
+class TestMessages:
+    def test_counts(self, figure2):
+        stats = message_statistics(figure2)
+        assert stats.total == 1
+        assert stats.senders == {1: 1}
+        assert stats.receivers == {2: 1}
+        assert stats.max_fan_out == 1
+
+    def test_fan_out(self, diamond):
+        stats = message_statistics(diamond)
+        # Event (0,1) sends to both (1,1) and (2,1).
+        assert stats.max_fan_out == 2
+
+    def test_empty(self):
+        stats = message_statistics(ComputationBuilder(2).build())
+        assert stats.total == 0
+        assert stats.max_fan_out == 0
+
+
+class TestVariableProfile:
+    def test_unit_walk_profile(self):
+        comp = random_computation(
+            2, 10, 0.3, seed=3, variables=[UnitWalkVar("v", floor=None)]
+        )
+        profile = variable_profile(comp, "v")
+        assert profile.present
+        assert profile.unit_step
+        assert not profile.boolean
+        assert profile.minimum <= profile.maximum
+
+    def test_arbitrary_walk_profile(self):
+        comp = random_computation(
+            2, 10, 0.3, seed=3,
+            variables=[ArbitraryWalkVar("v", max_step=9)],
+        )
+        profile = variable_profile(comp, "v")
+        assert profile.max_step <= 9
+        # Random ±9 walks essentially never stay within ±1 for 20 steps.
+        assert not profile.unit_step
+
+    def test_boolean_profile(self):
+        comp = random_computation(
+            2, 6, 0.3, seed=3, variables=[BoolVar("x", 0.5)]
+        )
+        profile = variable_profile(comp, "x")
+        assert profile.boolean
+        assert profile.unit_step
+        assert 0 <= profile.minimum <= profile.maximum <= 1
+
+    def test_missing_variable(self, figure2):
+        profile = variable_profile(figure2, "nothing")
+        assert not profile.present
+
+    def test_non_numeric_variable(self):
+        builder = ComputationBuilder(1)
+        builder.internal(0, name="alice")
+        profile = variable_profile(builder.build(), "name")
+        assert profile.present
+        assert profile.minimum is None
+        assert profile.unit_step is None
+
+
+class TestCountRuns:
+    def test_grid_formula(self):
+        # Two independent processes with a and b events: C(a+b, a) runs.
+        import math
+
+        for a, b in [(2, 2), (3, 1), (3, 3)]:
+            builder = ComputationBuilder(2)
+            for _ in range(a):
+                builder.internal(0)
+            for _ in range(b):
+                builder.internal(1)
+            from repro.analysis import count_runs
+
+            assert count_runs(builder.build()) == math.comb(a + b, a)
+
+    def test_single_process_one_run(self):
+        builder = ComputationBuilder(1)
+        for _ in range(5):
+            builder.internal(0)
+        from repro.analysis import count_runs
+
+        assert count_runs(builder.build()) == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_enumeration(self, seed):
+        from repro.analysis import count_runs
+        from repro.computation import iter_linearizations
+
+        comp = random_computation(3, 3, 0.5, seed=seed)
+        assert count_runs(comp) == len(list(iter_linearizations(comp)))
+
+    def test_empty_computation(self):
+        from repro.analysis import count_runs
+
+        assert count_runs(ComputationBuilder(3).build()) == 1
+
+
+class TestSummarize:
+    def test_summary_fields(self, figure2):
+        summary = summarize(figure2)
+        assert summary["processes"] == 4
+        assert summary["events"] == 4
+        assert summary["messages"] == 1
+        assert summary["concurrency_width"] == 3  # e, h, and one of f/g
+        assert 0 <= summary["causal_density"] <= 1
+        assert summary["variables"]["x"]["boolean"] is True
+
+    def test_summary_is_json_ready(self, figure2):
+        import json
+
+        json.dumps(summarize(figure2))

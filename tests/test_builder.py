@@ -1,0 +1,96 @@
+"""Tests for ComputationBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import ComputationBuilder, ComputationError
+from repro.events import EventKind
+
+
+class TestBuilder:
+    def test_initial_events_created_automatically(self):
+        comp = ComputationBuilder(3).build()
+        assert comp.num_processes == 3
+        assert comp.total_events() == 0
+        for p in range(3):
+            assert comp.initial_event(p).kind is EventKind.INITIAL
+
+    def test_zero_processes_rejected(self):
+        with pytest.raises(ComputationError):
+            ComputationBuilder(0)
+
+    def test_event_kinds(self):
+        builder = ComputationBuilder(2)
+        builder.internal(0)
+        builder.send(0)
+        builder.receive(1)
+        builder.send_receive(1)
+        comp = builder.build()  # no messages; kinds alone are fine
+        assert comp.event((0, 1)).kind is EventKind.INTERNAL
+        assert comp.event((0, 2)).kind is EventKind.SEND
+        assert comp.event((1, 1)).kind is EventKind.RECEIVE
+        assert comp.event((1, 2)).kind is EventKind.SEND_RECEIVE
+
+    def test_cannot_append_initial(self):
+        builder = ComputationBuilder(1)
+        with pytest.raises(ComputationError):
+            builder.event(0, EventKind.INITIAL)
+
+    def test_values_persist_between_events(self):
+        builder = ComputationBuilder(1)
+        builder.internal(0, x=1, y=2)
+        builder.internal(0, x=3)
+        comp = builder.build()
+        assert comp.event((0, 2)).value("x") == 3
+        assert comp.event((0, 2)).value("y") == 2
+
+    def test_init_values_on_initial_event(self):
+        builder = ComputationBuilder(1)
+        builder.init_values(0, x=7)
+        builder.internal(0)
+        comp = builder.build()
+        assert comp.initial_event(0).value("x") == 7
+        assert comp.event((0, 1)).value("x") == 7
+
+    def test_init_values_after_events_rejected(self):
+        builder = ComputationBuilder(1)
+        builder.internal(0)
+        with pytest.raises(ComputationError):
+            builder.init_values(0, x=1)
+
+    def test_message_by_label(self):
+        builder = ComputationBuilder(2)
+        builder.send(0, label="s")
+        builder.receive(1, label="r")
+        builder.message("s", "r")
+        comp = builder.build()
+        assert comp.messages == (((0, 1), (1, 1)),)
+
+    def test_unknown_label_rejected(self):
+        builder = ComputationBuilder(1)
+        with pytest.raises(ComputationError):
+            builder.message("nope", "nada")
+
+    def test_duplicate_label_rejected(self):
+        builder = ComputationBuilder(1)
+        builder.internal(0, label="a")
+        with pytest.raises(ComputationError):
+            builder.internal(0, label="a")
+
+    def test_transmit_creates_matched_pair(self):
+        builder = ComputationBuilder(2)
+        send_id, recv_id = builder.transmit(0, 1)
+        comp = builder.build()
+        assert comp.messages == ((send_id, recv_id),)
+        assert comp.happened_before(send_id, recv_id)
+
+    def test_process_out_of_range(self):
+        builder = ComputationBuilder(2)
+        with pytest.raises(ComputationError):
+            builder.internal(5)
+
+    def test_resolve_label(self):
+        builder = ComputationBuilder(1)
+        eid = builder.internal(0, label="z")
+        assert builder.resolve_label("z") == eid

@@ -1,0 +1,113 @@
+"""Tests for channel-state (in-flight message) predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import all_consistent_cuts
+from repro.computation import Cut, final_cut, initial_cut
+from repro.detection import definitely, detect_stable, possibly
+from repro.predicates import (
+    conjunction,
+    conjunctive,
+    in_flight,
+    local,
+    quiescent,
+)
+from repro.simulation.protocols import build_token_ring, build_work_stealing
+from repro.trace import random_computation
+
+
+class TestCrossingMessages:
+    def test_figure2(self, figure2):
+        # The one message f->g crosses exactly the cuts with f but not g.
+        crossing_cuts = [
+            cut
+            for cut in all_consistent_cuts(figure2)
+            if cut.crossing_messages()
+        ]
+        assert all(
+            cut.contains((1, 1)) and not cut.contains((2, 1))
+            for cut in crossing_cuts
+        )
+        assert len(crossing_cuts) == 4  # free choice of p0, p3
+
+    def test_endpoints_empty(self, figure2):
+        assert initial_cut(figure2).crossing_messages() == []
+        assert final_cut(figure2).crossing_messages() == []
+
+
+class TestInFlightPredicate:
+    def test_counts(self, figure2):
+        pred = in_flight(">=", 1)
+        cut = Cut(figure2, (1, 2, 1, 1))  # f sent, g not received
+        assert pred.evaluate(cut)
+        assert pred.count(cut) == 1
+        assert not pred.evaluate(initial_cut(figure2))
+
+    def test_channel_filters(self, figure2):
+        cut = Cut(figure2, (1, 2, 1, 1))
+        assert in_flight("==", 1, source=1).evaluate(cut)
+        assert in_flight("==", 0, source=0).evaluate(cut)
+        assert in_flight("==", 1, destination=2).evaluate(cut)
+        assert in_flight("==", 0, destination=3).evaluate(cut)
+
+    def test_quiescent(self, figure2):
+        assert quiescent().evaluate(final_cut(figure2))
+        assert not quiescent().evaluate(Cut(figure2, (1, 2, 1, 1)))
+
+    def test_possibly_in_flight(self, figure2):
+        assert possibly(figure2, in_flight("==", 1))
+        assert not possibly(figure2, in_flight(">=", 2))
+
+    def test_description(self):
+        assert "from p1" in in_flight("==", 0, source=1).description()
+
+
+class TestTermination:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_true_termination_predicate(self, seed):
+        """all idle AND quiescent — the full classical condition."""
+        n = 4
+        comp = build_work_stealing(n, initial_tasks=2, seed=seed)
+        terminated = conjunction(
+            conjunctive(*(local(p, "idle") for p in range(n))),
+            quiescent(),
+        )
+        # The run ends terminated (stable at the final cut).
+        assert detect_stable(comp, terminated).holds
+        # And every run must terminate (the simulator runs to quiescence).
+        assert definitely(comp, terminated)
+
+    def test_all_idle_without_quiescence_is_weaker(self):
+        """Some trace has a state where all are idle but a task is still
+        in flight — all-idle alone would report termination too early."""
+        found = False
+        for seed in range(12):
+            n = 4
+            comp = build_work_stealing(
+                n, initial_tasks=1, seed=seed, spawn_probability=0.9
+            )
+            all_idle = conjunctive(*(local(p, "idle") for p in range(n)))
+            premature = conjunction(all_idle, in_flight(">=", 1))
+            if possibly(comp, premature):
+                found = True
+                break
+        assert found
+
+    def test_token_conservation_with_channels(self):
+        """tokens held + tokens in flight >= 1 at every cut of a correct
+        ring (the token is somewhere)."""
+        comp = build_token_ring(4, hops=6, seed=2)
+        from repro.predicates import FunctionPredicate
+
+        def conserved(cut):
+            held = sum(
+                1 for p in range(4) if cut.value(p, "token", False)
+            )
+            return held + len(cut.crossing_messages()) >= 1
+
+        violation = FunctionPredicate(
+            lambda cut: not conserved(cut), "token lost"
+        )
+        assert not possibly(comp, violation)

@@ -1,0 +1,113 @@
+"""Tests for the fluent TraceChecker assertions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TraceAssertionError, TraceChecker
+from repro.predicates import (
+    conjunctive,
+    exactly_k_tokens,
+    local,
+    sum_predicate,
+)
+from repro.simulation.protocols import (
+    build_lock_scenario,
+    build_token_ring,
+    build_two_phase_commit,
+)
+
+
+@pytest.fixture
+def safe_ring():
+    return build_token_ring(4, hops=6, seed=1)
+
+
+@pytest.fixture
+def buggy_ring():
+    return build_token_ring(4, hops=6, seed=1, rogue_process=2)
+
+
+class TestVocabulary:
+    def test_never_passes_on_safe_trace(self, safe_ring):
+        checker = TraceChecker(safe_ring)
+        result = checker.never(
+            conjunctive(local(0, "cs"), local(1, "cs")), "mutex(0,1)"
+        )
+        assert result is checker
+        assert checker.checked == 1
+
+    def test_never_fails_with_witness_in_message(self, buggy_ring):
+        with pytest.raises(TraceAssertionError) as exc:
+            TraceChecker(buggy_ring).never(
+                conjunctive(local(0, "cs"), local(2, "cs")), "mutex(0,2)"
+            )
+        message = str(exc.value)
+        assert "mutex(0,2)" in message
+        assert "witness global state" in message
+
+    def test_sometimes(self, safe_ring):
+        TraceChecker(safe_ring).sometimes(local(0, "cs"), "p0 enters")
+        with pytest.raises(TraceAssertionError):
+            TraceChecker(safe_ring).sometimes(
+                local(0, "nonexistent"), "impossible"
+            )
+
+    def test_inevitably_commit_point(self):
+        comp = build_two_phase_commit(3, seed=2)
+        TraceChecker(comp).inevitably(
+            conjunctive(*(local(p, "committed") for p in (1, 2, 3))),
+            "commit point",
+        )
+
+    def test_avoidably(self, safe_ring):
+        # A single process in its CS is avoidable?  No — the token forces
+        # every run through p0's CS; use a genuinely avoidable predicate.
+        comp = build_two_phase_commit(3, seed=2, yes_probability=1.0)
+        TraceChecker(comp).avoidably(
+            sum_predicate("committed", "==", 0) & local(1, "committed"),
+        )
+
+    def test_finally_deadlock(self):
+        comp = build_lock_scenario(False, seed=1, stagger=0.3)
+        TraceChecker(comp).finally_(
+            conjunctive(local(2, "blocked"), local(3, "blocked")),
+            "deadlocked at end",
+        )
+
+    def test_finally_failure_shows_frontier(self, safe_ring):
+        with pytest.raises(TraceAssertionError) as exc:
+            TraceChecker(safe_ring).finally_(local(0, "cs"), "ends in CS")
+        assert "final cut" in str(exc.value)
+
+    def test_initially(self, safe_ring):
+        TraceChecker(safe_ring).initially(local(0, "token"))
+        with pytest.raises(TraceAssertionError):
+            TraceChecker(safe_ring).initially(local(1, "token"))
+
+
+class TestChaining:
+    def test_full_protocol_audit(self, safe_ring):
+        import itertools
+
+        checker = TraceChecker(safe_ring)
+        for i, j in itertools.combinations(range(4), 2):
+            checker.never(
+                conjunctive(local(i, "cs"), local(j, "cs")),
+                f"mutex({i},{j})",
+            )
+        checker.never(
+            exactly_k_tokens("token", 4, 2), "single token"
+        ).sometimes(local(2, "cs"), "p2 gets its turn")
+        assert checker.checked == 8
+
+    def test_chain_stops_at_first_failure(self, buggy_ring):
+        checker = TraceChecker(buggy_ring)
+        with pytest.raises(TraceAssertionError):
+            (
+                checker
+                .sometimes(local(0, "cs"))
+                .never(conjunctive(local(0, "cs"), local(2, "cs")))
+                .sometimes(local(1, "cs"))  # never reached
+            )
+        assert checker.checked == 1

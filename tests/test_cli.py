@@ -1,0 +1,143 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.trace import dump_computation
+
+
+@pytest.fixture
+def trace_path(tmp_path, figure2):
+    path = tmp_path / "figure2.json"
+    dump_computation(figure2, path)
+    return str(path)
+
+
+class TestDetect:
+    def test_possibly_hit(self, trace_path, capsys):
+        code = main(["detect", trace_path, "x@0 & x@3"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["holds"] is True
+        assert payload["algorithm"] == "cpdhb"
+        assert payload["witness_frontier"] == [2, 1, 1, 2]
+
+    def test_possibly_miss_exit_code(self, trace_path, capsys):
+        code = main(["detect", trace_path, "x@0 & missing@1"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["holds"] is False
+
+    def test_definitely_modality(self, trace_path, capsys):
+        code = main(
+            ["detect", trace_path, "sum(x) >= 0", "--modality", "definitely"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["modality"] == "definitely"
+
+    def test_count_predicate(self, trace_path, capsys):
+        code = main(["detect", trace_path, "count(x) == 2"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["algorithm"] == "symmetric-unit-step"
+
+    def test_witness_values(self, trace_path, capsys):
+        main(["detect", trace_path, "x@0", "--show-witness-values"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["witness_values"][0]["x"] is True
+
+    def test_count_witnesses(self, trace_path, capsys):
+        main(["detect", trace_path, "x@0 & x@3", "--count-witnesses"])
+        payload = json.loads(capsys.readouterr().out)
+        # (2,*,*,2) frontiers: x true on 0 and 3; p1/p2 free modulo f->g.
+        assert payload["witness_count"] == 3
+
+
+class TestGenerate:
+    def test_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "random.json"
+        code = main(
+            [
+                "generate",
+                "--processes", "3",
+                "--events", "5",
+                "--seed", "9",
+                "--bool", "x",
+                "--walk", "v",
+                "-o", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        detect_code = main(["detect", str(out), "sum(v) >= 0"])
+        assert detect_code in (0, 1)
+
+    def test_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path in (a, b):
+            main(
+                ["generate", "--processes", "2", "--events", "4",
+                 "--seed", "5", "--bool", "x", "-o", str(path)]
+            )
+        assert a.read_text() == b.read_text()
+
+
+class TestSimulate:
+    @pytest.mark.parametrize(
+        "protocol",
+        ["token-ring", "leader-election", "primary-backup", "resource-pool"],
+    )
+    def test_protocols_dump_valid_traces(self, tmp_path, capsys, protocol):
+        out = tmp_path / "trace.json"
+        code = main(
+            ["simulate", protocol, "--processes", "4", "--rounds", "3",
+             "--seed", "2", "-o", str(out)]
+        )
+        assert code == 0
+        capsys.readouterr()  # drop the simulate banner
+        info_code = main(["info", str(out)])
+        assert info_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["processes"] >= 2
+
+    def test_rogue_flag(self, tmp_path, capsys):
+        out = tmp_path / "ring.json"
+        main(
+            ["simulate", "token-ring", "--processes", "4", "--rounds", "5",
+             "--seed", "1", "--rogue", "2", "-o", str(out)]
+        )
+        capsys.readouterr()
+        code = main(["detect", str(out), "cs@0 & cs@2"])
+        # The rogue process usually collides with someone; accept either
+        # outcome but require valid JSON output.
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "cpdhb"
+
+
+class TestInfo:
+    def test_summary_fields(self, trace_path, capsys):
+        code = main(["info", trace_path])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["processes"] == 4
+        assert payload["events"] == 4
+        assert payload["consistent_cuts"] == 12
+        assert payload["variables"] == ["x"]
+
+    def test_lattice_limit(self, trace_path, capsys):
+        main(["info", trace_path, "--lattice-limit", "0"])
+        payload = json.loads(capsys.readouterr().out)
+        assert "consistent_cuts" not in payload
+
+    def test_deep_info(self, trace_path, capsys):
+        code = main(["info", trace_path, "--deep"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["concurrency_width"] == 3
+        assert payload["variables"]["x"]["unit_step"] is True
+        assert 0 <= payload["causal_density"] <= 1

@@ -1,0 +1,193 @@
+"""Tests for the CPDSC meta-process algorithms (paper, Section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import ComputationBuilder, least_consistent_cut
+from repro.detection import (
+    detect_receive_ordered,
+    detect_send_ordered,
+    detect_singular,
+    detect_special_case,
+    is_receive_ordered,
+    is_send_ordered,
+    meta_process_order,
+    possibly_enumerate,
+)
+from repro.detection.singular_cnf import clause_true_events
+from repro.predicates import (
+    UnsupportedPredicateError,
+    clause,
+    local,
+    singular_cnf,
+)
+from repro.trace import BoolVar, grouped_computation
+
+
+def groups_of(pred):
+    return [sorted(cl.processes()) for cl in pred.clauses]
+
+
+def predicate_for_groups(num_groups, group_size, variable="x"):
+    clauses = []
+    for g in range(num_groups):
+        literals = [
+            local(g * group_size + i, variable) for i in range(group_size)
+        ]
+        clauses.append(clause(*literals))
+    return singular_cnf(*clauses)
+
+
+class TestOrderingChecks:
+    def test_receive_ordered_generator_flag(self):
+        comp = grouped_computation(
+            3, 2, 5, message_density=0.6, seed=1,
+            variables=[BoolVar("x", 0.4)], ordering="receive",
+        )
+        pred = predicate_for_groups(3, 2)
+        assert is_receive_ordered(comp, groups_of(pred))
+
+    def test_send_ordered_generator_flag(self):
+        comp = grouped_computation(
+            3, 2, 5, message_density=0.6, seed=2,
+            variables=[BoolVar("x", 0.4)], ordering="send",
+        )
+        pred = predicate_for_groups(3, 2)
+        assert is_send_ordered(comp, groups_of(pred))
+
+    def test_concurrent_receives_break_ordering(self):
+        builder = ComputationBuilder(4)
+        for p in range(4):
+            builder.init_values(p, x=False)
+        # Two concurrent receives inside group {0, 1}.
+        builder.send(2)
+        builder.receive(0, x=True)
+        builder.message((2, 1), (0, 1))
+        builder.send(3)
+        builder.receive(1, x=True)
+        builder.message((3, 1), (1, 1))
+        comp = builder.build()
+        assert not is_receive_ordered(comp, [[0, 1]])
+        assert is_send_ordered(comp, [[0, 1]])  # the group never sends
+
+    def test_single_process_groups_always_ordered(self, figure2):
+        assert is_receive_ordered(figure2, [[0], [1], [2], [3]])
+        assert is_send_ordered(figure2, [[0], [1], [2], [3]])
+
+
+class TestMetaProcessOrder:
+    def test_respects_causality(self):
+        comp = grouped_computation(
+            2, 2, 4, message_density=0.6, seed=3,
+            variables=[BoolVar("x", 0.5)], ordering="receive",
+        )
+        order = meta_process_order(comp, [0, 1])
+        group_events = [
+            ev.event_id
+            for p in (0, 1)
+            for ev in comp.events_of(p)
+        ]
+        for e in group_events:
+            for f in group_events:
+                if comp.happened_before(e, f):
+                    assert order[e] < order[f]
+
+    def test_receives_pushed_after_independents(self):
+        builder = ComputationBuilder(3)
+        builder.send(2)
+        builder.receive(0)
+        builder.message((2, 1), (0, 1))
+        builder.internal(1)  # independent of the receive on process 0
+        comp = builder.build()
+        order = meta_process_order(comp, [0, 1])
+        assert order[(1, 1)] < order[(0, 1)]
+
+    def test_cyclic_extension_detected(self):
+        # Two concurrent receives in one group: the added arrows collide.
+        builder = ComputationBuilder(4)
+        builder.send(2)
+        builder.receive(0)
+        builder.message((2, 1), (0, 1))
+        builder.send(3)
+        builder.receive(1)
+        builder.message((3, 1), (1, 1))
+        comp = builder.build()
+        with pytest.raises(UnsupportedPredicateError):
+            meta_process_order(comp, [0, 1])
+
+
+class TestDetection:
+    def cross_check(self, comp, pred, mode):
+        groups = groups_of(pred)
+        trues = [clause_true_events(comp, cl) for cl in pred.clauses]
+        if mode == "receive":
+            selection = detect_receive_ordered(comp, groups, trues)
+        else:
+            selection = detect_send_ordered(comp, groups, trues)
+        reference = possibly_enumerate(comp, pred)
+        assert (selection is not None) == reference.holds
+        if selection is not None:
+            witness = least_consistent_cut(comp, selection)
+            assert witness is not None
+            assert pred.evaluate(witness)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_receive_ordered_matches_enumeration(self, seed):
+        comp = grouped_computation(
+            2, 2, 4, message_density=0.5, seed=seed,
+            variables=[BoolVar("x", 0.3)], ordering="receive",
+        )
+        self.cross_check(comp, predicate_for_groups(2, 2), "receive")
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_send_ordered_matches_enumeration(self, seed):
+        comp = grouped_computation(
+            2, 2, 4, message_density=0.5, seed=seed,
+            variables=[BoolVar("x", 0.3)], ordering="send",
+        )
+        self.cross_check(comp, predicate_for_groups(2, 2), "send")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_three_groups(self, seed):
+        comp = grouped_computation(
+            3, 2, 3, message_density=0.4, seed=seed,
+            variables=[BoolVar("x", 0.35)], ordering="receive",
+        )
+        self.cross_check(comp, predicate_for_groups(3, 2), "receive")
+
+    def test_special_case_facade_reports_variant(self):
+        comp = grouped_computation(
+            2, 2, 4, message_density=0.5, seed=5,
+            variables=[BoolVar("x", 0.4)], ordering="receive",
+        )
+        result = detect_special_case(comp, predicate_for_groups(2, 2))
+        assert result.algorithm == "cpdsc"
+        assert result.stats["variant"] == "receive-ordered"
+
+    def test_special_case_rejects_unordered(self):
+        builder = ComputationBuilder(4)
+        for p in range(4):
+            builder.init_values(p, x=True)
+        builder.send(2)
+        builder.receive(0, x=True)
+        builder.message((2, 1), (0, 1))
+        builder.send(3)
+        builder.receive(1, x=True)
+        builder.message((3, 1), (1, 1))
+        # Group {2,3} sends concurrently too -> not send-ordered either.
+        comp = builder.build()
+        pred = singular_cnf(
+            clause(local(0, "x"), local(1, "x")),
+            clause(local(2, "x"), local(3, "x")),
+        )
+        with pytest.raises(UnsupportedPredicateError):
+            detect_special_case(comp, pred)
+
+    def test_auto_strategy_uses_special_case_when_possible(self):
+        comp = grouped_computation(
+            2, 2, 4, message_density=0.5, seed=6,
+            variables=[BoolVar("x", 0.4)], ordering="receive",
+        )
+        result = detect_singular(comp, predicate_for_groups(2, 2), "auto")
+        assert result.algorithm == "cpdsc"

@@ -1,0 +1,147 @@
+"""The grand cross-validation matrix.
+
+For batteries of seeded instances, run *every* engine applicable to the
+predicate class and require unanimous verdicts.  Individual modules test
+each engine against one oracle; this matrix pins them against each other,
+so a regression in any engine breaks loudly even if its own tests rot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import brute_definitely, brute_possibly
+from repro.detection import (
+    definitely_conjunctive,
+    definitely_enumerate,
+    definitely_sum,
+    detect_by_chain_choice,
+    detect_by_process_choice,
+    detect_cnf_by_literal_choice,
+    detect_conjunctive,
+    detect_singular,
+    possibly_enumerate,
+    possibly_sum,
+    possibly_sum_eq_exact,
+)
+from repro.predicates import (
+    CNFPredicate,
+    Clause,
+    Literal,
+    clause,
+    cnf,
+    conjunctive,
+    local,
+    sum_predicate,
+)
+from repro.reductions import possibly_via_sat
+from repro.trace import (
+    BoolVar,
+    UnitWalkVar,
+    grouped_computation,
+    random_computation,
+)
+
+
+class TestConjunctiveMatrix:
+    """possibly: CPDHB = literal-choice = chain = process = enum = SAT."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_six_way_agreement(self, seed):
+        comp = random_computation(
+            4, 4, 0.5, seed=seed, variables=[BoolVar("x", 0.4)]
+        )
+        pred_conj = conjunctive(*(local(p, "x") for p in range(4)))
+        pred_cnf = cnf(*(clause(local(p, "x")) for p in range(4)))
+
+        verdicts = {
+            "cpdhb": detect_conjunctive(comp, pred_conj).holds,
+            "literal-choice": detect_cnf_by_literal_choice(
+                comp, pred_cnf
+            ).holds,
+            "chain-choice": detect_by_chain_choice(comp, pred_cnf).holds,
+            "process-choice": detect_by_process_choice(comp, pred_cnf).holds,
+            "enumeration": possibly_enumerate(comp, pred_conj).holds,
+            "sat-oracle": possibly_via_sat(comp, pred_cnf) is not None,
+            "brute": brute_possibly(comp, pred_conj.evaluate) is not None,
+        }
+        assert len(set(verdicts.values())) == 1, (seed, verdicts)
+
+
+class TestSingularMatrix:
+    """possibly of singular 2-CNF: all four engines plus the SAT oracle."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("ordering", [None, "receive"])
+    def test_agreement(self, seed, ordering):
+        comp = grouped_computation(
+            2, 2, 3, message_density=0.5, seed=seed,
+            variables=[BoolVar("x", 0.35)], ordering=ordering,
+        )
+        pred = CNFPredicate(
+            [
+                Clause([Literal(0, "x"), Literal(1, "x", seed % 2 == 0)]),
+                Clause([Literal(2, "x", seed % 3 == 0), Literal(3, "x")]),
+            ]
+        )
+        engines = {
+            "chain": detect_by_chain_choice(comp, pred).holds,
+            "process": detect_by_process_choice(comp, pred).holds,
+            "literal": detect_cnf_by_literal_choice(comp, pred).holds,
+            "auto": detect_singular(comp, pred, "auto").holds,
+            "enum": possibly_enumerate(comp, pred).holds,
+            "sat": possibly_via_sat(comp, pred) is not None,
+        }
+        assert len(set(engines.values())) == 1, (seed, ordering, engines)
+
+
+class TestSumMatrix:
+    """possibly(sum = k), ±1 regime: Theorem 7 = exact = enum = brute."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("k", [-1, 0, 2])
+    def test_agreement(self, seed, k):
+        comp = random_computation(
+            3, 3, 0.5, seed=seed,
+            variables=[UnitWalkVar("v", floor=None)],
+        )
+        pred = sum_predicate("v", "==", k)
+        engines = {
+            "theorem7": possibly_sum(comp, pred).holds,
+            "exact": possibly_sum_eq_exact(comp, pred).holds,
+            "enum": possibly_enumerate(comp, pred).holds,
+            "brute": brute_possibly(comp, pred.evaluate) is not None,
+        }
+        assert len(set(engines.values())) == 1, (seed, k, engines)
+
+
+class TestDefinitelyMatrix:
+    """definitely(conjunctive): anchors = lattice = run enumeration."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agreement(self, seed):
+        comp = random_computation(
+            3, 3, 0.5, seed=seed, variables=[BoolVar("x", 0.55)]
+        )
+        pred = conjunctive(*(local(p, "x") for p in range(3)))
+        engines = {
+            "anchors": definitely_conjunctive(comp, pred).holds,
+            "lattice": definitely_enumerate(comp, pred).holds,
+            "runs": brute_definitely(comp, pred.evaluate),
+        }
+        assert len(set(engines.values())) == 1, (seed, engines)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [-1, 0, 1])
+    def test_sum_definitely_agreement(self, seed, k):
+        comp = random_computation(
+            3, 3, 0.4, seed=seed,
+            variables=[UnitWalkVar("v", floor=None)],
+        )
+        pred = sum_predicate("v", "==", k)
+        engines = {
+            "theorem7(2)": definitely_sum(comp, pred).holds,
+            "lattice": definitely_enumerate(comp, pred).holds,
+            "runs": brute_definitely(comp, pred.evaluate),
+        }
+        assert len(set(engines.values())) == 1, (seed, k, engines)

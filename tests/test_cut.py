@@ -1,0 +1,200 @@
+"""Tests for cuts: consistency, lattice operations, witnesses."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import all_consistent_cuts, all_cuts
+from repro.computation import (
+    Cut,
+    InvalidCutError,
+    final_cut,
+    initial_cut,
+    least_consistent_cut,
+)
+from repro.trace import random_computation
+
+random_comp = st.builds(
+    random_computation,
+    num_processes=st.integers(2, 4),
+    events_per_process=st.integers(1, 4),
+    message_density=st.floats(0.0, 0.8),
+    seed=st.integers(0, 10_000),
+)
+
+
+class TestConstruction:
+    def test_frontier_bounds_checked(self, figure2):
+        with pytest.raises(InvalidCutError):
+            Cut(figure2, (0, 1, 1, 1))
+        with pytest.raises(InvalidCutError):
+            Cut(figure2, (3, 1, 1, 1))
+        with pytest.raises(InvalidCutError):
+            Cut(figure2, (1, 1, 1))
+
+    def test_initial_and_final(self, figure2):
+        bottom = initial_cut(figure2)
+        top = final_cut(figure2)
+        assert bottom.frontier == (1, 1, 1, 1)
+        assert top.frontier == (2, 2, 2, 2)
+        assert bottom.is_consistent() and top.is_consistent()
+        assert bottom.size() == 0
+        assert top.size() == 4
+
+    def test_equality_and_hash(self, figure2):
+        assert Cut(figure2, (1, 2, 1, 1)) == Cut(figure2, (1, 2, 1, 1))
+        assert hash(Cut(figure2, (1, 2, 1, 1))) == hash(Cut(figure2, (1, 2, 1, 1)))
+        assert Cut(figure2, (1, 2, 1, 1)) != Cut(figure2, (2, 1, 1, 1))
+
+
+class TestConsistency:
+    def test_receive_without_send_is_inconsistent(self, figure2):
+        # g (receive) included but f (send) excluded.
+        assert not Cut(figure2, (1, 1, 2, 1)).is_consistent()
+
+    def test_send_without_receive_is_consistent(self, figure2):
+        assert Cut(figure2, (1, 2, 1, 1)).is_consistent()
+
+    def test_contains_and_passes_through(self, figure2):
+        cut = Cut(figure2, (2, 2, 1, 1))
+        assert cut.contains((0, 1))
+        assert cut.passes_through((0, 1))
+        assert cut.contains((1, 0)) and not cut.passes_through((1, 0))
+        assert not cut.contains((2, 1))
+
+    def test_unknown_event_queries_raise(self, figure2):
+        cut = initial_cut(figure2)
+        with pytest.raises(InvalidCutError):
+            cut.contains((9, 9))
+        with pytest.raises(InvalidCutError):
+            cut.passes_through((9, 9))
+
+
+class TestAdvanceRetreat:
+    def test_advance_adds_one_event(self, figure2):
+        cut = initial_cut(figure2).advance(0)
+        assert cut.frontier == (2, 1, 1, 1)
+
+    def test_advance_beyond_final_raises(self, figure2):
+        with pytest.raises(InvalidCutError):
+            final_cut(figure2).advance(0)
+
+    def test_retreat_inverse_of_advance(self, figure2):
+        cut = initial_cut(figure2).advance(1)
+        assert cut.retreat(1) == initial_cut(figure2)
+
+    def test_retreat_below_initial_raises(self, figure2):
+        with pytest.raises(InvalidCutError):
+            initial_cut(figure2).retreat(2)
+
+    def test_enabled_respects_messages(self, figure2):
+        bottom = initial_cut(figure2)
+        assert bottom.is_enabled(1)  # the send f
+        assert not bottom.is_enabled(2)  # g needs f first
+        assert bottom.advance(1).is_enabled(2)
+
+    def test_enabled_false_at_process_end(self, figure2):
+        assert not final_cut(figure2).is_enabled(0)
+
+    def test_successors_are_consistent_supersets(self, diamond):
+        for cut in all_consistent_cuts(diamond):
+            for nxt in cut.successors():
+                assert nxt.is_consistent()
+                assert cut.subset_of(nxt)
+                assert nxt.size() == cut.size() + 1
+
+    def test_predecessors_inverse_of_successors(self, diamond):
+        cuts = all_consistent_cuts(diamond)
+        succ_pairs = {
+            (cut, nxt) for cut in cuts for nxt in cut.successors()
+        }
+        pred_pairs = {
+            (prev, cut) for cut in cuts for prev in cut.predecessors()
+        }
+        assert succ_pairs == pred_pairs
+
+
+class TestLatticeOps:
+    @settings(max_examples=30, deadline=None)
+    @given(random_comp)
+    def test_union_intersection_preserve_consistency(self, comp):
+        cuts = all_consistent_cuts(comp)
+        # Sample a few pairs to keep runtime sane.
+        sample = cuts[:: max(1, len(cuts) // 8)]
+        for a in sample:
+            for b in sample:
+                assert a.union(b).is_consistent()
+                assert a.intersection(b).is_consistent()
+
+    def test_union_is_join(self, figure2):
+        a = Cut(figure2, (2, 1, 1, 1))
+        b = Cut(figure2, (1, 2, 1, 1))
+        assert a.union(b).frontier == (2, 2, 1, 1)
+        assert a.intersection(b).frontier == (1, 1, 1, 1)
+
+    def test_cross_computation_ops_rejected(self, figure2, diamond):
+        with pytest.raises(InvalidCutError):
+            initial_cut(figure2).union(initial_cut(diamond))
+
+    def test_subset_of(self, figure2):
+        assert initial_cut(figure2).subset_of(final_cut(figure2))
+        assert not final_cut(figure2).subset_of(initial_cut(figure2))
+
+
+class TestValues:
+    def test_value_reads_frontier_event(self, two_chain):
+        cut = Cut(two_chain, (2, 1))
+        assert cut.value(0, "x") is True
+        assert cut.value(1, "x") is False
+
+    def test_values_vector(self, two_chain):
+        cut = Cut(two_chain, (2, 3))
+        assert cut.values("v") == [1, 0]
+
+    def test_variable_sum(self, two_chain):
+        assert Cut(two_chain, (3, 3)).variable_sum("v") == 2
+        assert Cut(two_chain, (1, 1)).variable_sum("v") == 0
+
+    def test_value_default(self, two_chain):
+        assert initial_cut(two_chain).value(0, "nope", 42) == 42
+
+
+class TestLeastConsistentCut:
+    def test_single_event(self, figure2):
+        cut = least_consistent_cut(figure2, [(2, 1)])
+        assert cut is not None
+        assert cut.passes_through((2, 1))
+        # g's past pulls in f.
+        assert cut.contains((1, 1))
+
+    def test_pairwise_consistent_set(self, figure2):
+        cut = least_consistent_cut(figure2, [(0, 1), (3, 1)])
+        assert cut is not None
+        assert cut.passes_through((0, 1))
+        assert cut.passes_through((3, 1))
+
+    def test_inconsistent_pair_returns_none(self, two_chain):
+        # (0,1) and (1,2) are inconsistent (message from (0,2)).
+        assert least_consistent_cut(two_chain, [(0, 1), (1, 2)]) is None
+
+    def test_two_events_same_process_rejected(self, two_chain):
+        assert least_consistent_cut(two_chain, [(0, 1), (0, 2)]) is None
+
+    def test_empty_set_gives_bottom(self, figure2):
+        assert least_consistent_cut(figure2, []) == initial_cut(figure2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_comp)
+    def test_matches_brute_force_minimality(self, comp):
+        cuts = all_consistent_cuts(comp)
+        ids = [ev.event_id for ev in comp.all_events(include_initial=True)]
+        # Test all singletons and a sample of pairs.
+        for e in ids:
+            expected = [c for c in cuts if c.passes_through(e)]
+            got = least_consistent_cut(comp, [e])
+            assert (got is not None) == bool(expected)
+            if got is not None:
+                assert got in expected
+                assert all(got.subset_of(c) for c in expected)

@@ -1,0 +1,105 @@
+"""Stateful property test: the Cut advance/retreat machine.
+
+Hypothesis drives random walks over the lattice of consistent cuts,
+checking that enabledness, consistency, and monotonic invariants hold at
+every step — the substrate every detector stands on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.computation import Cut, final_cut, initial_cut
+from repro.trace import BoolVar, random_computation
+
+
+class CutWalk(RuleBasedStateMachine):
+    """Random walk over consistent cuts via advance/retreat."""
+
+    @initialize(
+        seed=st.integers(0, 10_000),
+        num_processes=st.integers(2, 4),
+        events=st.integers(1, 5),
+        density=st.floats(0.0, 0.8),
+    )
+    def setup(self, seed, num_processes, events, density):
+        self.comp = random_computation(
+            num_processes, events, density, seed=seed,
+            variables=[BoolVar("x", 0.5)],
+        )
+        self.cut = initial_cut(self.comp)
+        self.history = [self.cut]
+
+    # ------------------------------------------------------------------
+    @precondition(lambda self: any(
+        self.cut.is_enabled(p) for p in range(self.comp.num_processes)
+    ))
+    @rule(data=st.data())
+    def advance_enabled(self, data):
+        enabled = [
+            p
+            for p in range(self.comp.num_processes)
+            if self.cut.is_enabled(p)
+        ]
+        p = data.draw(st.sampled_from(enabled))
+        previous = self.cut
+        self.cut = self.cut.advance(p)
+        self.history.append(self.cut)
+        assert previous.subset_of(self.cut)
+        assert self.cut.size() == previous.size() + 1
+
+    @precondition(lambda self: any(
+        True for _ in self.cut.predecessors()
+    ))
+    @rule(data=st.data())
+    def retreat_removable(self, data):
+        predecessors = list(self.cut.predecessors())
+        self.cut = data.draw(st.sampled_from(predecessors))
+        self.history.append(self.cut)
+
+    @rule()
+    def jump_to_join_with_history(self):
+        # Union with a random earlier cut must stay consistent.
+        earlier = self.history[len(self.history) // 2]
+        joined = self.cut.union(earlier)
+        assert joined.is_consistent()
+        meet = self.cut.intersection(earlier)
+        assert meet.is_consistent()
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def cut_is_consistent(self):
+        if not hasattr(self, "cut"):
+            return
+        assert self.cut.is_consistent()
+
+    @invariant()
+    def within_lattice_bounds(self):
+        if not hasattr(self, "cut"):
+            return
+        assert initial_cut(self.comp).subset_of(self.cut)
+        assert self.cut.subset_of(final_cut(self.comp))
+
+    @invariant()
+    def enabled_advances_stay_consistent(self):
+        if not hasattr(self, "cut"):
+            return
+        for p in range(self.comp.num_processes):
+            if self.cut.is_enabled(p):
+                assert self.cut.advance(p).is_consistent()
+            elif self.cut.frontier[p] < len(self.comp.events_of(p)):
+                assert not self.cut.advance(p).is_consistent()
+
+
+CutWalk.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestCutWalk = CutWalk.TestCase

@@ -1,0 +1,178 @@
+"""Tests for the interval-anchor `definitely` engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import brute_definitely
+from repro.computation import ComputationBuilder
+from repro.detection import (
+    definitely_conjunctive,
+    definitely_enumerate,
+    false_intervals,
+)
+from repro.predicates import clause, cnf, conjunctive, local
+from repro.trace import BoolVar, random_computation
+
+random_comp = st.builds(
+    random_computation,
+    num_processes=st.integers(2, 4),
+    events_per_process=st.integers(0, 4),
+    message_density=st.floats(0.0, 0.8),
+    seed=st.integers(0, 100_000),
+    variables=st.just([BoolVar("x", density=0.5)]),
+)
+
+# The run-enumeration oracle is factorially expensive (a 4x4 grid already
+# has millions of runs); keep its inputs tiny.
+small_comp = st.builds(
+    random_computation,
+    num_processes=st.integers(2, 3),
+    events_per_process=st.integers(0, 3),
+    message_density=st.floats(0.0, 0.8),
+    seed=st.integers(0, 100_000),
+    variables=st.just([BoolVar("x", density=0.5)]),
+)
+
+
+class TestFalseIntervals:
+    def test_figure2_intervals(self, figure2):
+        pred = conjunctive(local(0, "x"))
+        intervals = false_intervals(figure2, pred)
+        # x is false only at the initial event of process 0.
+        assert len(intervals) == 1
+        assert (intervals[0].start, intervals[0].end) == (0, 0)
+
+    def test_always_true_conjunct_has_no_intervals(self):
+        builder = ComputationBuilder(1)
+        builder.init_values(0, x=True)
+        builder.internal(0, x=True)
+        pred = conjunctive(local(0, "x"))
+        assert false_intervals(builder.build(), pred) == []
+
+    def test_alternating_values(self):
+        builder = ComputationBuilder(1)
+        builder.init_values(0, x=False)
+        builder.internal(0, x=True)
+        builder.internal(0, x=False)
+        builder.internal(0, x=False)
+        builder.internal(0, x=True)
+        pred = conjunctive(local(0, "x"))
+        intervals = false_intervals(builder.build(), pred)
+        assert [(i.start, i.end) for i in intervals] == [(0, 0), (2, 3)]
+
+
+class TestHandCases:
+    def test_true_at_bottom_is_definite(self):
+        builder = ComputationBuilder(2)
+        for p in range(2):
+            builder.init_values(p, x=True)
+            builder.internal(p, x=False)
+        pred = conjunctive(local(0, "x"), local(1, "x"))
+        assert definitely_conjunctive(builder.build(), pred).holds
+
+    def test_true_at_top_is_definite(self):
+        builder = ComputationBuilder(2)
+        for p in range(2):
+            builder.init_values(p, x=False)
+            builder.internal(p, x=True)
+        pred = conjunctive(local(0, "x"), local(1, "x"))
+        assert definitely_conjunctive(builder.build(), pred).holds
+
+    def test_transient_overlap_is_avoidable(self):
+        # Each process true only in the middle, no messages: a run can
+        # stagger the true windows.
+        builder = ComputationBuilder(2)
+        for p in range(2):
+            builder.init_values(p, x=False)
+            builder.internal(p, x=True)
+            builder.internal(p, x=False)
+        pred = conjunctive(local(0, "x"), local(1, "x"))
+        assert not definitely_conjunctive(builder.build(), pred).holds
+
+    def test_message_can_force_overlap(self):
+        # p1 becomes true only after hearing from p0's true phase, and p0
+        # stays true until after it sends: every run sees both true.
+        builder = ComputationBuilder(2)
+        builder.init_values(0, x=False)
+        builder.init_values(1, x=False)
+        builder.send(0, x=True)
+        builder.internal(0, x=True)
+        builder.receive(1, x=True)
+        builder.message((0, 1), (1, 1))
+        comp = builder.build()
+        pred = conjunctive(local(0, "x"), local(1, "x"))
+        # Check against the enumeration engine to be sure of the ground
+        # truth, then against the anchor engine.
+        reference = definitely_enumerate(comp, pred).holds
+        assert definitely_conjunctive(comp, pred).holds == reference
+        assert reference  # p0 is true from event 1 to the end
+
+    def test_single_process(self):
+        builder = ComputationBuilder(1)
+        builder.init_values(0, x=False)
+        builder.internal(0, x=True)
+        builder.internal(0, x=False)
+        pred = conjunctive(local(0, "x"))
+        # The only run passes through the true event.
+        assert definitely_conjunctive(builder.build(), pred).holds
+
+    def test_single_process_all_false(self):
+        builder = ComputationBuilder(1)
+        builder.init_values(0, x=False)
+        builder.internal(0, x=False)
+        pred = conjunctive(local(0, "x"))
+        assert not definitely_conjunctive(builder.build(), pred).holds
+
+
+class TestAgainstOracles:
+    @settings(max_examples=60, deadline=None)
+    @given(small_comp, st.integers(1, 4))
+    def test_matches_run_enumeration(self, comp, width):
+        processes = list(range(min(width, comp.num_processes)))
+        pred = conjunctive(*(local(p, "x") for p in processes))
+        fast = definitely_conjunctive(comp, pred).holds
+        assert fast == brute_definitely(comp, pred.evaluate)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_comp)
+    def test_matches_lattice_reachability(self, comp):
+        pred = conjunctive(*(local(p, "x") for p in range(comp.num_processes)))
+        fast = definitely_conjunctive(comp, pred).holds
+        slow = definitely_enumerate(comp, pred).holds
+        assert fast == slow
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_comp)
+    def test_negated_conjuncts(self, comp):
+        pred = conjunctive(
+            local(0, "x", negated=True), local(1, "x")
+        )
+        fast = definitely_conjunctive(comp, pred).holds
+        assert fast == brute_definitely(comp, pred.evaluate)
+
+
+class TestDispatch:
+    def test_facade_routes_conjunctive_definitely(self):
+        from repro.detection import detect
+        from repro.predicates import Modality
+
+        comp = random_computation(
+            3, 3, 0.4, seed=2, variables=[BoolVar("x", 0.5)]
+        )
+        pred = conjunctive(local(0, "x"), local(1, "x"))
+        result = detect(comp, pred, Modality.DEFINITELY)
+        assert result.algorithm == "interval-anchor"
+
+    def test_facade_routes_one_cnf(self):
+        from repro.detection import detect
+        from repro.predicates import Modality
+
+        comp = random_computation(
+            3, 3, 0.4, seed=2, variables=[BoolVar("x", 0.5)]
+        )
+        pred = cnf(clause(local(0, "x")), clause(local(1, "x")))
+        result = detect(comp, pred, Modality.DEFINITELY)
+        assert result.algorithm == "interval-anchor"

@@ -1,0 +1,91 @@
+"""Tests for DIMACS CNF import/export."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reductions import (
+    CNFFormula,
+    DimacsError,
+    dpll_solve,
+    parse_dimacs,
+    random_3cnf,
+    satisfiability_to_detection,
+    to_dimacs,
+    to_nonmonotone_3cnf,
+)
+
+
+class TestParse:
+    def test_basic(self):
+        text = "c demo\np cnf 3 2\n1 -2 3 0\n-1 2 0\n"
+        formula = parse_dimacs(text)
+        assert formula.clauses == ((1, -2, 3), (-1, 2))
+
+    def test_multiline_clause(self):
+        formula = parse_dimacs("p cnf 3 1\n1\n-2\n3 0\n")
+        assert formula.clauses == ((1, -2, 3),)
+
+    def test_missing_terminator_tolerated(self):
+        formula = parse_dimacs("p cnf 2 1\n1 2")
+        assert formula.clauses == ((1, 2),)
+
+    def test_comments_anywhere(self):
+        text = "c head\np cnf 2 2\n1 0\nc middle\n2 0\n"
+        assert parse_dimacs(text).num_clauses == 2
+
+    def test_percent_footer(self):
+        text = "p cnf 1 1\n1 0\n%\n0\n"
+        assert parse_dimacs(text).clauses == ((1,),)
+
+    def test_bad_header(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p dnf 2 1\n1 0\n")
+
+    def test_clause_count_mismatch(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 5\n1 0\n")
+
+    def test_variable_overflow(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 1\n7 0\n")
+
+    def test_garbage_token(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 1\nx 0\n")
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_formulas(self, seed):
+        formula = random_3cnf(5, 7, seed=seed)
+        rebuilt = parse_dimacs(to_dimacs(formula))
+        assert rebuilt.clauses == formula.clauses
+
+    def test_comment_preserved_as_comment(self):
+        formula = CNFFormula(((1, -2),))
+        text = to_dimacs(formula, comment="two\nlines")
+        assert text.startswith("c two\nc lines\n")
+        assert parse_dimacs(text).clauses == formula.clauses
+
+    def test_empty_variables(self):
+        formula = CNFFormula(((1,),))
+        assert "p cnf 1 1" in to_dimacs(formula)
+
+
+class TestPipeline:
+    def test_dimacs_to_detection(self):
+        """Real pipeline: DIMACS text -> gadget -> detection == DPLL."""
+        text = "p cnf 4 4\n1 2 3 0\n-1 -2 0\n2 -3 4 0\n-4 0\n"
+        formula = parse_dimacs(text)
+        nonmono, _ = to_nonmonotone_3cnf(formula)
+        instance = satisfiability_to_detection(nonmono)
+        from repro.detection import detect_by_chain_choice
+
+        detected = detect_by_chain_choice(
+            instance.computation, instance.predicate
+        ).holds
+        assert detected == (dpll_solve(nonmono) is not None)

@@ -1,0 +1,147 @@
+"""End-to-end integration: simulate → persist → reload → analyze → detect.
+
+Each scenario runs a protocol on the simulator, round-trips the trace
+through JSON, and checks that every layer of the library gives mutually
+consistent answers on the reloaded computation.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.analysis import summarize, variable_profile
+from repro.computation import final_cut, some_linearization
+from repro.detection import (
+    definitely,
+    detect_conjunctive,
+    detect_stable,
+    possibly,
+    possibly_sum,
+    possibly_symmetric,
+)
+from repro.monitor import OnlineConjunctiveMonitor
+from repro.predicates import (
+    conjunctive,
+    exactly_k_tokens,
+    local,
+    parse_predicate,
+    sum_predicate,
+)
+from repro.simulation.protocols import (
+    build_leader_election,
+    build_lock_scenario,
+    build_primary_backup,
+    build_resource_pool,
+    build_token_ring,
+    build_two_phase_commit,
+)
+from repro.slicing import ConjunctiveSlice
+from repro.trace import dump_computation, load_computation
+
+
+def round_trip(tmp_path, comp):
+    path = tmp_path / "trace.json"
+    dump_computation(comp, path)
+    return load_computation(path)
+
+
+class TestTokenRingPipeline:
+    def test_full_pipeline(self, tmp_path):
+        comp = round_trip(
+            tmp_path, build_token_ring(4, hops=6, seed=3, rogue_process=1)
+        )
+        summary = summarize(comp)
+        assert summary["variables"]["cs"]["boolean"]
+        assert summary["variables"]["token"]["unit_step"]
+
+        # Offline detection, parsed predicate, and the online monitor must
+        # all agree about the mutual-exclusion violation.
+        violated_pairs = []
+        for i, j in itertools.combinations(range(4), 2):
+            pred = conjunctive(local(i, "cs"), local(j, "cs"))
+            offline = detect_conjunctive(comp, pred)
+            parsed = possibly(comp, parse_predicate(f"cs@{i} & cs@{j}"))
+            assert offline.holds == parsed
+
+            monitor = OnlineConjunctiveMonitor(4, [i, j])
+            for p in (i, j):
+                ev = comp.initial_event(p)
+                monitor.observe(
+                    p, 0, comp.clock(ev.event_id), bool(ev.value("cs", False))
+                )
+            for eid in some_linearization(comp):
+                if eid[0] in (i, j):
+                    ev = comp.event(eid)
+                    monitor.observe(
+                        eid[0], eid[1], comp.clock(eid),
+                        bool(ev.value("cs", False)),
+                    )
+            monitor.finish_all()
+            assert monitor.detected == offline.holds
+
+            if offline.holds:
+                violated_pairs.append((i, j))
+                # The slice agrees there are satisfying cuts, and its least
+                # cut matches CPDHB's witness.
+                slc = ConjunctiveSlice(comp, pred)
+                assert not slc.empty
+                assert slc.least == offline.witness
+        assert violated_pairs, "rogue process should violate some pair"
+
+
+class TestCommitPipeline:
+    def test_commit_point_everywhere(self, tmp_path):
+        comp = round_trip(tmp_path, build_two_phase_commit(3, seed=4))
+        committed = conjunctive(*(local(p, "committed") for p in (1, 2, 3)))
+        assert definitely(comp, committed)
+        assert detect_stable(comp, committed).holds
+        # Sum view: applied commits rise 0 -> 3 through every count.
+        for k in range(4):
+            assert possibly_sum(
+                comp, sum_predicate("committed", "==", k)
+            ).holds
+
+
+class TestReplicationPipeline:
+    def test_progress_and_analysis(self, tmp_path):
+        comp = round_trip(tmp_path, build_primary_backup(2, 3, seed=5))
+        profile = variable_profile(comp, "applied")
+        assert profile.unit_step
+        assert profile.maximum == 3
+        total = 3 * 3
+        assert possibly_sum(comp, sum_predicate("applied", "==", total)).holds
+        assert definitely(comp, sum_predicate("applied", ">=", total))
+
+
+class TestPoolPipeline:
+    def test_symmetric_suite(self, tmp_path):
+        workers, capacity = 5, 2
+        comp = round_trip(
+            tmp_path,
+            build_resource_pool(workers, capacity, rounds=2, seed=6),
+        )
+        n = workers + 1
+        assert possibly_symmetric(
+            comp, exactly_k_tokens("busy", n, capacity)
+        ).holds
+        assert not possibly_symmetric(
+            comp, exactly_k_tokens("busy", n, capacity + 1)
+        ).holds
+        parsed = parse_predicate(f"count(busy) == {capacity}", num_processes=n)
+        assert possibly(comp, parsed)
+
+
+class TestElectionAndLocks:
+    def test_election(self, tmp_path):
+        comp = round_trip(tmp_path, build_leader_election(5, seed=7))
+        assert definitely(comp, exactly_k_tokens("leader", 5, 1))
+
+    def test_deadlock(self, tmp_path):
+        comp = round_trip(
+            tmp_path, build_lock_scenario(False, seed=7, stagger=0.3)
+        )
+        blocked = conjunctive(local(2, "blocked"), local(3, "blocked"))
+        assert detect_stable(comp, blocked).holds
+        assert not final_cut(comp).value(2, "done")

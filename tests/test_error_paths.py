@@ -1,0 +1,166 @@
+"""Systematic error-path coverage across the public API.
+
+Good failure behaviour is part of the contract: wrong inputs should raise
+the documented exception types with actionable messages, never corrupt
+state or silently mis-answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import (
+    Computation,
+    ComputationBuilder,
+    ComputationError,
+    Cut,
+    InvalidCutError,
+    UnknownEventError,
+)
+from repro.events import Event, EventKind, VectorClock
+from repro.predicates import (
+    NotSingularError,
+    PredicateError,
+    PredicateSyntaxError,
+    Relop,
+    UnsupportedPredicateError,
+    clause,
+    cnf,
+    local,
+    parse_predicate,
+    singular_cnf,
+    sum_predicate,
+)
+
+
+class TestComputationErrors:
+    def test_unknown_event_everywhere(self, figure2):
+        for method in ("predecessor", "successor", "clock"):
+            with pytest.raises(UnknownEventError):
+                getattr(figure2, method)((9, 9))
+
+    def test_happened_before_unknown_events(self, figure2):
+        with pytest.raises(UnknownEventError):
+            figure2.happened_before((9, 9), (0, 1))
+        with pytest.raises(UnknownEventError):
+            figure2.happened_before((0, 1), (9, 9))
+
+    def test_events_of_bad_process(self, figure2):
+        with pytest.raises(ComputationError):
+            figure2.events_of(17)
+
+    def test_duplicate_labels_rejected_at_index_time(self):
+        events0 = [
+            Event(0, 0, EventKind.INITIAL),
+            Event(0, 1, EventKind.INTERNAL, label="dup"),
+        ]
+        events1 = [
+            Event(1, 0, EventKind.INITIAL),
+            Event(1, 1, EventKind.INTERNAL, label="dup"),
+        ]
+        comp = Computation([events0, events1])
+        with pytest.raises(ComputationError):
+            comp.label_index()
+
+
+class TestCutErrors:
+    def test_all_invalid_frontiers(self, figure2):
+        for frontier in [(0, 1, 1, 1), (1, 1, 1, 9), (1, 1), (1,) * 5]:
+            with pytest.raises(InvalidCutError):
+                Cut(figure2, frontier)
+
+    def test_cross_computation_subset(self, figure2, diamond):
+        from repro.computation import initial_cut
+
+        with pytest.raises(InvalidCutError):
+            initial_cut(figure2).subset_of(initial_cut(diamond))
+
+
+class TestPredicateErrors:
+    def test_singularity_error_names_processes(self):
+        with pytest.raises(NotSingularError) as exc:
+            singular_cnf(
+                clause(local(0, "x"), local(1, "x")),
+                clause(local(1, "y")),
+            )
+        assert "1" in str(exc.value)
+
+    def test_unsupported_special_case_is_actionable(self, figure2):
+        from repro.detection import detect_special_case
+
+        # Build a non-orderable computation for the groups.
+        builder = ComputationBuilder(4)
+        for p in range(4):
+            builder.init_values(p, x=True)
+        builder.send(2)
+        builder.receive(0, x=True)
+        builder.message((2, 1), (0, 1))
+        builder.send(3)
+        builder.receive(1, x=True)
+        builder.message((3, 1), (1, 1))
+        builder.send(0)
+        builder.receive(2, x=True)
+        builder.message((0, 2), (2, 2))
+        builder.send(1)
+        builder.receive(3, x=True)
+        builder.message((1, 2), (3, 2))
+        comp = builder.build()
+        pred = singular_cnf(
+            clause(local(0, "x"), local(1, "x")),
+            clause(local(2, "x"), local(3, "x")),
+        )
+        with pytest.raises(UnsupportedPredicateError) as exc:
+            detect_special_case(comp, pred)
+        assert "chain" in str(exc.value)  # points at the fallback engine
+
+    def test_unit_step_violation_names_variable(self):
+        from repro.detection import possibly_sum_eq_unit
+
+        builder = ComputationBuilder(1)
+        builder.init_values(0, v=0)
+        builder.internal(0, v=7)
+        with pytest.raises(UnsupportedPredicateError) as exc:
+            possibly_sum_eq_unit(builder.build(), sum_predicate("v", "==", 3))
+        assert "'v'" in str(exc.value)
+
+    def test_parser_error_mentions_offset_or_token(self):
+        with pytest.raises(PredicateSyntaxError) as exc:
+            parse_predicate("x@0 $ x@1")
+        assert "$" in str(exc.value)
+
+    def test_relop_error(self):
+        with pytest.raises(PredicateError):
+            Relop.from_symbol("<>")
+
+
+class TestDetectionErrors:
+    def test_strategy_validation(self, figure2):
+        from repro.detection import detect_singular
+
+        pred = singular_cnf(clause(local(0, "x")))
+        with pytest.raises(ValueError):
+            detect_singular(figure2, pred, strategy="turbo")
+
+    def test_exact_engine_relop_guard(self, figure2):
+        from repro.detection import possibly_sum_eq_exact
+
+        with pytest.raises(UnsupportedPredicateError):
+            possibly_sum_eq_exact(figure2, sum_predicate("x", ">=", 1))
+
+
+class TestSimulatorErrors:
+    def test_clock_dimension_checks(self):
+        from repro.monitor import MonitorError, OnlineConjunctiveMonitor
+
+        monitor = OnlineConjunctiveMonitor(3, [0, 1])
+        with pytest.raises(MonitorError):
+            monitor.observe(0, 1, VectorClock([1, 1]), True)
+
+    def test_viz_guard_message_names_limit(self):
+        from repro.trace import random_computation
+        from repro.viz import LatticeTooLargeError, lattice_to_dot
+
+        comp = random_computation(4, 4, 0.1, seed=0)
+        with pytest.raises(LatticeTooLargeError) as exc:
+            lattice_to_dot(comp, max_cuts=5)
+        assert "5" in str(exc.value)

@@ -1,0 +1,57 @@
+"""Unit tests for the event model."""
+
+from __future__ import annotations
+
+from repro.events import Event, EventKind
+
+
+class TestEventKind:
+    def test_send_classification(self):
+        assert EventKind.SEND.is_send
+        assert EventKind.SEND_RECEIVE.is_send
+        assert not EventKind.RECEIVE.is_send
+        assert not EventKind.INTERNAL.is_send
+        assert not EventKind.INITIAL.is_send
+
+    def test_receive_classification(self):
+        assert EventKind.RECEIVE.is_receive
+        assert EventKind.SEND_RECEIVE.is_receive
+        assert not EventKind.SEND.is_receive
+        assert not EventKind.INTERNAL.is_receive
+        assert not EventKind.INITIAL.is_receive
+
+
+class TestEvent:
+    def test_event_id(self):
+        event = Event(process=2, index=5)
+        assert event.event_id == (2, 5)
+
+    def test_is_initial(self):
+        assert Event(process=0, index=0, kind=EventKind.INITIAL).is_initial
+        assert not Event(process=0, index=1).is_initial
+
+    def test_value_lookup_with_default(self):
+        event = Event(process=0, index=1, values={"x": True})
+        assert event.value("x") is True
+        assert event.value("missing") is None
+        assert event.value("missing", 7) == 7
+
+    def test_default_kind_is_internal(self):
+        assert Event(process=0, index=1).kind is EventKind.INTERNAL
+
+    def test_str_uses_label(self):
+        event = Event(process=1, index=2, label="f")
+        assert "f" in str(event)
+
+    def test_str_without_label(self):
+        event = Event(process=1, index=2)
+        assert "p1" in str(event)
+
+    def test_frozen(self):
+        event = Event(process=0, index=1)
+        try:
+            event.process = 3  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("Event should be immutable")

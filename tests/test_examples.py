@@ -1,0 +1,37 @@
+"""Smoke-run the example scripts — shipped examples must keep working."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+# The fast examples run in the suite; the heavier ones are exercised by
+# `make examples` (they all run in seconds, but test time adds up).
+FAST = [
+    "quickstart.py",
+    "deadlock_detection.py",
+    "debug_mutual_exclusion.py",
+    "online_monitoring.py",
+    "trace_assertions.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST)
+def test_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES / script
+    assert path.exists()
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_all_examples_present():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 8
+    assert "quickstart.py" in scripts

@@ -1,0 +1,140 @@
+"""Tests for the random trace generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection import is_receive_ordered, is_send_ordered
+from repro.trace import (
+    ArbitraryWalkVar,
+    BoolVar,
+    UnitWalkVar,
+    computation_to_dict,
+    grouped_computation,
+    random_computation,
+)
+
+
+class TestShape:
+    def test_event_counts(self):
+        comp = random_computation(4, 7, 0.5, seed=0)
+        assert comp.num_processes == 4
+        for p in range(4):
+            assert comp.num_events(p) == 7
+
+    def test_zero_events(self):
+        comp = random_computation(3, 0, 0.5, seed=0)
+        assert comp.total_events() == 0
+
+    def test_deterministic(self):
+        a = random_computation(3, 5, 0.5, seed=42, variables=[BoolVar("x")])
+        b = random_computation(3, 5, 0.5, seed=42, variables=[BoolVar("x")])
+        assert computation_to_dict(a) == computation_to_dict(b)
+
+    def test_zero_density_means_no_messages(self):
+        comp = random_computation(4, 6, 0.0, seed=1)
+        assert not comp.messages
+
+    def test_high_density_produces_messages(self):
+        comp = random_computation(4, 10, 0.9, seed=1)
+        assert comp.messages
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_computation(0, 3, 0.5, seed=0)
+        with pytest.raises(ValueError):
+            random_computation(2, -1, 0.5, seed=0)
+        with pytest.raises(ValueError):
+            random_computation(2, 3, 1.5, seed=0)
+
+
+class TestSites:
+    def test_receive_sites_respected(self):
+        comp = random_computation(
+            4, 8, 0.8, seed=3, receive_sites=[0]
+        )
+        for p in range(1, 4):
+            assert not comp.receive_events(p)
+
+    def test_send_sites_respected(self):
+        comp = random_computation(4, 8, 0.8, seed=3, send_sites=[2])
+        for p in (0, 1, 3):
+            assert not comp.send_events(p)
+
+
+class TestVariables:
+    def test_bool_var_values(self):
+        comp = random_computation(
+            2, 10, 0.3, seed=4, variables=[BoolVar("x", density=0.5)]
+        )
+        values = {
+            ev.value("x") for ev in comp.all_events(include_initial=True)
+        }
+        assert values <= {True, False}
+
+    def test_unit_walk_steps(self):
+        comp = random_computation(
+            2, 20, 0.3, seed=5, variables=[UnitWalkVar("v")]
+        )
+        for p in range(2):
+            events = comp.events_of(p)
+            previous = events[0].value("v")
+            for ev in events[1:]:
+                assert abs(ev.value("v") - previous) <= 1
+                previous = ev.value("v")
+
+    def test_unit_walk_floor(self):
+        comp = random_computation(
+            2, 30, 0.0, seed=6,
+            variables=[UnitWalkVar("v", p_up=0.05, p_down=0.9, floor=0)],
+        )
+        for ev in comp.all_events(include_initial=True):
+            assert ev.value("v") >= 0
+
+    def test_arbitrary_walk_bounded_steps(self):
+        comp = random_computation(
+            2, 15, 0.0, seed=7,
+            variables=[ArbitraryWalkVar("v", max_step=5)],
+        )
+        for p in range(2):
+            events = comp.events_of(p)
+            previous = events[0].value("v")
+            for ev in events[1:]:
+                assert abs(ev.value("v") - previous) <= 5
+                previous = ev.value("v")
+
+    def test_initial_values(self):
+        comp = random_computation(
+            2, 3, 0.0, seed=8,
+            variables=[UnitWalkVar("v", initial=10), BoolVar("b", initial=True)],
+        )
+        assert comp.initial_event(0).value("v") == 10
+        assert comp.initial_event(1).value("b") is True
+
+
+class TestGrouped:
+    def test_receive_ordering_knob(self):
+        for seed in range(5):
+            comp = grouped_computation(
+                3, 3, 5, message_density=0.7, seed=seed, ordering="receive"
+            )
+            groups = [[g * 3 + i for i in range(3)] for g in range(3)]
+            assert is_receive_ordered(comp, groups), seed
+
+    def test_send_ordering_knob(self):
+        for seed in range(5):
+            comp = grouped_computation(
+                3, 3, 5, message_density=0.7, seed=seed, ordering="send"
+            )
+            groups = [[g * 3 + i for i in range(3)] for g in range(3)]
+            assert is_send_ordered(comp, groups), seed
+
+    def test_process_count(self):
+        comp = grouped_computation(4, 3, 2, seed=0)
+        assert comp.num_processes == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grouped_computation(0, 2, 3)
+        with pytest.raises(ValueError):
+            grouped_computation(2, 2, 3, ordering="bogus")

@@ -1,0 +1,138 @@
+"""Tests for inequity predicates and the Corollary 2 reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import brute_possibly
+from repro.detection import possibly_enumerate
+from repro.predicates import (
+    InequityClause,
+    InequityPredicate,
+    PredicateError,
+    Relop,
+    clause,
+    local,
+    singular_cnf,
+)
+from repro.reductions import (
+    INEQUITY_VARIABLE,
+    possibly_via_sat,
+    singular_2cnf_to_inequity,
+)
+from repro.trace import BoolVar, grouped_computation
+
+
+def two_group_predicate(negate=False):
+    return singular_cnf(
+        clause(local(0, "x"), local(1, "x", negated=negate)),
+        clause(local(2, "x"), local(3, "x")),
+    )
+
+
+class TestPredicateClass:
+    def test_same_process_rejected(self):
+        with pytest.raises(PredicateError):
+            InequityClause(1, 1, "u")
+
+    def test_equality_relop_rejected(self):
+        with pytest.raises(PredicateError):
+            InequityClause(0, 1, "u", Relop.EQ)
+
+    def test_disjointness_enforced(self):
+        with pytest.raises(PredicateError):
+            InequityPredicate(
+                [InequityClause(0, 1, "u"), InequityClause(1, 2, "u")]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(PredicateError):
+            InequityPredicate([])
+
+    def test_evaluation(self, two_chain):
+        pred = InequityPredicate([InequityClause(0, 1, "v")])
+        from repro.computation import Cut
+
+        # v values: p0 after (0,1) is 1; p1 initial is 0 -> unequal.
+        assert pred.evaluate(Cut(two_chain, (2, 1)))
+        # both initial: 0 == 0 -> equal.
+        assert not pred.evaluate(Cut(two_chain, (1, 1)))
+
+    def test_order_relops(self, two_chain):
+        from repro.computation import Cut
+
+        less = InequityPredicate([InequityClause(1, 0, "v", Relop.LT)])
+        assert less.evaluate(Cut(two_chain, (2, 1)))  # 0 < 1
+
+
+class TestCorollary2Reduction:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_equivalence_with_source_instance(self, seed):
+        comp = grouped_computation(
+            2, 2, 4, message_density=0.5, seed=seed,
+            variables=[BoolVar("x", 0.3)],
+        )
+        pred = two_group_predicate(negate=(seed % 2 == 0))
+        derived_comp, derived_pred = singular_2cnf_to_inequity(comp, pred)
+
+        source = possibly_via_sat(comp, pred) is not None
+        derived = possibly_enumerate(derived_comp, derived_pred)
+        assert derived.holds == source, seed
+
+    def test_cutwise_equivalence(self):
+        comp = grouped_computation(
+            2, 2, 3, message_density=0.4, seed=3,
+            variables=[BoolVar("x", 0.4)],
+        )
+        pred = two_group_predicate()
+        derived_comp, derived_pred = singular_2cnf_to_inequity(comp, pred)
+        from helpers import all_consistent_cuts
+        from repro.computation import Cut
+
+        for cut in all_consistent_cuts(comp):
+            mirror = Cut(derived_comp, cut.frontier)
+            assert pred.evaluate(cut) == derived_pred.evaluate(mirror)
+
+    def test_variable_encoding(self):
+        comp = grouped_computation(
+            1, 2, 2, message_density=0.0, seed=1,
+            variables=[BoolVar("x", 1.0)],
+        )
+        pred = singular_cnf(clause(local(0, "x"), local(1, "x")))
+        derived_comp, _ = singular_2cnf_to_inequity(comp, pred)
+        # Left process: 2 when x true, 1 when false; right: 0 / 1.
+        for ev in derived_comp.events_of(0):
+            expected = 2 if ev.value("x") else 1
+            assert ev.value(INEQUITY_VARIABLE) == expected
+        for ev in derived_comp.events_of(1):
+            expected = 0 if ev.value("x") else 1
+            assert ev.value(INEQUITY_VARIABLE) == expected
+
+    def test_structure_preserved(self, figure2):
+        pred = two_group_predicate()
+        derived_comp, _ = singular_2cnf_to_inequity(figure2, pred)
+        assert derived_comp.messages == figure2.messages
+        assert derived_comp.total_events() == figure2.total_events()
+
+    def test_wide_clause_rejected(self, figure2):
+        pred = singular_cnf(
+            clause(local(0, "x"), local(1, "x"), local(2, "x")),
+        )
+        with pytest.raises(ValueError):
+            singular_2cnf_to_inequity(figure2, pred)
+
+    def test_facade_falls_back_to_enumeration(self):
+        """Inequity predicates have no structured engine — the corollary's
+        point is that none can exist unless P = NP — so the facade routes
+        them through Cooper–Marzullo."""
+        from repro.detection import detect
+
+        comp = grouped_computation(
+            2, 2, 3, message_density=0.4, seed=1,
+            variables=[BoolVar("x", 0.5)],
+        )
+        pred = two_group_predicate()
+        derived_comp, derived_pred = singular_2cnf_to_inequity(comp, pred)
+        result = detect(derived_comp, derived_pred)
+        assert result.algorithm == "cooper-marzullo"
+        assert result.holds == (possibly_via_sat(comp, pred) is not None)

@@ -1,0 +1,77 @@
+"""Tests for the lock-server deadlock workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import final_cut
+from repro.detection import detect_conjunctive, detect_stable, possibly
+from repro.predicates import FunctionPredicate, conjunctive, local
+from repro.simulation.protocols import build_lock_scenario
+
+CLIENTS = (2, 3)
+
+
+def both_blocked():
+    return conjunctive(*(local(c, "blocked") for c in CLIENTS))
+
+
+class TestConsistentOrder:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_deadlocks(self, seed):
+        comp = build_lock_scenario(True, seed=seed, stagger=0.3)
+        assert not detect_stable(comp, both_blocked()).holds
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_clients_finish(self, seed):
+        comp = build_lock_scenario(True, seed=seed, stagger=0.3)
+        top = final_cut(comp)
+        for c in CLIENTS:
+            assert top.value(c, "done") is True
+            assert top.value(c, "holding") == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_locks_free_at_end(self, seed):
+        comp = build_lock_scenario(True, seed=seed, stagger=0.3)
+        top = final_cut(comp)
+        for server in (0, 1):
+            assert top.value(server, "held") is False
+            assert top.value(server, "queue_length") == 0
+
+
+class TestConflictingOrder:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_deadlocks_with_small_stagger(self, seed):
+        comp = build_lock_scenario(False, seed=seed, stagger=0.3)
+        assert detect_stable(comp, both_blocked()).holds
+        top = final_cut(comp)
+        for c in CLIENTS:
+            assert top.value(c, "done") is False
+            assert top.value(c, "holding") == 1  # holds one, waits for other
+
+    def test_large_stagger_avoids_overlap(self):
+        # Client 3 starts long after client 2 finished: no interleaving, no
+        # deadlock even with conflicting orders.
+        comp = build_lock_scenario(False, seed=0, stagger=60.0)
+        assert not detect_stable(comp, both_blocked()).holds
+        assert final_cut(comp).value(3, "done") is True
+
+
+class TestModalityContrast:
+    def test_transient_double_block_in_safe_runs(self):
+        """possibly(both blocked) holds even without deadlock — the
+        difference between a reachable state and a stable condition."""
+        comp = build_lock_scenario(True, seed=1, stagger=0.3)
+        assert detect_conjunctive(comp, both_blocked()).holds
+        assert not detect_stable(comp, both_blocked()).holds
+
+    def test_hold_and_wait_signature(self):
+        comp = build_lock_scenario(False, seed=1, stagger=0.3)
+        signature = FunctionPredicate(
+            lambda cut: all(
+                cut.value(c, "holding", 0) == 1 and cut.value(c, "blocked", False)
+                for c in CLIENTS
+            ),
+            "hold-and-wait",
+        )
+        assert possibly(comp, signature)

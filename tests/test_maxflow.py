@@ -1,0 +1,113 @@
+"""Tests for the Dinic max-flow implementation."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import MaxFlow
+
+
+class TestBasics:
+    def test_single_edge(self):
+        mf = MaxFlow(2)
+        mf.add_edge(0, 1, 5)
+        assert mf.solve(0, 1) == 5
+
+    def test_no_path(self):
+        mf = MaxFlow(3)
+        mf.add_edge(0, 1, 5)
+        assert mf.solve(0, 2) == 0
+
+    def test_bottleneck(self):
+        mf = MaxFlow(3)
+        mf.add_edge(0, 1, 10)
+        mf.add_edge(1, 2, 3)
+        assert mf.solve(0, 2) == 3
+
+    def test_parallel_paths(self):
+        mf = MaxFlow(4)
+        mf.add_edge(0, 1, 2)
+        mf.add_edge(0, 2, 3)
+        mf.add_edge(1, 3, 2)
+        mf.add_edge(2, 3, 3)
+        assert mf.solve(0, 3) == 5
+
+    def test_classic_augmenting_case(self):
+        # The diamond with a cross edge that fools naive greedy approaches.
+        mf = MaxFlow(4)
+        mf.add_edge(0, 1, 1)
+        mf.add_edge(0, 2, 1)
+        mf.add_edge(1, 2, 1)
+        mf.add_edge(1, 3, 1)
+        mf.add_edge(2, 3, 1)
+        assert mf.solve(0, 3) == 2
+
+    def test_self_loop_ignored(self):
+        mf = MaxFlow(2)
+        mf.add_edge(0, 0, 9)
+        mf.add_edge(0, 1, 1)
+        assert mf.solve(0, 1) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaxFlow(0)
+        mf = MaxFlow(2)
+        with pytest.raises(ValueError):
+            mf.add_edge(0, 5, 1)
+        with pytest.raises(ValueError):
+            mf.add_edge(0, 1, -1)
+        with pytest.raises(ValueError):
+            mf.solve(0, 0)
+
+    def test_min_cut_requires_solve(self):
+        mf = MaxFlow(2)
+        mf.add_edge(0, 1, 1)
+        with pytest.raises(RuntimeError):
+            mf.min_cut_source_side(0)
+
+
+class TestMinCut:
+    def test_cut_separates_and_matches_value(self):
+        mf = MaxFlow(4)
+        edges = [(0, 1, 3), (0, 2, 2), (1, 3, 2), (2, 3, 3), (1, 2, 1)]
+        for u, v, c in edges:
+            mf.add_edge(u, v, c)
+        value = mf.solve(0, 3)
+        side = mf.min_cut_source_side(0)
+        assert 0 in side and 3 not in side
+        crossing = sum(
+            c for u, v, c in edges if u in side and v not in side
+        )
+        assert crossing == value
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 9), st.integers(0, 2**30))
+    def test_random_graphs(self, n, seed):
+        rng = random.Random(seed)
+        edges = []
+        for u in range(n):
+            for v in range(n):
+                if u != v and rng.random() < 0.35:
+                    edges.append((u, v, rng.randint(1, 12)))
+        mf = MaxFlow(n)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(n))
+        for u, v, c in edges:
+            mf.add_edge(u, v, c)
+            if graph.has_edge(u, v):
+                graph[u][v]["capacity"] += c
+            else:
+                graph.add_edge(u, v, capacity=c)
+        ours = mf.solve(0, n - 1)
+        reference = nx.maximum_flow_value(graph, 0, n - 1)
+        assert ours == reference
+        # The residual-reachable side must be a valid min cut.
+        side = mf.min_cut_source_side(0)
+        assert 0 in side and (n - 1) not in side

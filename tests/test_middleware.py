@@ -1,0 +1,80 @@
+"""Online vector clocks must agree with offline trace clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import (
+    Message,
+    ProcessProgram,
+    Simulator,
+    VectorClockMiddleware,
+)
+
+
+class Gossiper(ProcessProgram):
+    """Each process sends a few gossip messages to its neighbours."""
+
+    def __init__(self, num_processes, rounds):
+        self._n = num_processes
+        self._rounds = rounds
+
+    def on_start(self, ctx):
+        ctx.set_timer(1.0, "gossip")
+
+    def on_timer(self, ctx, name):
+        target = (ctx.process_id + 1) % self._n
+        ctx.send(target, "gossip")
+        self._rounds -= 1
+        if self._rounds > 0:
+            ctx.set_timer(ctx.random.uniform(1.0, 3.0), "gossip")
+
+    def on_message(self, ctx, message):
+        pass
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_online_clocks_match_offline(seed):
+    n = 4
+    middlewares = [
+        VectorClockMiddleware(Gossiper(n, 3), n) for _ in range(n)
+    ]
+    comp = Simulator(middlewares, seed=seed).run()
+    for p in range(n):
+        offline = [
+            comp.clock(ev.event_id) for ev in comp.events_of(p)[1:]
+        ]
+        online = middlewares[p].event_clocks
+        assert online == offline, (seed, p)
+
+
+def test_unwrapped_message_rejected():
+    class Raw(ProcessProgram):
+        def on_start(self, ctx):
+            ctx.send(1, "naked")
+
+    class Sink(ProcessProgram):
+        pass
+
+    middleware = VectorClockMiddleware(Sink(), 2)
+    with pytest.raises(TypeError):
+        Simulator([Raw(), middleware], seed=0).run()
+
+
+def test_payloads_transparent_to_inner_program():
+    received = []
+
+    class Recorder(ProcessProgram):
+        def on_message(self, ctx, message):
+            received.append(message.payload)
+
+    class Sender(ProcessProgram):
+        def on_start(self, ctx):
+            ctx.send(1, {"data": 42})
+
+    programs = [
+        VectorClockMiddleware(Sender(), 2),
+        VectorClockMiddleware(Recorder(), 2),
+    ]
+    Simulator(programs, seed=0).run()
+    assert received == [{"data": 42}]

@@ -1,0 +1,95 @@
+"""Tests for the monitor multiplexer."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.computation import some_linearization
+from repro.detection import detect_conjunctive
+from repro.events import VectorClock
+from repro.monitor import MonitorError, MonitorGroup
+from repro.predicates import conjunctive, local
+from repro.simulation.protocols import build_token_ring
+from repro.trace import BoolVar, random_computation
+
+
+def stream(comp, group, variable):
+    for p in range(comp.num_processes):
+        ev = comp.initial_event(p)
+        group.observe(p, 0, comp.clock(ev.event_id), bool(ev.value(variable, False)))
+    for eid in some_linearization(comp):
+        ev = comp.event(eid)
+        group.observe(
+            eid[0], eid[1], comp.clock(eid), bool(ev.value(variable, False))
+        )
+    group.finish_all()
+
+
+class TestAllPairs:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_offline_per_pair(self, seed):
+        n = 4
+        comp = build_token_ring(n, hops=6, seed=seed, rogue_process=1)
+        group = MonitorGroup.all_pairs(n)
+        stream(comp, group, "cs")
+        for i, j in itertools.combinations(range(n), 2):
+            offline = detect_conjunctive(
+                comp, conjunctive(local(i, "cs"), local(j, "cs"))
+            )
+            assert group[f"pair({i},{j})"].detected == offline.holds
+
+    def test_subset_of_processes(self):
+        group = MonitorGroup.all_pairs(5, processes=[1, 2, 3])
+        assert len(group) == 3
+
+    def test_verdicts_shape(self):
+        comp = random_computation(
+            3, 4, 0.4, seed=7, variables=[BoolVar("x", 0.6)]
+        )
+        group = MonitorGroup.all_pairs(3)
+        stream(comp, group, "x")
+        verdicts = group.verdicts()
+        assert set(verdicts) == {"pair(0,1)", "pair(0,2)", "pair(1,2)"}
+        assert all(isinstance(v, bool) for v in verdicts.values())
+
+
+class TestCustomQueries:
+    def test_named_queries(self):
+        comp = random_computation(
+            4, 5, 0.4, seed=3, variables=[BoolVar("x", 0.5)]
+        )
+        group = MonitorGroup(4)
+        group.add("front", [0, 1])
+        group.add("back", [2, 3])
+        group.add("all", [0, 1, 2, 3])
+        stream(comp, group, "x")
+        for name, processes in (
+            ("front", [0, 1]),
+            ("back", [2, 3]),
+            ("all", [0, 1, 2, 3]),
+        ):
+            offline = detect_conjunctive(
+                comp, conjunctive(*(local(p, "x") for p in processes))
+            )
+            assert group[name].detected == offline.holds, name
+
+    def test_fired_names_returned(self):
+        group = MonitorGroup(2)
+        group.add("both", [0, 1])
+        assert group.observe(0, 0, VectorClock([1, 0]), True) == []
+        assert group.observe(1, 0, VectorClock([0, 1]), True) == ["both"]
+        assert group.detected() and "both" in group.detected()
+
+    def test_duplicate_name_rejected(self):
+        group = MonitorGroup(3)
+        group.add("q", [0, 1])
+        with pytest.raises(MonitorError):
+            group.add("q", [1, 2])
+
+    def test_uninterested_processes_ignored(self):
+        group = MonitorGroup(3)
+        group.add("q", [0, 1])
+        # Observations for process 2 are dropped silently.
+        assert group.observe(2, 0, VectorClock([0, 0, 1]), True) == []

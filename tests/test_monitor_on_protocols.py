@@ -1,0 +1,77 @@
+"""Streaming monitors replaying the protocol library's traces."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.computation import some_linearization
+from repro.detection import detect_conjunctive
+from repro.monitor import MonitorGroup
+from repro.predicates import conjunctive, local
+from repro.simulation.protocols import (
+    build_lock_scenario,
+    build_two_phase_commit,
+    build_work_stealing,
+)
+
+
+def replay(comp, group, variable):
+    for p in range(comp.num_processes):
+        ev = comp.initial_event(p)
+        group.observe(
+            p, 0, comp.clock(ev.event_id), bool(ev.value(variable, False))
+        )
+    for eid in some_linearization(comp):
+        ev = comp.event(eid)
+        group.observe(
+            eid[0], eid[1], comp.clock(eid), bool(ev.value(variable, False))
+        )
+    group.finish_all()
+
+
+class TestDeadlockMonitoring:
+    @pytest.mark.parametrize("consistent", [True, False])
+    def test_double_block_detection(self, consistent):
+        comp = build_lock_scenario(consistent, seed=1, stagger=0.3)
+        group = MonitorGroup(comp.num_processes)
+        group.add("both-blocked", [2, 3])
+        replay(comp, group, "blocked")
+        offline = detect_conjunctive(
+            comp, conjunctive(local(2, "blocked"), local(3, "blocked"))
+        )
+        assert group["both-blocked"].detected == offline.holds
+
+
+class TestCommitMonitoring:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_committed_fires(self, seed):
+        n = 4  # 3 participants + coordinator
+        comp = build_two_phase_commit(3, seed=seed)
+        group = MonitorGroup(n)
+        group.add("committed", [1, 2, 3])
+        replay(comp, group, "committed")
+        assert group["committed"].detected
+
+    def test_never_fires_on_abort(self):
+        comp = build_two_phase_commit(3, seed=0, yes_probability=0.0)
+        group = MonitorGroup(4)
+        group.add("committed", [1, 2, 3])
+        replay(comp, group, "committed")
+        assert not group["committed"].detected
+        assert group["committed"].impossible
+
+
+class TestIdleMonitoring:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_idle_monitor_matches_offline(self, seed):
+        n = 3
+        comp = build_work_stealing(n, initial_tasks=2, seed=seed)
+        group = MonitorGroup(n)
+        group.add("all-idle", list(range(n)))
+        replay(comp, group, "idle")
+        offline = detect_conjunctive(
+            comp, conjunctive(*(local(p, "idle") for p in range(n)))
+        )
+        assert group["all-idle"].detected == offline.holds

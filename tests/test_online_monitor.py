@@ -1,0 +1,151 @@
+"""Tests for the streaming conjunctive monitor.
+
+The key property: feeding any linearization of a trace event by event must
+reach the same verdict as the offline CPDHB scan on the full trace.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.computation import iter_linearizations, some_linearization
+from repro.detection import detect_conjunctive
+from repro.events import VectorClock
+from repro.monitor import MonitorError, OnlineConjunctiveMonitor
+from repro.predicates import conjunctive, local
+from repro.trace import BoolVar, random_computation
+
+
+def stream_trace(comp, monitor, variable="x", order=None):
+    """Feed a linearization of the computation into the monitor."""
+    order = order if order is not None else some_linearization(comp)
+    monitored = set(monitor._monitored)  # test-only introspection
+    # Initial events first (they precede everything).
+    for p in sorted(monitored):
+        ev = comp.initial_event(p)
+        if monitor.observe(p, 0, comp.clock(ev.event_id), bool(ev.value(variable, False))):
+            return True
+    for eid in order:
+        p, index = eid
+        if p not in monitored:
+            continue
+        ev = comp.event(eid)
+        if monitor.observe(
+            p, index, comp.clock(eid), bool(ev.value(variable, False))
+        ):
+            return True
+    monitor.finish_all()
+    return monitor.detected
+
+
+class TestAgainstOffline:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_cpdhb(self, seed):
+        comp = random_computation(
+            4, 6, 0.5, seed=seed, variables=[BoolVar("x", 0.35)]
+        )
+        pred = conjunctive(*(local(p, "x") for p in range(4)))
+        offline = detect_conjunctive(comp, pred)
+        monitor = OnlineConjunctiveMonitor(4, range(4))
+        online = stream_trace(comp, monitor)
+        assert online == offline.holds, seed
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_order_independent(self, seed):
+        comp = random_computation(
+            3, 3, 0.5, seed=seed, variables=[BoolVar("x", 0.4)]
+        )
+        pred = conjunctive(*(local(p, "x") for p in range(3)))
+        offline = detect_conjunctive(comp, pred).holds
+        for order in iter_linearizations(comp, limit=10):
+            monitor = OnlineConjunctiveMonitor(3, range(3))
+            assert stream_trace(comp, monitor, order=order) == offline
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_witness_events_are_true_and_consistent(self, seed):
+        comp = random_computation(
+            3, 5, 0.5, seed=seed, variables=[BoolVar("x", 0.5)]
+        )
+        monitor = OnlineConjunctiveMonitor(3, range(3))
+        if stream_trace(comp, monitor):
+            witness = monitor.witness
+            ids = [(p, witness[p][0]) for p in witness]
+            for eid in ids:
+                assert comp.event(eid).value("x", False)
+            for a in ids:
+                for b in ids:
+                    assert comp.pairwise_consistent(a, b)
+
+    def test_subset_of_processes(self):
+        comp = random_computation(
+            4, 5, 0.4, seed=3, variables=[BoolVar("x", 0.5)]
+        )
+        pred = conjunctive(local(1, "x"), local(3, "x"))
+        offline = detect_conjunctive(comp, pred).holds
+        monitor = OnlineConjunctiveMonitor(4, [1, 3])
+        assert stream_trace(comp, monitor) == offline
+
+
+class TestLifecycle:
+    def test_detects_at_earliest_point(self):
+        # Two independent processes, both true at their first event: the
+        # monitor must fire as soon as the second truth arrives.
+        monitor = OnlineConjunctiveMonitor(2, [0, 1])
+        assert not monitor.observe(0, 1, VectorClock([2, 1]), True)
+        assert monitor.observe(1, 1, VectorClock([1, 2]), True)
+        assert monitor.detected
+
+    def test_impossible_after_finish(self):
+        monitor = OnlineConjunctiveMonitor(2, [0, 1])
+        monitor.observe(0, 1, VectorClock([2, 1]), False)
+        monitor.finish_all()
+        assert monitor.impossible
+        assert not monitor.detected
+
+    def test_elimination_counted(self):
+        monitor = OnlineConjunctiveMonitor(2, [0, 1])
+        # p0 true at index 1; p1's true event causally follows succ(p0@1),
+        # i.e. its clock has >= 3 in component 0: eliminates p0's candidate.
+        monitor.observe(0, 1, VectorClock([2, 1]), True)
+        monitor.observe(1, 1, VectorClock([3, 2]), True)
+        assert monitor.eliminations == 1
+        assert not monitor.detected
+
+    def test_errors(self):
+        with pytest.raises(MonitorError):
+            OnlineConjunctiveMonitor(2, [])
+        with pytest.raises(MonitorError):
+            OnlineConjunctiveMonitor(2, [0, 0])
+        with pytest.raises(MonitorError):
+            OnlineConjunctiveMonitor(2, [5])
+        monitor = OnlineConjunctiveMonitor(2, [0])
+        with pytest.raises(MonitorError):
+            monitor.observe(1, 0, VectorClock([1, 0]), True)
+        with pytest.raises(MonitorError):
+            monitor.observe(0, 0, VectorClock([1]), True)
+        monitor.observe(0, 1, VectorClock([2, 0]), False)
+        with pytest.raises(MonitorError):
+            monitor.observe(0, 1, VectorClock([2, 0]), False)
+
+    def test_observe_after_finish_rejected(self):
+        monitor = OnlineConjunctiveMonitor(2, [0, 1])
+        monitor.observe(0, 1, VectorClock([2, 1]), True)
+        monitor.finish(0)  # queue non-empty: not yet impossible
+        assert not monitor.impossible
+        with pytest.raises(MonitorError):
+            monitor.observe(0, 2, VectorClock([3, 1]), True)
+
+    def test_observations_ignored_once_impossible(self):
+        monitor = OnlineConjunctiveMonitor(2, [0, 1])
+        monitor.finish(0)  # empty queue + finished: impossible
+        assert monitor.impossible
+        assert not monitor.observe(1, 1, VectorClock([1, 2]), True)
+
+    def test_observations_after_detection_are_noops(self):
+        monitor = OnlineConjunctiveMonitor(2, [0, 1])
+        monitor.observe(0, 0, VectorClock([1, 0]), True)
+        assert monitor.observe(1, 0, VectorClock([0, 1]), True)
+        # Further observations keep returning True without state changes.
+        assert monitor.observe(0, 5, VectorClock([6, 1]), False)

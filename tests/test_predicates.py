@@ -1,0 +1,278 @@
+"""Tests for the predicate language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import Cut, final_cut, initial_cut
+from repro.predicates import (
+    AndPredicate,
+    Clause,
+    CNFPredicate,
+    ConjunctivePredicate,
+    ConstantPredicate,
+    FunctionPredicate,
+    Literal,
+    NotSingularError,
+    OrPredicate,
+    PredicateError,
+    Relop,
+    SymmetricPredicate,
+    absence_of_simple_majority,
+    absence_of_two_thirds_majority,
+    all_equal,
+    clause,
+    cnf,
+    conjunction,
+    conjunctive,
+    conjunctive_from_cnf,
+    disjunction,
+    exactly_k_tokens,
+    exclusive_or,
+    local,
+    local_fn,
+    negation,
+    not_all_equal,
+    singular_cnf,
+    sum_predicate,
+    symmetric_from_truth_function,
+    true_events,
+)
+
+
+class TestLocal:
+    def test_literal_evaluation(self, figure2):
+        top = final_cut(figure2)
+        bottom = initial_cut(figure2)
+        assert local(0, "x").evaluate(top)
+        assert not local(0, "x").evaluate(bottom)
+        assert local(0, "x", negated=True).evaluate(bottom)
+
+    def test_literal_negate_roundtrip(self):
+        lit = local(1, "x")
+        assert lit.negate().negated
+        assert lit.negate().negate() == lit
+
+    def test_literal_equality_hash(self):
+        assert local(0, "x") == local(0, "x")
+        assert local(0, "x") != local(0, "x", negated=True)
+        assert len({local(0, "x"), local(0, "x")}) == 1
+
+    def test_local_fn(self, two_chain):
+        pred = local_fn(0, lambda ev: ev.value("v", 0) >= 2, "v>=2")
+        assert pred.evaluate(Cut(two_chain, (3, 1)))
+        assert not pred.evaluate(Cut(two_chain, (2, 1)))
+
+    def test_holds_after_wrong_process_rejected(self, figure2):
+        with pytest.raises(ValueError):
+            local(0, "x").holds_after(figure2.event((1, 1)))
+
+    def test_true_events(self, two_chain):
+        # x true after (0,1) and (0,3).
+        assert true_events(two_chain, local(0, "x")) == [(0, 1), (0, 3)]
+
+    def test_true_events_includes_initial_when_true(self):
+        from repro.computation import ComputationBuilder
+
+        builder = ComputationBuilder(1)
+        builder.init_values(0, x=True)
+        builder.internal(0, x=False)
+        comp = builder.build()
+        assert true_events(comp, local(0, "x")) == [(0, 0)]
+        assert true_events(comp, local(0, "x"), include_initial=False) == []
+
+    def test_negative_process_rejected(self):
+        with pytest.raises(ValueError):
+            local(-1, "x")
+
+
+class TestCombinators:
+    def test_and_or_not(self, figure2):
+        top = final_cut(figure2)
+        a, b = local(0, "x"), local(1, "x")
+        assert (a & b).evaluate(top)
+        assert (a | b).evaluate(top)
+        assert not (~a).evaluate(top)
+
+    def test_conjunction_flattens(self):
+        a, b, c = local(0, "x"), local(1, "x"), local(2, "x")
+        combined = conjunction(conjunction(a, b), c)
+        assert isinstance(combined, AndPredicate)
+        assert len(combined.parts) == 3
+
+    def test_disjunction_flattens(self):
+        a, b, c = local(0, "x"), local(1, "x"), local(2, "x")
+        combined = disjunction(disjunction(a, b), c)
+        assert isinstance(combined, OrPredicate)
+        assert len(combined.parts) == 3
+
+    def test_single_element_passthrough(self):
+        a = local(0, "x")
+        assert conjunction(a) is a
+        assert disjunction(a) is a
+
+    def test_double_negation_collapses(self):
+        a = local(0, "x")
+        assert negation(negation(a)) is a
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(ValueError):
+            AndPredicate([])
+        with pytest.raises(ValueError):
+            OrPredicate([])
+
+    def test_constant(self, figure2):
+        assert ConstantPredicate(True).evaluate(initial_cut(figure2))
+        assert not ConstantPredicate(False).evaluate(initial_cut(figure2))
+
+    def test_function_predicate(self, figure2):
+        pred = FunctionPredicate(lambda cut: cut.size() == 2, "size==2")
+        assert pred.evaluate(initial_cut(figure2).advance(0).advance(1))
+        assert "size==2" in pred.description()
+
+
+class TestCNF:
+    def test_clause_requires_literal(self):
+        with pytest.raises(PredicateError):
+            Clause([])
+
+    def test_cnf_requires_clause(self):
+        with pytest.raises(PredicateError):
+            CNFPredicate([])
+
+    def test_evaluation(self, figure2):
+        pred = cnf(
+            clause(local(0, "x"), local(1, "x")),
+            clause(local(2, "x"), local(3, "x")),
+        )
+        assert pred.evaluate(final_cut(figure2))
+        assert not pred.evaluate(initial_cut(figure2))
+
+    def test_singularity_detection(self):
+        singular = cnf(
+            clause(local(0, "x"), local(1, "x")),
+            clause(local(2, "x"), local(3, "x")),
+        )
+        assert singular.is_singular()
+        shared = cnf(
+            clause(local(0, "x"), local(1, "x")),
+            clause(local(1, "x"), local(2, "x")),
+        )
+        assert not shared.is_singular()
+        with pytest.raises(NotSingularError):
+            shared.require_singular()
+
+    def test_singular_cnf_factory_validates(self):
+        with pytest.raises(NotSingularError):
+            singular_cnf(
+                clause(local(0, "x")),
+                clause(local(0, "y")),
+            )
+
+    def test_max_clause_size_and_groups(self):
+        pred = singular_cnf(
+            clause(local(0, "x"), local(1, "x"), local(2, "x")),
+            clause(local(3, "x")),
+        )
+        assert pred.max_clause_size == 3
+        assert pred.groups() == [frozenset({0, 1, 2}), frozenset({3})]
+
+    def test_is_conjunctive(self):
+        assert cnf(clause(local(0, "x")), clause(local(1, "x"))).is_conjunctive()
+        assert not cnf(clause(local(0, "x"), local(1, "x"))).is_conjunctive()
+
+
+class TestConjunctive:
+    def test_one_conjunct_per_process(self):
+        with pytest.raises(PredicateError):
+            conjunctive(local(0, "x"), local(0, "y"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(PredicateError):
+            ConjunctivePredicate([])
+
+    def test_evaluation(self, figure2):
+        pred = conjunctive(local(0, "x"), local(3, "x"))
+        assert pred.evaluate(final_cut(figure2))
+        assert not pred.evaluate(initial_cut(figure2))
+        assert pred.processes == [0, 3]
+
+    def test_from_cnf(self):
+        pred = conjunctive_from_cnf(
+            cnf(clause(local(0, "x")), clause(local(1, "x")))
+        )
+        assert isinstance(pred, ConjunctivePredicate)
+
+    def test_from_cnf_rejects_wide_clause(self):
+        with pytest.raises(PredicateError):
+            conjunctive_from_cnf(cnf(clause(local(0, "x"), local(1, "x"))))
+
+
+class TestRelational:
+    def test_relop_parsing(self):
+        assert Relop.from_symbol("<") is Relop.LT
+        assert Relop.from_symbol("=") is Relop.EQ
+        assert Relop.from_symbol("==") is Relop.EQ
+        assert Relop.from_symbol("!=") is Relop.NE
+        with pytest.raises(PredicateError):
+            Relop.from_symbol("~")
+
+    def test_comparators(self):
+        assert Relop.LE.compare(2, 2)
+        assert not Relop.LT.compare(2, 2)
+        assert Relop.GE.compare(3, 2)
+        assert Relop.NE.compare(1, 2)
+
+    def test_evaluation(self, two_chain):
+        pred = sum_predicate("v", ">=", 2)
+        assert pred.evaluate(Cut(two_chain, (3, 3)))
+        assert not pred.evaluate(Cut(two_chain, (1, 1)))
+
+    def test_unit_step_detection(self, two_chain):
+        assert sum_predicate("v", "==", 1).unit_step(two_chain)
+
+    def test_unit_step_rejects_jumps(self):
+        from repro.computation import ComputationBuilder
+
+        builder = ComputationBuilder(1)
+        builder.init_values(0, v=0)
+        builder.internal(0, v=5)
+        comp = builder.build()
+        assert not sum_predicate("v", "==", 5).unit_step(comp)
+
+
+class TestSymmetric:
+    def test_count_evaluation(self, figure2):
+        pred = SymmetricPredicate("x", 4, {2})
+        mid = initial_cut(figure2).advance(0).advance(3)
+        assert pred.true_count(mid) == 2
+        assert pred.evaluate(mid)
+        assert not pred.evaluate(final_cut(figure2))
+
+    def test_count_bounds_validated(self):
+        with pytest.raises(PredicateError):
+            SymmetricPredicate("x", 3, {5})
+
+    def test_complement(self):
+        pred = SymmetricPredicate("x", 3, {0, 1})
+        assert pred.complement().counts == frozenset({2, 3})
+
+    def test_factories(self):
+        assert absence_of_simple_majority("x", 5).counts == frozenset({0, 1, 2})
+        assert absence_of_two_thirds_majority("x", 6).counts == frozenset(
+            {0, 1, 2, 3}
+        )
+        assert exactly_k_tokens("x", 4, 2).counts == frozenset({2})
+        assert exclusive_or("x", 4).counts == frozenset({1, 3})
+        assert not_all_equal("x", 3).counts == frozenset({1, 2})
+        assert all_equal("x", 3).counts == frozenset({0, 3})
+
+    def test_truth_function_factory(self):
+        pred = symmetric_from_truth_function("x", 4, lambda j, n: j * 2 == n)
+        assert pred.counts == frozenset({2})
+
+    def test_xor_matches_parity(self, figure2):
+        pred = exclusive_or("x", 4)
+        one_true = initial_cut(figure2).advance(0)
+        assert pred.evaluate(one_true)
+        assert not pred.evaluate(one_true.advance(3))

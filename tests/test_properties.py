@@ -1,0 +1,165 @@
+"""Cross-cutting algebraic and cross-engine properties.
+
+These tests pin down laws that hold across the whole library rather than
+inside one module: engine agreement on shared predicate classes, logical
+monotonicity of the modalities, and soundness of every witness.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.computation import final_cut, initial_cut
+from repro.detection import (
+    detect,
+    detect_by_chain_choice,
+    detect_by_process_choice,
+    detect_conjunctive,
+    possibly,
+    possibly_enumerate,
+    possibly_sum,
+)
+from repro.predicates import (
+    CNFPredicate,
+    Clause,
+    Literal,
+    Modality,
+    clause,
+    conjunctive,
+    local,
+    singular_cnf,
+    sum_predicate,
+)
+from repro.reductions import possibly_via_sat
+from repro.trace import BoolVar, UnitWalkVar, grouped_computation, random_computation
+
+
+@st.composite
+def singular_instances(draw):
+    """A random grouped computation plus a random singular CNF over it."""
+    num_groups = draw(st.integers(1, 3))
+    group_size = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 10_000))
+    ordering = draw(st.sampled_from([None, "receive", "send"]))
+    comp = grouped_computation(
+        num_groups,
+        group_size,
+        events_per_process=draw(st.integers(1, 3)),
+        message_density=draw(st.floats(0.0, 0.6)),
+        seed=seed,
+        variables=[BoolVar("x", draw(st.floats(0.1, 0.6)))],
+        ordering=ordering,
+    )
+    clauses = []
+    for g in range(num_groups):
+        literals = []
+        for i in range(group_size):
+            process = g * group_size + i
+            negated = draw(st.booleans())
+            literals.append(Literal(process, "x", negated))
+        clauses.append(Clause(literals))
+    return comp, CNFPredicate(clauses)
+
+
+class TestEngineAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(singular_instances())
+    def test_all_singular_engines_and_sat_oracle_agree(self, instance):
+        comp, pred = instance
+        oracle = possibly_via_sat(comp, pred) is not None
+        assert detect_by_chain_choice(comp, pred).holds == oracle
+        assert detect_by_process_choice(comp, pred).holds == oracle
+        assert possibly_enumerate(comp, pred).holds == oracle
+        assert possibly(comp, pred) == oracle
+
+    @settings(max_examples=40, deadline=None)
+    @given(singular_instances())
+    def test_witnesses_always_satisfy(self, instance):
+        comp, pred = instance
+        for engine in (detect_by_chain_choice, detect_by_process_choice):
+            result = engine(comp, pred)
+            if result.holds:
+                assert result.witness is not None
+                assert result.witness.is_consistent()
+                assert pred.evaluate(result.witness)
+
+
+class TestLogicalLaws:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 5_000), st.integers(2, 4))
+    def test_adding_conjuncts_is_antitone(self, seed, width):
+        comp = random_computation(
+            4, 4, 0.4, seed=seed, variables=[BoolVar("x", 0.5)]
+        )
+        small = conjunctive(*(local(p, "x") for p in range(width - 1)))
+        big = conjunctive(*(local(p, "x") for p in range(width)))
+        if detect_conjunctive(comp, big).holds:
+            assert detect_conjunctive(comp, small).holds
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 5_000), st.integers(-3, 3))
+    def test_possibly_le_monotone_in_k(self, seed, k):
+        comp = random_computation(
+            3, 4, 0.4, seed=seed,
+            variables=[UnitWalkVar("v", floor=None)],
+        )
+        weaker = possibly_sum(comp, sum_predicate("v", "<=", k + 1)).holds
+        stronger = possibly_sum(comp, sum_predicate("v", "<=", k)).holds
+        if stronger:
+            assert weaker
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_definitely_implies_possibly_for_sums(self, seed):
+        comp = random_computation(
+            3, 3, 0.4, seed=seed,
+            variables=[UnitWalkVar("v", floor=None)],
+        )
+        for k in range(-2, 3):
+            pred = sum_predicate("v", "==", k)
+            if detect(comp, pred, Modality.DEFINITELY).holds:
+                assert detect(comp, pred, Modality.POSSIBLY).holds
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_endpoint_cuts_witness_trivially(self, seed):
+        comp = random_computation(
+            3, 3, 0.4, seed=seed, variables=[BoolVar("x", 0.5)]
+        )
+        bottom, top = initial_cut(comp), final_cut(comp)
+        at_bottom = CNFPredicate(
+            [
+                Clause([Literal(p, "x", not bool(bottom.value(p, "x", False)))])
+                for p in range(3)
+            ]
+        )
+        # A predicate engineered to hold at the bottom cut must be possible.
+        assert not at_bottom.evaluate(bottom) or possibly(comp, at_bottom)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_sum_ne_complements_eq_on_constant_traces(self, seed):
+        comp = random_computation(
+            2, 3, 0.3, seed=seed, variables=[UnitWalkVar("v", floor=None)]
+        )
+        from repro.flow import sum_range
+
+        lo, hi = sum_range(comp, "v")
+        eq = possibly_sum(comp, sum_predicate("v", "==", lo)).holds
+        assert eq  # the minimum is always attained
+        ne = possibly_sum(comp, sum_predicate("v", "!=", lo)).holds
+        assert ne == (lo != hi)
+
+
+class TestSpecialCaseConsistency:
+    @settings(max_examples=30, deadline=None)
+    @given(singular_instances())
+    def test_auto_strategy_sound(self, instance):
+        comp, pred = instance
+        from repro.detection import detect_singular
+
+        auto = detect_singular(comp, pred, "auto")
+        oracle = possibly_via_sat(comp, pred) is not None
+        assert auto.holds == oracle

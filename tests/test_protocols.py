@@ -1,0 +1,158 @@
+"""Integration tests: protocol workloads checked with the paper's detectors."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.detection import (
+    definitely,
+    detect_stable,
+    possibly,
+    possibly_sum,
+    possibly_symmetric,
+)
+from repro.predicates import (
+    FunctionPredicate,
+    conjunctive,
+    exactly_k_tokens,
+    local,
+    sum_predicate,
+    symmetric_from_counts,
+)
+from repro.simulation.protocols import (
+    build_leader_election,
+    build_primary_backup,
+    build_resource_pool,
+    build_token_ring,
+)
+
+
+class TestTokenRing:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_correct_run_preserves_mutual_exclusion(self, seed):
+        n = 4
+        comp = build_token_ring(n, hops=6, seed=seed)
+        for i, j in itertools.combinations(range(n), 2):
+            pred = conjunctive(local(i, "cs"), local(j, "cs"))
+            assert not possibly(comp, pred), (seed, i, j)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_rogue_run_violates_mutual_exclusion(self, seed):
+        n = 4
+        comp = build_token_ring(n, hops=6, seed=seed, rogue_process=2)
+        violated = any(
+            possibly(comp, conjunctive(local(i, "cs"), local(j, "cs")))
+            for i, j in itertools.combinations(range(n), 2)
+        )
+        assert violated, seed
+
+    def test_at_most_one_token(self):
+        comp = build_token_ring(5, hops=8, seed=9)
+        two_tokens = symmetric_from_counts("token", 5, range(2, 6))
+        assert not possibly_symmetric(comp, two_tokens).holds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_token_ring(1, hops=3)
+
+
+class TestLeaderElection:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exactly_one_leader_definitely(self, seed):
+        n = 5
+        comp = build_leader_election(n, seed=seed)
+        assert definitely(comp, exactly_k_tokens("leader", n, 1)), seed
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_two_leaders(self, seed):
+        n = 5
+        comp = build_leader_election(n, seed=seed)
+        multi = symmetric_from_counts("leader", n, range(2, n + 1))
+        assert not possibly_symmetric(comp, multi).holds, seed
+
+    def test_usurper_creates_two_leaders(self):
+        n = 5
+        found = False
+        for seed in range(8):
+            comp = build_leader_election(n, seed=seed, usurper_process=1)
+            multi = symmetric_from_counts("leader", n, range(2, n + 1))
+            if possibly_symmetric(comp, multi).holds:
+                found = True
+                break
+        assert found
+
+    def test_leadership_is_stable_once_elected(self):
+        comp = build_leader_election(4, seed=2)
+        # "Someone is leader" is stable for correct Chang–Roberts.
+        someone = sum_predicate("leader", ">=", 1)
+        result = detect_stable(comp, someone)
+        assert result.holds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_leader_election(1)
+
+
+class TestPrimaryBackup:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_every_intermediate_sum_reachable(self, seed):
+        backups, updates = 2, 3
+        comp = build_primary_backup(backups, updates, seed=seed)
+        total = (backups + 1) * updates
+        for j in range(total + 1):
+            assert possibly_sum(
+                comp, sum_predicate("applied", "==", j)
+            ).holds, (seed, j)
+        assert not possibly_sum(
+            comp, sum_predicate("applied", "==", total + 1)
+        ).holds
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_backup_never_ahead_of_primary(self, seed):
+        comp = build_primary_backup(2, 4, seed=seed)
+        ahead = FunctionPredicate(
+            lambda cut: any(
+                cut.value(b, "applied", 0) > cut.value(0, "applied", 0)
+                for b in range(1, 3)
+            ),
+            "backup-ahead",
+        )
+        assert not possibly(comp, ahead), seed
+
+    def test_replication_completes(self):
+        comp = build_primary_backup(3, 3, seed=1)
+        assert definitely(comp, sum_predicate("applied", ">=", 12))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_primary_backup(0, 1)
+        with pytest.raises(ValueError):
+            build_primary_backup(1, 0)
+
+
+class TestResourcePool:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_capacity_never_exceeded(self, seed):
+        workers, capacity = 5, 2
+        comp = build_resource_pool(workers, capacity, rounds=2, seed=seed)
+        n = workers + 1  # coordinator hosts no 'busy'
+        for j in range(capacity + 1, workers + 1):
+            over = exactly_k_tokens("busy", n, j)
+            assert not possibly_symmetric(comp, over).holds, (seed, j)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_saturation_reached(self, seed):
+        workers, capacity = 4, 2
+        comp = build_resource_pool(workers, capacity, rounds=3, seed=seed)
+        saturated = exactly_k_tokens("busy", workers + 1, capacity)
+        assert possibly_symmetric(comp, saturated).holds, seed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_resource_pool(0, 1)
+        from repro.simulation.protocols import CoordinatorProcess
+
+        with pytest.raises(ValueError):
+            CoordinatorProcess(0)

@@ -1,0 +1,47 @@
+"""Execute the Python code blocks in README.md — documentation that runs.
+
+Only fenced ```python blocks are executed; shell blocks are skipped.
+Each block runs in a fresh namespace, so blocks must be self-contained
+(they are written that way).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def python_blocks():
+    text = README.read_text()
+    return [match.strip() for match in BLOCK_RE.findall(text)]
+
+
+def test_readme_has_python_blocks():
+    assert len(python_blocks()) >= 2
+
+
+@pytest.mark.parametrize("index", range(len(python_blocks())))
+def test_readme_block_executes(index):
+    block = python_blocks()[index]
+    namespace: dict = {}
+    exec(compile(block, f"README.md:block{index}", "exec"), namespace)
+
+
+def test_quickstart_docstring_executes():
+    """The repro package docstring's example must also run."""
+    import repro
+
+    match = re.search(
+        r"Quickstart::\n\n((?:    .*\n?)+)", repro.__doc__ or ""
+    )
+    assert match, "package docstring lost its quickstart"
+    code = "\n".join(
+        line[4:] for line in match.group(1).splitlines()
+    )
+    exec(compile(code, "repro.__doc__", "exec"), {})

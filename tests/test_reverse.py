@@ -1,0 +1,97 @@
+"""Tests for computation reversal and its consistency correspondence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import (
+    count_consistent_cuts,
+    reverse_computation,
+    reverse_event_id,
+    reverse_event_partner,
+)
+from repro.events import EventKind
+from repro.trace import random_computation
+
+
+class TestStructure:
+    def test_kinds_swap(self, figure2):
+        rev = reverse_computation(figure2)
+        # f was a send at (1,1); reversed it is a receive at (1,1).
+        assert rev.event((1, 1)).kind is EventKind.RECEIVE
+        assert rev.event((2, 1)).kind is EventKind.SEND
+
+    def test_messages_flip(self, figure2):
+        rev = reverse_computation(figure2)
+        assert rev.messages == (((2, 1), (1, 1)),)
+
+    def test_event_index_map(self, two_chain):
+        # Process 0 has 3 events; original (0,1) -> reversed (0,3).
+        assert reverse_event_id(two_chain, (0, 1)) == (0, 3)
+        assert reverse_event_id(two_chain, (0, 3)) == (0, 1)
+
+    def test_initial_has_no_image(self, two_chain):
+        with pytest.raises(ValueError):
+            reverse_event_id(two_chain, (0, 0))
+
+    def test_involution(self):
+        for seed in range(4):
+            comp = random_computation(3, 4, 0.5, seed=seed)
+            double = reverse_computation(reverse_computation(comp))
+            for p in range(comp.num_processes):
+                originals = comp.events_of(p)
+                doubles = double.events_of(p)
+                assert len(originals) == len(doubles)
+                for a, b in zip(originals, doubles):
+                    assert a.kind == b.kind
+            assert sorted(comp.messages) == sorted(double.messages)
+
+    def test_cut_counts_match(self):
+        # Complementation is a bijection between the two cut lattices.
+        for seed in range(5):
+            comp = random_computation(3, 3, 0.5, seed=seed)
+            rev = reverse_computation(comp)
+            assert count_consistent_cuts(comp) == count_consistent_cuts(rev)
+
+
+class TestCausality:
+    def test_happened_before_flips(self):
+        for seed in range(4):
+            comp = random_computation(3, 3, 0.5, seed=seed)
+            rev = reverse_computation(comp)
+            for e in comp.all_events():
+                for f in comp.all_events():
+                    if e.event_id == f.event_id:
+                        continue
+                    original = comp.happened_before(e.event_id, f.event_id)
+                    flipped = rev.happened_before(
+                        reverse_event_id(comp, f.event_id),
+                        reverse_event_id(comp, e.event_id),
+                    )
+                    assert original == flipped
+
+
+class TestPartnerCorrespondence:
+    def test_partner_of_final_event_is_reversed_initial(self, figure2):
+        assert reverse_event_partner(figure2, (0, 1)) == (0, 0)
+
+    def test_partner_of_non_final(self, two_chain):
+        # succ((0,1)) = (0,2); reversed image of (0,2) is (0,2).
+        assert reverse_event_partner(two_chain, (0, 1)) == (0, 2)
+
+    def test_pairwise_consistency_preserved(self):
+        """The cornerstone of the send-ordered CPDSC algorithm."""
+        for seed in range(6):
+            comp = random_computation(3, 3, 0.6, seed=seed)
+            rev = reverse_computation(comp)
+            ids = [ev.event_id for ev in comp.all_events(include_initial=True)]
+            for e in ids:
+                for f in ids:
+                    if e[0] == f[0]:
+                        continue  # same process: trivially mirrored
+                    original = comp.pairwise_consistent(e, f)
+                    mapped = rev.pairwise_consistent(
+                        reverse_event_partner(comp, e),
+                        reverse_event_partner(comp, f),
+                    )
+                    assert original == mapped, (seed, e, f)

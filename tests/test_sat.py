@@ -1,0 +1,159 @@
+"""Tests for the CNF/DPLL machinery and the non-monotone transformation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reductions import (
+    CNFFormula,
+    brute_force_solve,
+    dpll_solve,
+    random_3cnf,
+    restrict_assignment,
+    to_nonmonotone_3cnf,
+)
+
+
+def formula_strategy(max_vars=5, max_clauses=8, max_width=3):
+    literal = st.integers(1, max_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clause_st = st.lists(literal, min_size=1, max_size=max_width).map(tuple)
+    return st.lists(clause_st, min_size=1, max_size=max_clauses).map(
+        lambda cls: CNFFormula(tuple(cls))
+    )
+
+
+class TestCNFFormula:
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            CNFFormula(((),))
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            CNFFormula(((1, 0),))
+
+    def test_variables(self):
+        formula = CNFFormula(((1, -2), (3,)))
+        assert formula.variables() == {1, 2, 3}
+
+    def test_evaluate(self):
+        formula = CNFFormula(((1, -2), (2,)))
+        assert formula.evaluate({1: True, 2: True})
+        assert not formula.evaluate({1: False, 2: True})
+
+    def test_tautology_detection(self):
+        formula = CNFFormula(((1, -1), (2,)))
+        assert formula.is_tautological_clause((1, -1))
+        cleaned = formula.without_tautologies()
+        assert cleaned.clauses == ((2,),)
+
+    def test_all_tautological_becomes_valid(self):
+        formula = CNFFormula(((1, -1),))
+        cleaned = formula.without_tautologies()
+        assert dpll_solve(cleaned) is not None
+
+    def test_nonmonotone_shape_check(self):
+        ok = CNFFormula(((1, -2, 3), (1, 2), (-3,)))
+        assert ok.is_nonmonotone_3cnf()
+        all_pos = CNFFormula(((1, 2, 3),))
+        assert not all_pos.is_nonmonotone_3cnf()
+        all_neg = CNFFormula(((-1, -2, -3),))
+        assert not all_neg.is_nonmonotone_3cnf()
+        wide = CNFFormula(((1, 2, -3, 4),))
+        assert not wide.is_nonmonotone_3cnf()
+
+    def test_str_rendering(self):
+        formula = CNFFormula(((1, -2),))
+        assert "x1" in str(formula) and "~x2" in str(formula)
+
+
+class TestDPLL:
+    def test_simple_sat(self):
+        formula = CNFFormula(((1, 2), (-1, 2), (1, -2)))
+        model = dpll_solve(formula)
+        assert model is not None
+        assert formula.evaluate(model)
+
+    def test_simple_unsat(self):
+        formula = CNFFormula(((1,), (-1,)))
+        assert dpll_solve(formula) is None
+
+    def test_unsat_2sat_cycle(self):
+        formula = CNFFormula(((1, 2), (1, -2), (-1, 2), (-1, -2)))
+        assert dpll_solve(formula) is None
+
+    def test_model_covers_all_variables(self):
+        formula = CNFFormula(((1,), (2, 3)))
+        model = dpll_solve(formula)
+        assert model is not None
+        assert set(model) == {1, 2, 3}
+
+    @settings(max_examples=80, deadline=None)
+    @given(formula_strategy())
+    def test_agrees_with_brute_force(self, formula):
+        fast = dpll_solve(formula)
+        slow = brute_force_solve(formula)
+        assert (fast is None) == (slow is None)
+        if fast is not None:
+            assert formula.evaluate(fast)
+
+
+class TestRandom3CNF:
+    def test_shape(self):
+        formula = random_3cnf(6, 10, seed=1)
+        assert formula.num_clauses == 10
+        for cl in formula.clauses:
+            assert len(cl) == 3
+            assert len({abs(lit) for lit in cl}) == 3
+
+    def test_deterministic(self):
+        assert random_3cnf(5, 7, seed=3).clauses == random_3cnf(5, 7, seed=3).clauses
+
+    def test_too_few_variables_rejected(self):
+        with pytest.raises(ValueError):
+            random_3cnf(2, 3, seed=0)
+
+
+class TestNonMonotone:
+    def test_output_shape(self):
+        formula = CNFFormula(((1, 2, 3), (-1, -2, -3), (1, -2)))
+        out, aux = to_nonmonotone_3cnf(formula)
+        assert out.is_nonmonotone_3cnf()
+        assert len(aux) == 2  # one fresh variable per monotone clause
+
+    def test_mixed_clause_untouched(self):
+        formula = CNFFormula(((1, -2, 3),))
+        out, aux = to_nonmonotone_3cnf(formula)
+        assert out.clauses == formula.clauses
+        assert aux == {}
+
+    def test_wide_clause_rejected(self):
+        with pytest.raises(ValueError):
+            to_nonmonotone_3cnf(CNFFormula(((1, 2, 3, 4),)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(formula_strategy(max_vars=4, max_clauses=6))
+    def test_equisatisfiable(self, formula):
+        out, aux = to_nonmonotone_3cnf(formula)
+        assert (dpll_solve(formula) is None) == (dpll_solve(out) is None)
+
+    @settings(max_examples=40, deadline=None)
+    @given(formula_strategy(max_vars=4, max_clauses=6))
+    def test_assignment_restriction(self, formula):
+        out, aux = to_nonmonotone_3cnf(formula)
+        model = dpll_solve(out)
+        if model is not None:
+            restricted = restrict_assignment(model, aux)
+            assert formula.evaluate(restricted)
+            assert not set(restricted) & set(aux)
+
+    def test_aux_forced_to_negation(self):
+        formula = CNFFormula(((1, 2, 3),))
+        out, aux = to_nonmonotone_3cnf(formula)
+        (z,) = aux
+        model = dpll_solve(out)
+        assert model is not None
+        assert model[z] == (not model[aux[z]])

@@ -1,0 +1,104 @@
+"""Tests for the Stoller–Schneider literal-choice CNF engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection import (
+    detect_cnf_by_literal_choice,
+    possibly_enumerate,
+)
+from repro.predicates import clause, cnf, local
+from repro.reductions import possibly_via_sat
+from repro.trace import BoolVar, random_computation
+
+
+def random_cnf_predicate(comp, seed, num_clauses=3, max_width=3):
+    import random
+
+    rng = random.Random(seed)
+    n = comp.num_processes
+    clauses = []
+    for _ in range(rng.randint(1, num_clauses)):
+        width = rng.randint(1, min(max_width, n))
+        processes = rng.sample(range(n), width)
+        literals = [
+            local(p, "x", negated=rng.random() < 0.5) for p in processes
+        ]
+        clauses.append(clause(*literals))
+    return cnf(*clauses)
+
+
+class TestAgainstOracles:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_sat_oracle_on_non_singular_cnf(self, seed):
+        comp = random_computation(
+            3, 4, 0.5, seed=seed, variables=[BoolVar("x", 0.4)]
+        )
+        pred = random_cnf_predicate(comp, seed)
+        oracle = possibly_via_sat(comp, pred) is not None
+        result = detect_cnf_by_literal_choice(comp, pred)
+        assert result.holds == oracle, seed
+        if result.holds:
+            assert pred.evaluate(result.witness)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_enumeration(self, seed):
+        comp = random_computation(
+            3, 3, 0.5, seed=seed, variables=[BoolVar("x", 0.4)]
+        )
+        pred = random_cnf_predicate(comp, seed + 100)
+        fast = detect_cnf_by_literal_choice(comp, pred)
+        slow = possibly_enumerate(comp, pred)
+        assert fast.holds == slow.holds
+
+
+class TestMechanics:
+    def test_contradictory_choices_skipped(self, figure2):
+        pred = cnf(
+            clause(local(0, "x")),
+            clause(local(0, "x", negated=True)),
+        )
+        result = detect_cnf_by_literal_choice(figure2, pred)
+        assert not result.holds
+        assert result.stats["contradictory"] == 1
+        assert result.stats["invocations"] == 0
+
+    def test_shared_process_literals_merge(self, figure2):
+        # Two clauses both forcing process 0: x and (x or x@1).
+        pred = cnf(
+            clause(local(0, "x")),
+            clause(local(0, "x"), local(1, "x")),
+        )
+        result = detect_cnf_by_literal_choice(figure2, pred)
+        assert result.holds
+        assert pred.evaluate(result.witness)
+
+    def test_combination_count(self, figure2):
+        pred = cnf(
+            clause(local(0, "x"), local(1, "x")),
+            clause(local(1, "x"), local(2, "x"), local(3, "x")),
+        )
+        result = detect_cnf_by_literal_choice(figure2, pred)
+        assert result.stats["combinations"] == 6
+
+    def test_singular_input_also_works(self, figure2):
+        pred = cnf(
+            clause(local(0, "x"), local(1, "x")),
+            clause(local(2, "x"), local(3, "x")),
+        )
+        result = detect_cnf_by_literal_choice(figure2, pred)
+        assert result.holds
+
+    def test_facade_routes_non_singular_cnf_here(self):
+        from repro.detection import detect
+
+        comp = random_computation(
+            3, 3, 0.4, seed=9, variables=[BoolVar("x", 0.5)]
+        )
+        pred = cnf(
+            clause(local(0, "x"), local(1, "x")),
+            clause(local(0, "x", negated=True), local(2, "x")),
+        )
+        result = detect(comp, pred)
+        assert result.algorithm == "stoller-schneider"

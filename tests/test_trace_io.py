@@ -1,0 +1,83 @@
+"""Tests for trace serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.trace import (
+    BoolVar,
+    UnitWalkVar,
+    computation_from_dict,
+    computation_to_dict,
+    dump_computation,
+    load_computation,
+    random_computation,
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, figure2):
+        data = computation_to_dict(figure2)
+        rebuilt = computation_from_dict(data)
+        assert computation_to_dict(rebuilt) == data
+
+    def test_labels_preserved(self, figure2):
+        rebuilt = computation_from_dict(computation_to_dict(figure2))
+        assert rebuilt.label_index() == figure2.label_index()
+
+    def test_file_round_trip(self, tmp_path, figure2):
+        path = tmp_path / "trace.json"
+        dump_computation(figure2, path)
+        rebuilt = load_computation(path)
+        assert computation_to_dict(rebuilt) == computation_to_dict(figure2)
+
+    def test_random_traces_round_trip(self, tmp_path):
+        for seed in range(5):
+            comp = random_computation(
+                3, 6, 0.5, seed=seed,
+                variables=[BoolVar("x"), UnitWalkVar("v")],
+            )
+            path = tmp_path / f"trace{seed}.json"
+            dump_computation(comp, path)
+            rebuilt = load_computation(path)
+            assert computation_to_dict(rebuilt) == computation_to_dict(comp)
+
+    def test_semantics_preserved(self, tmp_path):
+        from repro.detection import possibly
+        from repro.predicates import conjunctive, local
+
+        comp = random_computation(
+            3, 5, 0.5, seed=11, variables=[BoolVar("x", 0.4)]
+        )
+        path = tmp_path / "trace.json"
+        dump_computation(comp, path)
+        rebuilt = load_computation(path)
+        pred = conjunctive(local(0, "x"), local(1, "x"), local(2, "x"))
+        assert possibly(comp, pred) == possibly(rebuilt, pred)
+
+
+class TestFormat:
+    def test_format_tag_written(self, figure2):
+        assert computation_to_dict(figure2)["format"] == "repro-trace-v1"
+
+    def test_unknown_format_rejected(self, figure2):
+        data = computation_to_dict(figure2)
+        data["format"] = "other"
+        with pytest.raises(ValueError):
+            computation_from_dict(data)
+
+    def test_file_is_valid_json(self, tmp_path, figure2):
+        path = tmp_path / "trace.json"
+        dump_computation(figure2, path)
+        parsed = json.loads(path.read_text())
+        assert "processes" in parsed and "messages" in parsed
+
+    def test_malformed_messages_caught_by_validation(self, figure2):
+        from repro.computation import ComputationError
+
+        data = computation_to_dict(figure2)
+        data["messages"] = [[[0, 1], [1, 1]]]  # internal events messaging
+        with pytest.raises(ComputationError):
+            computation_from_dict(data)

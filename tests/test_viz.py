@@ -1,0 +1,86 @@
+"""Tests for DOT rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import Cut
+from repro.predicates import conjunctive, local
+from repro.trace import dump_computation, random_computation
+from repro.viz import LatticeTooLargeError, computation_to_dot, lattice_to_dot
+
+
+class TestComputationDot:
+    def test_contains_all_events_and_edges(self, figure2):
+        dot = computation_to_dot(figure2)
+        assert dot.startswith("digraph computation")
+        for p in range(4):
+            assert f"cluster_p{p}" in dot
+            assert f"e_{p}_0" in dot and f"e_{p}_1" in dot
+        # The message f -> g.
+        assert "e_1_1 -> e_2_1" in dot
+
+    def test_labels_used(self, figure2):
+        dot = computation_to_dot(figure2)
+        for label in ("e", "f", "g", "h"):
+            assert f'label="{label}"' in dot
+
+    def test_highlight_cut(self, figure2):
+        cut = Cut(figure2, (2, 1, 1, 2))
+        dot = computation_to_dot(figure2, highlight=cut)
+        assert "penwidth=3" in dot
+
+    def test_variable_marks_true_events(self, figure2):
+        dot = computation_to_dot(figure2, variable="x")
+        assert dot.count("doublecircle") == 4
+
+    def test_quoting(self):
+        from repro.computation import ComputationBuilder
+
+        builder = ComputationBuilder(1)
+        builder.internal(0, label='say "hi"')
+        dot = computation_to_dot(builder.build())
+        assert r"\"hi\"" in dot
+
+
+class TestLatticeDot:
+    def test_counts_nodes(self, figure2):
+        dot = lattice_to_dot(figure2)
+        assert dot.startswith("digraph lattice")
+        # 12 cuts, each one node line containing 'label='.
+        assert dot.count("c_") >= 12
+
+    def test_predicate_coloring(self, figure2):
+        pred = conjunctive(*(local(p, "x") for p in range(4)))
+        dot = lattice_to_dot(figure2, predicate=pred)
+        assert dot.count("palegreen") == 1  # only the final cut satisfies
+
+    def test_size_guard(self):
+        comp = random_computation(4, 5, 0.1, seed=1)
+        with pytest.raises(LatticeTooLargeError):
+            lattice_to_dot(comp, max_cuts=10)
+
+
+class TestRenderCommand:
+    def test_render_computation(self, tmp_path, figure2, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "t.json"
+        dump_computation(figure2, trace)
+        out = tmp_path / "t.dot"
+        code = main(["render", str(trace), "-o", str(out)])
+        assert code == 0
+        assert out.read_text().startswith("digraph computation")
+
+    def test_render_lattice_with_predicate(self, tmp_path, figure2, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "t.json"
+        dump_computation(figure2, trace)
+        out = tmp_path / "l.dot"
+        code = main(
+            ["render", str(trace), "--what", "lattice",
+             "--predicate", "x@0 & x@3", "-o", str(out)]
+        )
+        assert code == 0
+        assert "palegreen" in out.read_text()

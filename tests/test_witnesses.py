@@ -1,0 +1,68 @@
+"""Tests for witness enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import all_consistent_cuts
+from repro.detection import count_witnesses, iter_witnesses
+from repro.predicates import (
+    FunctionPredicate,
+    clause,
+    cnf,
+    conjunctive,
+    local,
+    sum_predicate,
+)
+from repro.trace import BoolVar, UnitWalkVar, random_computation
+
+
+def brute_count(comp, pred):
+    return sum(1 for c in all_consistent_cuts(comp) if pred.evaluate(c))
+
+
+class TestConjunctiveRoute:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_counts_match_brute_force(self, seed):
+        comp = random_computation(
+            3, 4, 0.4, seed=seed, variables=[BoolVar("x", 0.5)]
+        )
+        pred = conjunctive(local(0, "x"), local(1, "x"))
+        assert count_witnesses(comp, pred) == brute_count(comp, pred)
+
+    def test_one_cnf_routes_through_slice(self, figure2):
+        pred = cnf(clause(local(0, "x")), clause(local(3, "x")))
+        witnesses = list(iter_witnesses(figure2, pred))
+        assert witnesses
+        for cut in witnesses:
+            assert pred.evaluate(cut)
+
+    def test_every_witness_satisfies(self, figure2):
+        pred = conjunctive(local(1, "x"), local(2, "x"))
+        for cut in iter_witnesses(figure2, pred):
+            assert cut.is_consistent()
+            assert pred.evaluate(cut)
+
+
+class TestGenericRoute:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sum_predicates(self, seed):
+        comp = random_computation(
+            3, 3, 0.4, seed=seed, variables=[UnitWalkVar("v", floor=None)]
+        )
+        pred = sum_predicate("v", "==", 1)
+        assert count_witnesses(comp, pred) == brute_count(comp, pred)
+
+    def test_function_predicate(self, figure2):
+        pred = FunctionPredicate(lambda cut: cut.size() == 2, "level2")
+        assert count_witnesses(figure2, pred) == brute_count(figure2, pred)
+
+    def test_lazy_iteration(self, figure2):
+        pred = FunctionPredicate(lambda cut: True, "all")
+        iterator = iter_witnesses(figure2, pred)
+        first = next(iterator)
+        assert first.size() == 0  # non-decreasing size order
+
+    def test_empty_result(self, figure2):
+        pred = conjunctive(local(0, "nonexistent"))
+        assert count_witnesses(figure2, pred) == 0
