@@ -6,12 +6,21 @@ compact paper-style tables (one per experiment id from DESIGN.md) with a
 single timed run per point — the *shape* of each series is the reproduced
 result.  Usage::
 
-    python benchmarks/report.py            # all experiments
-    python benchmarks/report.py F1-conj F3 # a subset
+    python benchmarks/report.py                    # all experiments
+    python benchmarks/report.py F1-conj F3         # a subset
+    python benchmarks/report.py --json BENCH.json  # + metrics snapshots
+
+With ``--json`` every experiment runs under the observability layer
+(:mod:`repro.obs`) and the output file records, per experiment id, the
+counters, gauges, and histogram summaries the engines emitted — the
+*work done* (CPDHB invocations, eliminations, cuts explored), not just
+wall time.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict, List
@@ -357,15 +366,39 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 
 
 def main(argv: List[str]) -> int:
-    wanted = argv or list(EXPERIMENTS)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("experiments", nargs="*", metavar="EXP_ID")
+    parser.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="write per-experiment metrics snapshots (counters, gauges, "
+        "histogram summaries) as JSON",
+    )
+    args = parser.parse_args(argv)
+    wanted = args.experiments or list(EXPERIMENTS)
     unknown = [w for w in wanted if w not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         print(f"known: {list(EXPERIMENTS)}", file=sys.stderr)
         return 2
     print("# Experiment report (regenerated)")
+    metrics: Dict[str, Dict] = {}
     for exp_id in wanted:
-        EXPERIMENTS[exp_id]()
+        if args.json_path is not None:
+            from repro import obs
+
+            start = time.perf_counter()
+            with obs.Capture() as cap:
+                EXPERIMENTS[exp_id]()
+            metrics[exp_id] = {
+                "wall_time_ms": (time.perf_counter() - start) * 1000.0,
+                "metrics": cap.registry.snapshot(),
+            }
+        else:
+            EXPERIMENTS[exp_id]()
+    if args.json_path is not None:
+        with open(args.json_path, "w") as handle:
+            json.dump({"experiments": metrics}, handle, indent=2)
+        print(f"\nwrote metrics snapshots to {args.json_path}")
     return 0
 
 

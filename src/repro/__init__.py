@@ -19,6 +19,7 @@ Quickstart::
     assert possibly(comp, both_in_cs)
 """
 
+from repro import obs
 from repro.checker import TraceAssertionError, TraceChecker
 from repro.computation import (
     Computation,
@@ -34,6 +35,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Computation",
+    "obs",
     "TraceAssertionError",
     "TraceChecker",
     "ComputationBuilder",

@@ -4,6 +4,8 @@ Commands:
 
 * ``detect`` — run possibly/definitely detection of a predicate (in the
   :mod:`repro.predicates.parser` language) against a JSON trace;
+* ``profile`` — repeat a detection query under the observability layer
+  and report latency percentiles plus engine counters;
 * ``generate`` — produce a seeded random trace as JSON;
 * ``simulate`` — run one of the bundled protocols and dump its trace;
 * ``info`` — structural summary of a trace (processes, events, messages,
@@ -13,7 +15,9 @@ Examples::
 
     python -m repro simulate token-ring --processes 5 --seed 1 -o ring.json
     python -m repro detect ring.json "cs@1 & cs@3"
+    python -m repro detect ring.json "cs@1 & cs@3" --profile
     python -m repro detect ring.json "count(token) >= 2" --modality definitely
+    python -m repro profile ring.json "cs@1 & cs@3" --repeat 20
     python -m repro generate --processes 4 --events 10 --bool x -o random.json
     python -m repro info random.json
 """
@@ -46,7 +50,17 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         args.predicate, num_processes=computation.num_processes
     )
     modality = Modality(args.modality)
-    result = detect(computation, predicate, modality)
+    if args.profile:
+        from repro import obs
+
+        with obs.Capture() as cap:
+            result = detect(computation, predicate, modality)
+        print("── span tree ──", file=sys.stderr)
+        print(obs.format_span_tree(cap.roots), file=sys.stderr)
+        print("── metrics ──", file=sys.stderr)
+        print(obs.format_metrics(cap.registry.snapshot()), file=sys.stderr)
+    else:
+        result = detect(computation, predicate, modality)
     payload = {
         "predicate": predicate.description(),
         "modality": modality.value,
@@ -75,6 +89,49 @@ def _jsonable(value):
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
     return str(value)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    computation = load_computation(args.trace)
+    predicate = parse_predicate(
+        args.predicate, num_processes=computation.num_processes
+    )
+    modality = Modality(args.modality)
+    with obs.Capture() as cap:
+        result = None
+        for _ in range(max(1, args.repeat)):
+            result = detect(computation, predicate, modality)
+    assert result is not None
+    if args.spans:
+        print("── span tree ──", file=sys.stderr)
+        print(obs.format_span_tree(cap.roots), file=sys.stderr)
+    if args.export == "prometheus":
+        print(cap.registry.to_prometheus(), end="")
+        return 0
+    snapshot = cap.registry.snapshot()
+    latency = snapshot["histograms"].get("span.detect.query.ms", {"count": 0})
+    payload = {
+        "predicate": predicate.description(),
+        "modality": modality.value,
+        "repeat": max(1, args.repeat),
+        "engine": result.algorithm,
+        "holds": result.holds,
+        "latency_ms": {
+            key: latency.get(key)
+            for key in ("count", "mean", "p50", "p95", "max")
+        },
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "histograms": {
+            name: summary
+            for name, summary in snapshot["histograms"].items()
+            if name != "span.detect.query.ms"
+        },
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -215,7 +272,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also count every satisfying consistent cut (may be slow)",
     )
+    p_detect.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the query's span tree and metrics snapshot to stderr",
+    )
     p_detect.set_defaults(func=_cmd_detect)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="repeat a detection query and report latency percentiles "
+        "and engine counters",
+    )
+    p_profile.add_argument("trace", help="path to a repro-trace-v1 JSON file")
+    p_profile.add_argument("predicate", help='e.g. "x@0 & x@1"')
+    p_profile.add_argument(
+        "--modality",
+        choices=["possibly", "definitely"],
+        default="possibly",
+    )
+    p_profile.add_argument(
+        "--repeat", type=int, default=10,
+        help="number of timed repetitions (default 10)",
+    )
+    p_profile.add_argument(
+        "--export", choices=["json", "prometheus"], default="json",
+        help="output format on stdout (default json)",
+    )
+    p_profile.add_argument(
+        "--spans", action="store_true",
+        help="also print the final repetition's span tree to stderr",
+    )
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_gen = sub.add_parser("generate", help="generate a random trace")
     p_gen.add_argument("--processes", type=int, default=4)

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.computation import Computation, Cut
+from repro.obs import STATE, registry, span
 from repro.detection.cooper_marzullo import (
     definitely_enumerate,
     possibly_enumerate,
@@ -61,20 +62,36 @@ def detect(
     predicate: GlobalPredicate,
     modality: Modality = Modality.POSSIBLY,
 ) -> DetectionResult:
-    """Full detection result for the given predicate and modality."""
-    if modality is Modality.POSSIBLY:
-        return _possibly(computation, predicate)
-    return _definitely(computation, predicate)
+    """Full detection result for the given predicate and modality.
+
+    When observability is enabled (:mod:`repro.obs`) every query opens a
+    root span ``detect.query`` recording the modality, the predicate
+    class, and — once dispatch has chosen — the engine that answered.
+    """
+    with span(
+        "detect.query",
+        modality=modality.value,
+        predicate=type(predicate).__name__,
+    ) as root:
+        if modality is Modality.POSSIBLY:
+            result = _possibly(computation, predicate)
+        else:
+            result = _definitely(computation, predicate)
+        root.set(engine=result.algorithm, holds=result.holds)
+        if STATE.enabled:
+            registry().counter("detect.queries").inc()
+            registry().counter(f"detect.engine.{result.algorithm}").inc()
+        return result
 
 
 def possibly(computation: Computation, predicate: GlobalPredicate) -> bool:
     """Does some consistent cut of the computation satisfy the predicate?"""
-    return _possibly(computation, predicate).holds
+    return detect(computation, predicate, Modality.POSSIBLY).holds
 
 
 def definitely(computation: Computation, predicate: GlobalPredicate) -> bool:
     """Does every run of the computation pass through a satisfying cut?"""
-    return _definitely(computation, predicate).holds
+    return detect(computation, predicate, Modality.DEFINITELY).holds
 
 
 def _possibly(
@@ -103,22 +120,23 @@ def _possibly(
         return possibly_symmetric(computation, predicate)
     if isinstance(predicate, OrPredicate):
         # possibly distributes over disjunction (paper, Section 4.3).
-        explored = 0
-        for part in predicate.parts:
-            result = _possibly(computation, part)
-            explored += int(result.stats.get("cuts_explored", 0))
-            if result.holds:
-                return DetectionResult(
-                    holds=True,
-                    witness=result.witness,
-                    algorithm="disjunction:" + result.algorithm,
-                    stats=result.stats,
-                )
-        return DetectionResult(
-            holds=False,
-            algorithm="disjunction",
-            stats={"cuts_explored": explored},
-        )
+        with span("engine.disjunction", parts=len(predicate.parts)):
+            explored = 0
+            for part in predicate.parts:
+                result = _possibly(computation, part)
+                explored += int(result.stats.get("cuts_explored", 0))
+                if result.holds:
+                    return DetectionResult(
+                        holds=True,
+                        witness=result.witness,
+                        algorithm="disjunction:" + result.algorithm,
+                        stats=result.stats,
+                    )
+            return DetectionResult(
+                holds=False,
+                algorithm="disjunction",
+                stats={"cuts_explored": explored},
+            )
     return possibly_enumerate(computation, predicate)
 
 

@@ -22,6 +22,7 @@ from typing import Optional, Set
 
 from repro.computation import Computation, Cut, final_cut, initial_cut
 from repro.detection.result import DetectionResult
+from repro.obs import StatCounters, span
 from repro.predicates.base import GlobalPredicate
 
 __all__ = ["possibly_enumerate", "definitely_enumerate"]
@@ -31,29 +32,31 @@ def possibly_enumerate(
     computation: Computation, predicate: GlobalPredicate
 ) -> DetectionResult:
     """Decide ``possibly(B)`` by exhaustive lattice search (with early exit)."""
-    start = initial_cut(computation)
-    explored = 0
-    seen: Set[Cut] = {start}
-    queue: deque[Cut] = deque([start])
-    while queue:
-        cut = queue.popleft()
-        explored += 1
-        if predicate.evaluate(cut):
-            return DetectionResult(
-                holds=True,
-                witness=cut,
-                algorithm="cooper-marzullo",
-                stats={"cuts_explored": explored},
-            )
-        for nxt in cut.successors():
-            if nxt not in seen:
-                seen.add(nxt)
-                queue.append(nxt)
-    return DetectionResult(
-        holds=False,
-        algorithm="cooper-marzullo",
-        stats={"cuts_explored": explored},
-    )
+    with span("engine.cooper-marzullo", modality="possibly") as sp:
+        start = initial_cut(computation)
+        explored = 0
+        seen: Set[Cut] = {start}
+        queue: deque[Cut] = deque([start])
+        holds, witness = False, None
+        while queue:
+            cut = queue.popleft()
+            explored += 1
+            if predicate.evaluate(cut):
+                holds, witness = True, cut
+                break
+            for nxt in cut.successors():
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        stats = StatCounters("engine.cooper-marzullo")
+        stats.inc("cuts_explored", explored)
+        sp.set(cuts_explored=explored, holds=holds)
+        return DetectionResult(
+            holds=holds,
+            witness=witness,
+            algorithm="cooper-marzullo",
+            stats=stats.as_dict(),
+        )
 
 
 def definitely_enumerate(
@@ -66,43 +69,43 @@ def definitely_enumerate(
     sub-lattice (in particular it holds immediately when the initial or the
     final cut satisfies B, since every run contains both).
     """
-    start = initial_cut(computation)
-    goal = final_cut(computation)
-    explored = 0
-    if predicate.evaluate(start) or predicate.evaluate(goal):
-        return DetectionResult(
-            holds=True,
-            witness=start if predicate.evaluate(start) else goal,
-            algorithm="cooper-marzullo",
-            stats={"cuts_explored": 2},
-        )
-    if start == goal:
-        # The lattice is a single cut that violates B: the unique run
-        # avoids B.
-        return DetectionResult(
-            holds=False,
-            algorithm="cooper-marzullo",
-            stats={"cuts_explored": 1},
-        )
-    seen: Set[Cut] = {start}
-    queue: deque[Cut] = deque([start])
-    while queue:
-        cut = queue.popleft()
-        explored += 1
-        for nxt in cut.successors():
-            if nxt in seen or predicate.evaluate(nxt):
-                continue
-            if nxt == goal:
-                # A full run avoiding B exists.
-                return DetectionResult(
-                    holds=False,
-                    algorithm="cooper-marzullo",
-                    stats={"cuts_explored": explored},
-                )
-            seen.add(nxt)
-            queue.append(nxt)
-    return DetectionResult(
-        holds=True,
-        algorithm="cooper-marzullo",
-        stats={"cuts_explored": explored},
-    )
+    with span("engine.cooper-marzullo", modality="definitely") as sp:
+        start = initial_cut(computation)
+        goal = final_cut(computation)
+        explored = 0
+
+        def _result(
+            holds: bool, explored: int, witness: Optional[Cut] = None
+        ) -> DetectionResult:
+            stats = StatCounters("engine.cooper-marzullo")
+            stats.inc("cuts_explored", explored)
+            sp.set(cuts_explored=explored, holds=holds)
+            return DetectionResult(
+                holds=holds,
+                witness=witness,
+                algorithm="cooper-marzullo",
+                stats=stats.as_dict(),
+            )
+
+        if predicate.evaluate(start) or predicate.evaluate(goal):
+            return _result(
+                True, 2, start if predicate.evaluate(start) else goal
+            )
+        if start == goal:
+            # The lattice is a single cut that violates B: the unique run
+            # avoids B.
+            return _result(False, 1)
+        seen: Set[Cut] = {start}
+        queue: deque[Cut] = deque([start])
+        while queue:
+            cut = queue.popleft()
+            explored += 1
+            for nxt in cut.successors():
+                if nxt in seen or predicate.evaluate(nxt):
+                    continue
+                if nxt == goal:
+                    # A full run avoiding B exists.
+                    return _result(False, explored)
+                seen.add(nxt)
+                queue.append(nxt)
+        return _result(True, explored)

@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.computation import Computation
 from repro.detection.result import DetectionResult
+from repro.obs import StatCounters, span
 from repro.predicates.conjunctive import ConjunctivePredicate
 from repro.predicates.local import LocalPredicate
 
@@ -132,12 +133,21 @@ def definitely_conjunctive(
     computation: Computation, predicate: ConjunctivePredicate
 ) -> DetectionResult:
     """Decide ``definitely`` of a conjunctive predicate exactly."""
+    with span(
+        "engine.interval-anchor", conjuncts=len(predicate.conjuncts)
+    ) as sp:
+        return _definitely_conjunctive(computation, predicate, sp)
+
+
+def _definitely_conjunctive(
+    computation: Computation, predicate: ConjunctivePredicate, sp
+) -> DetectionResult:
     intervals = false_intervals(computation, predicate)
-    stats: Dict[str, object] = {
-        "anchors": len(intervals),
-        "handoffs_checked": 0,
-        "states": 0,
-    }
+    stats = StatCounters("engine.interval-anchor")
+    stats.set("anchors", len(intervals))
+    stats.inc("handoffs_checked", 0)
+    stats.inc("states", 0)
+    sp.set(anchors=len(intervals))
 
     bottom: Frontier = (1,) * computation.num_processes
 
@@ -161,12 +171,12 @@ def definitely_conjunctive(
             return DetectionResult(
                 holds=False,
                 algorithm="interval-anchor",
-                stats=stats,
+                stats=stats.as_dict(),
             )
 
     while queue:
         interval, frontier = queue.popleft()
-        stats["states"] = int(stats["states"]) + 1
+        stats.inc("states")
         i = interval.process
         for target in intervals:
             j = target.process
@@ -174,7 +184,7 @@ def definitely_conjunctive(
                 continue
             if frontier[j] > target.end + 1:
                 continue  # j's frontier already left the target interval
-            stats["handoffs_checked"] = int(stats["handoffs_checked"]) + 1
+            stats.inc("handoffs_checked")
             landed = _closure_at_least(
                 computation, frontier, j, target.start + 1
             )
@@ -188,10 +198,10 @@ def definitely_conjunctive(
                     return DetectionResult(
                         holds=False,
                         algorithm="interval-anchor",
-                        stats=stats,
+                        stats=stats.as_dict(),
                     )
                 queue.append((target, landed))
 
     return DetectionResult(
-        holds=True, algorithm="interval-anchor", stats=stats
+        holds=True, algorithm="interval-anchor", stats=stats.as_dict()
     )

@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence
 from repro.computation import Computation, Cut, least_consistent_cut
 from repro.detection.result import DetectionResult
 from repro.events import EventId
+from repro.obs import StatCounters, span
 from repro.predicates.conjunctive import ConjunctivePredicate
 from repro.predicates.local import true_events
 
@@ -119,21 +120,26 @@ def detect_conjunctive(
     Returns a witness cut passing through one true event per conjunct when
     the predicate possibly holds.
     """
-    chains = [
-        true_events(computation, conjunct) for conjunct in predicate.conjuncts
-    ]
-    scan = SelectionScan(computation, chains)
-    selection = scan.run()
-    stats = {
-        "advances": scan.advances,
-        "comparisons": scan.comparisons,
-        "chains": len(chains),
-    }
-    if selection is None:
-        return DetectionResult(holds=False, algorithm="cpdhb", stats=stats)
-    witness = least_consistent_cut(computation, selection)
-    assert witness is not None, "CPDHB selection must admit a consistent cut"
-    assert predicate.evaluate(witness)
-    return DetectionResult(
-        holds=True, witness=witness, algorithm="cpdhb", stats=stats
-    )
+    with span("engine.cpdhb", conjuncts=len(predicate.conjuncts)) as sp:
+        chains = [
+            true_events(computation, conjunct)
+            for conjunct in predicate.conjuncts
+        ]
+        scan = SelectionScan(computation, chains)
+        selection = scan.run()
+        stats = StatCounters("engine.cpdhb")
+        stats.set("chains", len(chains))
+        stats.inc("advances", scan.advances)
+        stats.inc("comparisons", scan.comparisons)
+        sp.set(advances=scan.advances, holds=selection is not None)
+        if selection is None:
+            return DetectionResult(
+                holds=False, algorithm="cpdhb", stats=stats.as_dict()
+            )
+        witness = least_consistent_cut(computation, selection)
+        assert witness is not None, "CPDHB selection must admit a consistent cut"
+        assert predicate.evaluate(witness)
+        return DetectionResult(
+            holds=True, witness=witness, algorithm="cpdhb",
+            stats=stats.as_dict(),
+        )

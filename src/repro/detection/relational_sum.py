@@ -45,6 +45,7 @@ from repro.computation import (
 from repro.detection.cooper_marzullo import possibly_enumerate
 from repro.detection.result import DetectionResult
 from repro.flow import max_sum_cut, min_sum_cut
+from repro.obs import StatCounters, span
 from repro.predicates.errors import UnsupportedPredicateError
 from repro.predicates.relational import RelationalSumPredicate, Relop
 
@@ -66,20 +67,24 @@ def _possibly_inequality(
 ) -> DetectionResult:
     variable, k = predicate.variable, predicate.constant
     relop = predicate.relop
-    if relop in (Relop.LT, Relop.LE):
-        bound, witness = min_sum_cut(computation, variable)
-        holds = relop.compare(bound, k)
-        stats = {"min_sum": bound}
-    else:
-        bound, witness = max_sum_cut(computation, variable)
-        holds = relop.compare(bound, k)
-        stats = {"max_sum": bound}
-    return DetectionResult(
-        holds=holds,
-        witness=witness if holds else None,
-        algorithm="min-cut",
-        stats=stats,
-    )
+    with span("engine.min-cut", relop=relop.value, variable=variable) as sp:
+        stats = StatCounters("engine.min-cut")
+        stats.inc("flow_runs")
+        if relop in (Relop.LT, Relop.LE):
+            bound, witness = min_sum_cut(computation, variable)
+            holds = relop.compare(bound, k)
+            stats.set("min_sum", bound)
+        else:
+            bound, witness = max_sum_cut(computation, variable)
+            holds = relop.compare(bound, k)
+            stats.set("max_sum", bound)
+        sp.set(k=k, extremal_sum=bound, holds=holds)
+        return DetectionResult(
+            holds=holds,
+            witness=witness if holds else None,
+            algorithm="min-cut",
+            stats=stats.as_dict(),
+        )
 
 
 def witness_cut_with_sum(
@@ -128,16 +133,23 @@ def possibly_sum_eq_unit(
     """``possibly(sum = k)`` for ±1 computations (paper, Theorem 7(1))."""
     _require_unit(computation, predicate)
     variable, k = predicate.variable, predicate.constant
-    lo, _ = min_sum_cut(computation, variable)
-    hi, _ = max_sum_cut(computation, variable)
-    holds = lo <= k <= hi
-    witness = witness_cut_with_sum(computation, variable, k) if holds else None
-    return DetectionResult(
-        holds=holds,
-        witness=witness,
-        algorithm="theorem7-unit-step",
-        stats={"min_sum": lo, "max_sum": hi},
-    )
+    with span("engine.theorem7-unit-step", variable=variable, k=k) as sp:
+        lo, _ = min_sum_cut(computation, variable)
+        hi, _ = max_sum_cut(computation, variable)
+        holds = lo <= k <= hi
+        witness = (
+            witness_cut_with_sum(computation, variable, k) if holds else None
+        )
+        stats = StatCounters("engine.theorem7-unit-step")
+        stats.set("min_sum", lo)
+        stats.set("max_sum", hi)
+        sp.set(min_sum=lo, max_sum=hi, holds=holds)
+        return DetectionResult(
+            holds=holds,
+            witness=witness,
+            algorithm="theorem7-unit-step",
+            stats=stats.as_dict(),
+        )
 
 
 def possibly_sum_eq_exact(
@@ -167,28 +179,34 @@ def _possibly_eq_sumset(
     consistent cut, so achievable sums are the sumset of the per-process
     prefix-value sets.  Tracks one witness prefix-choice per achievable sum.
     """
-    achievable: Dict[int, List[int]] = {0: []}
-    for p in range(computation.num_processes):
-        events = computation.events_of(p)
-        options: List[Tuple[int, int]] = []  # (prefix length c_p, value)
-        seen_values: Set[int] = set()
-        for c in range(1, len(events) + 1):
-            value = int(events[c - 1].value(variable, 0))
-            options.append((c, value))
-        next_achievable: Dict[int, List[int]] = {}
-        for total, choice in achievable.items():
-            for c, value in options:
-                key = total + value
-                if key not in next_achievable:
-                    next_achievable[key] = choice + [c]
-        achievable = next_achievable
-    stats = {"achievable_sums": len(achievable)}
-    if k not in achievable:
-        return DetectionResult(holds=False, algorithm="sumset-dp", stats=stats)
-    witness = Cut(computation, achievable[k])
-    return DetectionResult(
-        holds=True, witness=witness, algorithm="sumset-dp", stats=stats
-    )
+    with span("engine.sumset-dp", variable=variable, k=k) as sp:
+        achievable: Dict[int, List[int]] = {0: []}
+        for p in range(computation.num_processes):
+            events = computation.events_of(p)
+            options: List[Tuple[int, int]] = []  # (prefix length c_p, value)
+            seen_values: Set[int] = set()
+            for c in range(1, len(events) + 1):
+                value = int(events[c - 1].value(variable, 0))
+                options.append((c, value))
+            next_achievable: Dict[int, List[int]] = {}
+            for total, choice in achievable.items():
+                for c, value in options:
+                    key = total + value
+                    if key not in next_achievable:
+                        next_achievable[key] = choice + [c]
+            achievable = next_achievable
+        stats = StatCounters("engine.sumset-dp")
+        stats.set("achievable_sums", len(achievable))
+        sp.set(achievable_sums=len(achievable), holds=k in achievable)
+        if k not in achievable:
+            return DetectionResult(
+                holds=False, algorithm="sumset-dp", stats=stats.as_dict()
+            )
+        witness = Cut(computation, achievable[k])
+        return DetectionResult(
+            holds=True, witness=witness, algorithm="sumset-dp",
+            stats=stats.as_dict(),
+        )
 
 
 def possibly_sum(
@@ -209,18 +227,24 @@ def possibly_sum(
         return possibly_sum_eq_exact(computation, predicate)
     # relop is NE: some cut differs from k unless min == max == k.
     variable, k = predicate.variable, predicate.constant
-    lo, lo_cut = min_sum_cut(computation, variable)
-    hi, hi_cut = max_sum_cut(computation, variable)
-    holds = not (lo == hi == k)
-    witness = None
-    if holds:
-        witness = lo_cut if lo != k else hi_cut
-    return DetectionResult(
-        holds=holds,
-        witness=witness,
-        algorithm="min-cut",
-        stats={"min_sum": lo, "max_sum": hi},
-    )
+    with span("engine.min-cut", relop="!=", variable=variable) as sp:
+        lo, lo_cut = min_sum_cut(computation, variable)
+        hi, hi_cut = max_sum_cut(computation, variable)
+        holds = not (lo == hi == k)
+        witness = None
+        if holds:
+            witness = lo_cut if lo != k else hi_cut
+        stats = StatCounters("engine.min-cut")
+        stats.inc("flow_runs", 2)
+        stats.set("min_sum", lo)
+        stats.set("max_sum", hi)
+        sp.set(min_sum=lo, max_sum=hi, holds=holds)
+        return DetectionResult(
+            holds=holds,
+            witness=witness,
+            algorithm="min-cut",
+            stats=stats.as_dict(),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -234,12 +258,16 @@ def _definitely_by_avoidance(
     Exponential in the worst case (it explores the complement sub-lattice);
     exact for every relop.
     """
-    avoidable = reachable_avoiding(computation, predicate.evaluate)
-    return DetectionResult(
-        holds=not avoidable,
-        algorithm="avoidance-search",
-        stats={},
-    )
+    with span("engine.avoidance-search", relop=predicate.relop.value) as sp:
+        avoidable = reachable_avoiding(computation, predicate.evaluate)
+        stats = StatCounters("engine.avoidance-search")
+        stats.inc("searches")
+        sp.set(holds=not avoidable)
+        return DetectionResult(
+            holds=not avoidable,
+            algorithm="avoidance-search",
+            stats=stats.as_dict(),
+        )
 
 
 def definitely_sum_eq_unit(
@@ -253,21 +281,24 @@ def definitely_sum_eq_unit(
     """
     _require_unit(computation, predicate)
     variable, k = predicate.variable, predicate.constant
-    le = RelationalSumPredicate(variable, Relop.LE, k)
-    ge = RelationalSumPredicate(variable, Relop.GE, k)
-    d_le = _definitely_by_avoidance(computation, le)
-    if not d_le.holds:
+    with span("engine.theorem7-unit-step", variable=variable, k=k) as sp:
+        le = RelationalSumPredicate(variable, Relop.LE, k)
+        ge = RelationalSumPredicate(variable, Relop.GE, k)
+        d_le = _definitely_by_avoidance(computation, le)
+        if not d_le.holds:
+            sp.set(holds=False, failed="definitely(sum <= k)")
+            return DetectionResult(
+                holds=False,
+                algorithm="theorem7-unit-step",
+                stats={"failed": "definitely(sum <= k)"},
+            )
+        d_ge = _definitely_by_avoidance(computation, ge)
+        sp.set(holds=d_ge.holds)
         return DetectionResult(
-            holds=False,
+            holds=d_ge.holds,
             algorithm="theorem7-unit-step",
-            stats={"failed": "definitely(sum <= k)"},
+            stats={} if d_ge.holds else {"failed": "definitely(sum >= k)"},
         )
-    d_ge = _definitely_by_avoidance(computation, ge)
-    return DetectionResult(
-        holds=d_ge.holds,
-        algorithm="theorem7-unit-step",
-        stats={} if d_ge.holds else {"failed": "definitely(sum >= k)"},
-    )
 
 
 def definitely_sum(

@@ -47,6 +47,7 @@ from repro.detection.cpdsc import (
 from repro.detection.garg_waldecker import SelectionScan
 from repro.detection.result import DetectionResult
 from repro.events import EventId
+from repro.obs import StatCounters, span
 from repro.predicates.boolean import Clause, CNFPredicate
 from repro.predicates.errors import UnsupportedPredicateError
 
@@ -109,27 +110,36 @@ def detect_special_case(
             groups — use one of the general engines then.
     """
     groups = _groups(predicate)
-    trues = [clause_true_events(computation, cl) for cl in predicate.clauses]
-    if is_receive_ordered(computation, groups):
-        selection = detect_receive_ordered(computation, groups, trues)
-        variant = "receive-ordered"
-    elif is_send_ordered(computation, groups):
-        selection = detect_send_ordered(computation, groups, trues)
-        variant = "send-ordered"
-    else:
-        raise UnsupportedPredicateError(
-            "computation is neither receive-ordered nor send-ordered with "
-            "respect to the clause groups; use detect_by_chain_choice"
+    with span("engine.cpdsc", groups=len(groups)) as sp:
+        trues = [
+            clause_true_events(computation, cl) for cl in predicate.clauses
+        ]
+        if is_receive_ordered(computation, groups):
+            selection = detect_receive_ordered(computation, groups, trues)
+            variant = "receive-ordered"
+        elif is_send_ordered(computation, groups):
+            selection = detect_send_ordered(computation, groups, trues)
+            variant = "send-ordered"
+        else:
+            raise UnsupportedPredicateError(
+                "computation is neither receive-ordered nor send-ordered "
+                "with respect to the clause groups; use "
+                "detect_by_chain_choice"
+            )
+        stats = StatCounters("engine.cpdsc")
+        stats.set("variant", variant)
+        stats.inc("scans")
+        sp.set(variant=variant, holds=selection is not None)
+        if selection is None:
+            return DetectionResult(
+                holds=False, algorithm="cpdsc", stats=stats.as_dict()
+            )
+        return DetectionResult(
+            holds=True,
+            witness=_witness(computation, predicate, selection),
+            algorithm="cpdsc",
+            stats=stats.as_dict(),
         )
-    stats = {"variant": variant}
-    if selection is None:
-        return DetectionResult(holds=False, algorithm="cpdsc", stats=stats)
-    return DetectionResult(
-        holds=True,
-        witness=_witness(computation, predicate, selection),
-        algorithm="cpdsc",
-        stats=stats,
-    )
 
 
 def detect_by_process_choice(
@@ -176,27 +186,39 @@ def _detect_by_combinations(
 ) -> DetectionResult:
     """Shared driver: CPDHB over every combination of one chain per group."""
     total = math.prod(len(chains) for chains in per_group_chains)
-    stats: Dict[str, object] = {
-        "combinations": total,
-        "invocations": 0,
-        "advances": 0,
-    }
-    if total == 0:
-        # Some group has no true event at all: the clause can never hold.
-        return DetectionResult(holds=False, algorithm=algorithm, stats=stats)
-    for combo in itertools.product(*per_group_chains):
-        stats["invocations"] = int(stats["invocations"]) + 1
-        scan = SelectionScan(computation, list(combo))
-        selection = scan.run()
-        stats["advances"] = int(stats["advances"]) + scan.advances
-        if selection is not None:
+    with span(
+        f"engine.{algorithm}",
+        groups=len(per_group_chains),
+        combinations=total,
+    ) as sp:
+        stats = StatCounters(f"engine.{algorithm}")
+        stats.set("combinations", total)
+        stats.inc("invocations", 0)
+        stats.inc("advances", 0)
+        if total == 0:
+            # Some group has no true event at all: the clause can never hold.
             return DetectionResult(
-                holds=True,
-                witness=_witness(computation, predicate, selection),
-                algorithm=algorithm,
-                stats=stats,
+                holds=False, algorithm=algorithm, stats=stats.as_dict()
             )
-    return DetectionResult(holds=False, algorithm=algorithm, stats=stats)
+        for combo in itertools.product(*per_group_chains):
+            stats.inc("invocations")
+            with span("scan.cpdhb") as scan_sp:
+                scan = SelectionScan(computation, list(combo))
+                selection = scan.run()
+                scan_sp.set(advances=scan.advances)
+            stats.inc("advances", scan.advances)
+            if selection is not None:
+                sp.set(holds=True)
+                return DetectionResult(
+                    holds=True,
+                    witness=_witness(computation, predicate, selection),
+                    algorithm=algorithm,
+                    stats=stats.as_dict(),
+                )
+        sp.set(holds=False)
+        return DetectionResult(
+            holds=False, algorithm=algorithm, stats=stats.as_dict()
+        )
 
 
 def detect_singular(
@@ -212,11 +234,12 @@ def detect_singular(
     """
     if strategy == "auto":
         groups = _groups(predicate)
-        if is_receive_ordered(computation, groups) or is_send_ordered(
-            computation, groups
-        ):
-            return detect_special_case(computation, predicate)
-        return detect_by_chain_choice(computation, predicate)
+        with span("dispatch.singular", strategy="auto", groups=len(groups)):
+            if is_receive_ordered(computation, groups) or is_send_ordered(
+                computation, groups
+            ):
+                return detect_special_case(computation, predicate)
+            return detect_by_chain_choice(computation, predicate)
     if strategy == "special":
         return detect_special_case(computation, predicate)
     if strategy == "process-choice":

@@ -34,6 +34,7 @@ from repro.computation import Computation, least_consistent_cut
 from repro.detection.garg_waldecker import SelectionScan
 from repro.detection.result import DetectionResult
 from repro.events import Event, EventId
+from repro.obs import StatCounters, span
 from repro.predicates.boolean import CNFPredicate
 from repro.predicates.local import Literal
 
@@ -65,43 +66,52 @@ def detect_cnf_by_literal_choice(
         cl.literals for cl in predicate.clauses
     ]
     total = math.prod(len(lits) for lits in clause_literals)
-    stats: Dict[str, object] = {
-        "combinations": total,
-        "contradictory": 0,
-        "invocations": 0,
-    }
-    for choice in itertools.product(*clause_literals):
-        # Group the chosen literals by process; duplicates merge, and a
-        # variable chosen in both polarities kills the combination.
-        by_process: Dict[int, Dict[Tuple[str, bool], Literal]] = {}
-        contradictory = False
-        for lit in choice:
-            bucket = by_process.setdefault(lit.process, {})
-            bucket[(lit.variable, lit.negated)] = lit
-            if (lit.variable, not lit.negated) in bucket:
-                contradictory = True
-                break
-        if contradictory:
-            stats["contradictory"] = int(stats["contradictory"]) + 1
-            continue
-        chains = [
-            _true_events_for_conjunction(
-                computation, process, list(bucket.values())
-            )
-            for process, bucket in sorted(by_process.items())
-        ]
-        stats["invocations"] = int(stats["invocations"]) + 1
-        selection = SelectionScan(computation, chains).run()
-        if selection is not None:
-            witness = least_consistent_cut(computation, selection)
-            assert witness is not None
-            assert predicate.evaluate(witness)
-            return DetectionResult(
-                holds=True,
-                witness=witness,
-                algorithm="stoller-schneider",
-                stats=stats,
-            )
-    return DetectionResult(
-        holds=False, algorithm="stoller-schneider", stats=stats
-    )
+    with span(
+        "engine.stoller-schneider",
+        clauses=len(clause_literals),
+        combinations=total,
+    ) as sp:
+        stats = StatCounters("engine.stoller-schneider")
+        stats.set("combinations", total)
+        stats.inc("contradictory", 0)
+        stats.inc("invocations", 0)
+        for choice in itertools.product(*clause_literals):
+            # Group the chosen literals by process; duplicates merge, and a
+            # variable chosen in both polarities kills the combination.
+            by_process: Dict[int, Dict[Tuple[str, bool], Literal]] = {}
+            contradictory = False
+            for lit in choice:
+                bucket = by_process.setdefault(lit.process, {})
+                bucket[(lit.variable, lit.negated)] = lit
+                if (lit.variable, not lit.negated) in bucket:
+                    contradictory = True
+                    break
+            if contradictory:
+                stats.inc("contradictory")
+                continue
+            chains = [
+                _true_events_for_conjunction(
+                    computation, process, list(bucket.values())
+                )
+                for process, bucket in sorted(by_process.items())
+            ]
+            stats.inc("invocations")
+            with span("scan.cpdhb") as scan_sp:
+                scan = SelectionScan(computation, chains)
+                selection = scan.run()
+                scan_sp.set(advances=scan.advances)
+            if selection is not None:
+                witness = least_consistent_cut(computation, selection)
+                assert witness is not None
+                assert predicate.evaluate(witness)
+                sp.set(holds=True)
+                return DetectionResult(
+                    holds=True,
+                    witness=witness,
+                    algorithm="stoller-schneider",
+                    stats=stats.as_dict(),
+                )
+        sp.set(holds=False)
+        return DetectionResult(
+            holds=False, algorithm="stoller-schneider", stats=stats.as_dict()
+        )

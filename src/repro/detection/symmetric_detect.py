@@ -24,6 +24,7 @@ from repro.detection.relational_sum import (
 )
 from repro.detection.result import DetectionResult
 from repro.flow import max_sum_cut, min_sum_cut
+from repro.obs import StatCounters, span
 from repro.predicates.relational import RelationalSumPredicate, Relop
 from repro.predicates.symmetric import SymmetricPredicate
 
@@ -35,24 +36,29 @@ def possibly_symmetric(
 ) -> DetectionResult:
     """``possibly`` of a symmetric predicate in polynomial time."""
     variable = predicate.variable
-    lo, _ = min_sum_cut(computation, variable)
-    hi, _ = max_sum_cut(computation, variable)
-    stats = {"min_count": lo, "max_count": hi}
-    reachable = sorted(j for j in predicate.counts if lo <= j <= hi)
-    if not reachable:
-        return DetectionResult(
-            holds=False, algorithm="symmetric-unit-step", stats=stats
+    with span("engine.symmetric-unit-step", variable=variable) as sp:
+        lo, _ = min_sum_cut(computation, variable)
+        hi, _ = max_sum_cut(computation, variable)
+        stats = StatCounters("engine.symmetric-unit-step")
+        stats.set("min_count", lo)
+        stats.set("max_count", hi)
+        reachable = sorted(j for j in predicate.counts if lo <= j <= hi)
+        sp.set(min_count=lo, max_count=hi, holds=bool(reachable))
+        if not reachable:
+            return DetectionResult(
+                holds=False, algorithm="symmetric-unit-step",
+                stats=stats.as_dict(),
+            )
+        witness: Optional[Cut] = witness_cut_with_sum(
+            computation, variable, reachable[0]
         )
-    witness: Optional[Cut] = witness_cut_with_sum(
-        computation, variable, reachable[0]
-    )
-    assert witness is not None
-    return DetectionResult(
-        holds=True,
-        witness=witness,
-        algorithm="symmetric-unit-step",
-        stats=stats,
-    )
+        assert witness is not None
+        return DetectionResult(
+            holds=True,
+            witness=witness,
+            algorithm="symmetric-unit-step",
+            stats=stats.as_dict(),
+        )
 
 
 def definitely_symmetric(
@@ -72,7 +78,14 @@ def definitely_symmetric(
             algorithm="symmetric-" + result.algorithm,
             stats=result.stats,
         )
-    avoidable = reachable_avoiding(computation, predicate.evaluate)
-    return DetectionResult(
-        holds=not avoidable, algorithm="symmetric-avoidance", stats={}
-    )
+    with span(
+        "engine.symmetric-avoidance", counts=sorted(predicate.counts)
+    ) as sp:
+        avoidable = reachable_avoiding(computation, predicate.evaluate)
+        stats = StatCounters("engine.symmetric-avoidance")
+        stats.inc("searches")
+        sp.set(holds=not avoidable)
+        return DetectionResult(
+            holds=not avoidable, algorithm="symmetric-avoidance",
+            stats=stats.as_dict(),
+        )

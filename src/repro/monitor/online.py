@@ -29,9 +29,11 @@ them is how a real monitor works and keeps indices honest.
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.events import VectorClock
+from repro.obs import STATE, registry
 
 __all__ = ["OnlineConjunctiveMonitor", "MonitorError"]
 
@@ -81,6 +83,7 @@ class OnlineConjunctiveMonitor:
         self._impossible = False
         self.observations = 0
         self.eliminations = 0
+        self._created_at = perf_counter()
 
     # ------------------------------------------------------------------
     # Status
@@ -139,9 +142,22 @@ class OnlineConjunctiveMonitor:
             )
         self._last_index[process] = index
         self.observations += 1
+        if STATE.enabled:
+            registry().counter("monitor.observations").inc()
         if truth:
             self._queues[process].append(_Candidate(index, clock))
+            if STATE.enabled:
+                registry().counter("monitor.candidates_queued").inc()
+            already = self.detected
             self._settle()
+            if STATE.enabled and self.detected and not already:
+                registry().counter("monitor.detections").inc()
+                registry().gauge("monitor.observations_to_detection").set(
+                    self.observations
+                )
+                registry().histogram("monitor.time_to_detection.ms").record(
+                    (perf_counter() - self._created_at) * 1000.0
+                )
         return self.detected
 
     def finish(self, process: int) -> None:
@@ -184,11 +200,15 @@ class OnlineConjunctiveMonitor:
                         # along a process, so the test stays true for them.
                         self._queues[i].popleft()
                         self.eliminations += 1
+                        if STATE.enabled:
+                            registry().counter("monitor.eliminations").inc()
                         changed = True
                         break
                     if self._eliminates(head_j, j, head_i):
                         self._queues[j].popleft()
                         self.eliminations += 1
+                        if STATE.enabled:
+                            registry().counter("monitor.eliminations").inc()
                         changed = True
                         break
                 if changed:
@@ -207,4 +227,6 @@ class OnlineConjunctiveMonitor:
         for p in self._monitored:
             if not self._queues[p] and self._finished[p]:
                 self._impossible = True
+                if STATE.enabled:
+                    registry().counter("monitor.impossible_verdicts").inc()
                 return

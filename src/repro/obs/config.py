@@ -1,0 +1,53 @@
+"""Global on/off switch for the observability layer.
+
+Observability is **disabled by default**: every instrumented call site
+guards its work behind a single attribute read (``STATE.enabled``), so the
+cost of carrying the instrumentation in production paths is one Python
+attribute check — no allocation, no dict lookups, no time syscalls.
+
+Enable it explicitly (``repro.obs.enable()``), or scoped via
+:class:`repro.obs.spans.Capture`, which is what ``repro detect --profile``
+and ``repro profile`` use.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["STATE", "enable", "disable", "is_enabled"]
+
+
+class _ObsState:
+    """Mutable singleton holding the enabled flag.
+
+    An object attribute (rather than a module global) so call sites can
+    bind ``STATE`` once at import time and still observe later toggles.
+    """
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+STATE = _ObsState()
+
+# Opt-in via environment for processes that cannot reach the API (e.g.
+# benchmark subprocesses).
+if os.environ.get("REPRO_OBS", "").lower() in ("1", "true", "on"):
+    STATE.enabled = True
+
+
+def enable() -> None:
+    """Turn the observability layer on (spans recorded, metrics mirrored)."""
+    STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn the observability layer off (the default no-op fast path)."""
+    STATE.enabled = False
+
+
+def is_enabled() -> bool:
+    """Is the observability layer currently recording?"""
+    return STATE.enabled

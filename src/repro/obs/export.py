@@ -1,0 +1,88 @@
+"""Human-readable rendering of span trees and metrics snapshots.
+
+Used by ``repro detect --profile`` and ``repro profile`` to print to
+stderr; the machine-readable paths are
+:meth:`~repro.obs.metrics.MetricsRegistry.to_json`,
+:meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus`, and
+:meth:`~repro.obs.spans.Span.to_dict`.
+"""
+
+from __future__ import annotations
+
+from itertools import groupby
+from typing import Any, Dict, List, Sequence
+
+from repro.obs.spans import Span
+
+__all__ = ["format_span_tree", "format_metrics"]
+
+# Runs of more than this many same-named sibling spans (e.g. thousands of
+# per-combination CPDHB scans) collapse into an aggregate line.
+_MAX_SIBLINGS = 6
+
+
+def _format_attrs(attributes: Dict[str, Any]) -> str:
+    if not attributes:
+        return ""
+    parts = ", ".join(f"{k}={v!r}" for k, v in attributes.items())
+    return f"  [{parts}]"
+
+
+def _render(span: Span, indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    lines.append(
+        f"{pad}{span.name}  {span.duration_ms:.3f} ms"
+        f"{_format_attrs(span.attributes)}"
+    )
+    for name, group_iter in groupby(span.children, key=lambda s: s.name):
+        group = list(group_iter)
+        if len(group) <= _MAX_SIBLINGS:
+            for child in group:
+                _render(child, indent + 1, lines)
+        else:
+            for child in group[:_MAX_SIBLINGS]:
+                _render(child, indent + 1, lines)
+            rest = group[_MAX_SIBLINGS:]
+            total_ms = sum(child.duration_ms for child in rest)
+            lines.append(
+                f"{'  ' * (indent + 1)}{name}  "
+                f"... {len(rest)} more siblings, {total_ms:.3f} ms total"
+            )
+
+
+def format_span_tree(roots: Sequence[Span]) -> str:
+    """Indented tree: one line per span (long same-name runs collapsed)."""
+    lines: List[str] = []
+    for root in roots:
+        _render(root, 0, lines)
+    return "\n".join(lines)
+
+
+def format_metrics(snapshot: Dict[str, Any]) -> str:
+    """Compact text table of a registry snapshot."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name} = {value}")
+    if gauges:
+        lines.append("gauges:")
+        for name, value in gauges.items():
+            lines.append(f"  {name} = {value}")
+    if histograms:
+        lines.append("histograms:")
+        for name, summary in histograms.items():
+            if summary.get("count", 0) == 0:
+                lines.append(f"  {name}: empty")
+                continue
+            lines.append(
+                f"  {name}: count={summary['count']}"
+                f" mean={summary['mean']:.3f}"
+                f" p50={summary['p50']:.3f}"
+                f" p95={summary['p95']:.3f}"
+                f" max={summary['max']:.3f}"
+            )
+    return "\n".join(lines)

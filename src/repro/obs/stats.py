@@ -1,0 +1,63 @@
+"""The shared stat-counter helper for detection engines.
+
+Every engine used to hand-roll ``stats["x"] = int(stats["x"]) + 1`` into a
+private dict.  :class:`StatCounters` unifies that idiom: it keeps the
+per-query dict that :class:`~repro.detection.result.DetectionResult.stats`
+has always exposed (backward compatible), and — when observability is
+enabled — mirrors the same values into the global metrics registry under
+``<namespace>.<key>``:
+
+* :meth:`inc` mirrors to a **counter** (cumulative across queries within a
+  capture);
+* :meth:`set` mirrors numeric values to a **gauge** (last write wins) and
+  leaves non-numeric values (e.g. the CPDSC ``variant`` string) local.
+
+The canonical key names per engine are documented in
+``docs/ALGORITHMS.md`` ("Canonical stat keys").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.obs.config import STATE
+from repro.obs.metrics import registry
+
+__all__ = ["StatCounters"]
+
+
+class StatCounters:
+    """Per-query stats dict with a registry mirror.
+
+    Args:
+        namespace: Metric-name prefix, conventionally ``engine.<name>``.
+        **initial: Starting values, applied through :meth:`set`.
+    """
+
+    __slots__ = ("namespace", "data")
+
+    def __init__(self, namespace: str, **initial: Any) -> None:
+        self.namespace = namespace
+        self.data: Dict[str, Any] = {}
+        for key, value in initial.items():
+            self.set(key, value)
+
+    def inc(self, key: str, amount: int = 1) -> None:
+        """Add to a cumulative count (registry mirror: counter)."""
+        self.data[key] = int(self.data.get(key, 0)) + amount
+        if STATE.enabled:
+            registry().counter(f"{self.namespace}.{key}").inc(amount)
+
+    def set(self, key: str, value: Any) -> None:
+        """Record a non-cumulative value (registry mirror: gauge)."""
+        self.data[key] = value
+        if STATE.enabled and isinstance(value, (int, float)) \
+                and not isinstance(value, bool):
+            registry().gauge(f"{self.namespace}.{key}").set(value)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The dict placed into ``DetectionResult.stats`` (not a copy)."""
+        return self.data

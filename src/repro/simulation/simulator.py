@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.computation import Computation, ComputationBuilder
 from repro.events import EventId, EventKind
+from repro.obs import STATE, registry, span
 from repro.simulation.channels import Channel, UniformDelayChannel
 from repro.simulation.process import Message, ProcessContext, ProcessProgram
 
@@ -106,34 +107,39 @@ class Simulator:
         self._finished = True
 
         n = len(self._programs)
-        # Initialization: on_init sets initial values (no event recorded).
-        for p, program in enumerate(self._programs):
-            ctx = self._context(p)
-            program.on_init(ctx)
-            if ctx.sent or ctx.timers:
-                raise SimulationError(
-                    f"process {p} sent or armed timers in on_init"
-                )
-            self._builder.init_values(p, **self._values[p])
+        with span("sim.run", processes=n) as sp:
+            # Initialization: on_init sets initial values (no event recorded).
+            for p, program in enumerate(self._programs):
+                ctx = self._context(p)
+                program.on_init(ctx)
+                if ctx.sent or ctx.timers:
+                    raise SimulationError(
+                        f"process {p} sent or armed timers in on_init"
+                    )
+                self._builder.init_values(p, **self._values[p])
 
-        for p in range(n):
-            self._schedule(
-                _Scheduled(
-                    time=0.0,
-                    sequence=next(self._sequence),
-                    kind="start",
-                    process=p,
+            for p in range(n):
+                self._schedule(
+                    _Scheduled(
+                        time=0.0,
+                        sequence=next(self._sequence),
+                        kind="start",
+                        process=p,
+                    )
                 )
+
+            while self._queue and self._events_executed < max_events:
+                item = heapq.heappop(self._queue)
+                if until is not None and item.time > until:
+                    break
+                self._now = item.time
+                self._execute(item)
+
+            sp.set(
+                events=self._events_executed,
+                simulated_time=self._now,
             )
-
-        while self._queue and self._events_executed < max_events:
-            item = heapq.heappop(self._queue)
-            if until is not None and item.time > until:
-                break
-            self._now = item.time
-            self._execute(item)
-
-        return self._builder.build()
+            return self._builder.build()
 
     # ------------------------------------------------------------------
     # Internals
@@ -166,6 +172,14 @@ class Simulator:
         else:  # pragma: no cover - internal invariant
             raise SimulationError(f"unknown occurrence kind {item.kind!r}")
         self._events_executed += 1
+        if STATE.enabled:
+            reg = registry()
+            reg.counter("sim.events").inc()
+            reg.counter(f"sim.steps.{item.kind}").inc()
+            if ctx.sent:
+                reg.counter("sim.messages_sent").inc(len(ctx.sent))
+            if ctx.timers:
+                reg.counter("sim.timers_armed").inc(len(ctx.timers))
 
         received = item.kind == "message"
         sent = bool(ctx.sent)

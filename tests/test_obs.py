@@ -1,0 +1,245 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.spans import take_roots
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Leave the layer disabled and the global registry empty."""
+    obs.disable()
+    obs.registry().reset()
+    take_roots()
+    yield
+    obs.disable()
+    obs.registry().reset()
+    take_roots()
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(4)
+        assert reg.counter("a").value == 5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("a").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(3)
+        reg.gauge("g").set(7)
+        assert reg.gauge("g").value == 7
+
+    def test_histogram_summary(self):
+        h = Histogram("h")
+        for value in range(1, 101):
+            h.record(float(value))
+        summary = h.summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 1 and summary["max"] == 100
+        assert summary["sum"] == pytest.approx(5050)
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p95"] == pytest.approx(95.05)
+
+    def test_histogram_decimation_bounds_memory(self):
+        h = Histogram("h", max_samples=64)
+        for value in range(10_000):
+            h.record(float(value))
+        assert h.count == 10_000
+        assert len(h._samples) < 64
+        # Percentiles stay representative of the full range.
+        assert h.percentile(50) == pytest.approx(5000, rel=0.1)
+
+    def test_empty_histogram(self):
+        h = Histogram("h")
+        assert h.summary() == {"count": 0}
+        assert h.percentile(50) is None
+
+    def test_snapshot_and_json(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").record(3.0)
+        snapshot = json.loads(reg.to_json())
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_prometheus_export(self):
+        reg = MetricsRegistry()
+        reg.counter("engine.cpdhb.advances").inc(3)
+        reg.gauge("engine.cpdhb.chains").set(2)
+        reg.histogram("span.detect.query.ms").record(1.25)
+        text = reg.to_prometheus()
+        assert "# TYPE repro_engine_cpdhb_advances counter" in text
+        assert "repro_engine_cpdhb_advances 3" in text
+        assert "# TYPE repro_engine_cpdhb_chains gauge" in text
+        assert "# TYPE repro_span_detect_query_ms summary" in text
+        assert 'repro_span_detect_query_ms{quantile="0.5"} 1.25' in text
+        assert "repro_span_detect_query_ms_count 1" in text
+        assert text.endswith("\n")
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        obs.enable()
+        with obs.span("root", kind="outer") as root:
+            with obs.span("child-a"):
+                with obs.span("grandchild"):
+                    pass
+            with obs.span("child-b") as child_b:
+                child_b.set(extra=1)
+        roots = take_roots()
+        assert [r.name for r in roots] == ["root"]
+        assert root.attributes == {"kind": "outer"}
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert [g.name for g in root.children[0].children] == ["grandchild"]
+        assert root.children[1].attributes == {"extra": 1}
+
+    def test_durations_are_measured_and_nested(self):
+        obs.enable()
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                pass
+        take_roots()
+        assert outer.end_time is not None
+        assert outer.duration_ms >= inner.duration_ms >= 0
+
+    def test_span_duration_recorded_as_histogram(self):
+        obs.enable()
+        with obs.span("work"):
+            pass
+        assert obs.registry().histogram("span.work.ms").count == 1
+
+    def test_to_dict_tree(self):
+        obs.enable()
+        with obs.span("root", a=1):
+            with obs.span("leaf"):
+                pass
+        (root,) = take_roots()
+        tree = root.to_dict()
+        assert tree["name"] == "root"
+        assert tree["attributes"] == {"a": 1}
+        assert tree["children"][0]["name"] == "leaf"
+        assert tree["children"][0]["children"] == []
+
+    def test_current_span(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner") as inner:
+                assert obs.current_span() is inner
+        assert obs.current_span() is obs.NOOP
+
+
+class TestDisabledNoop:
+    def test_span_returns_shared_noop(self):
+        assert not obs.is_enabled()
+        sp = obs.span("anything", x=1)
+        assert sp is obs.NOOP
+        with sp as inner:
+            inner.set(y=2)  # must be a silent no-op
+        assert take_roots() == []
+
+    def test_registry_untouched_by_statcounters(self):
+        stats = obs.StatCounters("engine.test")
+        stats.inc("hits")
+        stats.set("size", 9)
+        assert obs.registry().snapshot()["counters"] == {}
+        assert obs.registry().snapshot()["gauges"] == {}
+        # The local dict still works — backward-compatible stats.
+        assert stats.as_dict() == {"hits": 1, "size": 9}
+
+    def test_current_span_is_noop(self):
+        assert obs.current_span() is obs.NOOP
+
+
+class TestStatCounters:
+    def test_mirrors_to_registry_when_enabled(self):
+        obs.enable()
+        stats = obs.StatCounters("engine.x")
+        stats.inc("invocations")
+        stats.inc("invocations", 2)
+        stats.set("combinations", 8)
+        assert stats.as_dict() == {"invocations": 3, "combinations": 8}
+        assert obs.registry().counter("engine.x.invocations").value == 3
+        assert obs.registry().gauge("engine.x.combinations").value == 8
+
+    def test_strings_and_bools_stay_local(self):
+        obs.enable()
+        stats = obs.StatCounters("engine.x")
+        stats.set("variant", "receive-ordered")
+        stats.set("flag", True)
+        snapshot = obs.registry().snapshot()
+        assert snapshot["gauges"] == {}
+        assert stats.as_dict() == {"variant": "receive-ordered", "flag": True}
+
+    def test_initial_values_via_constructor(self):
+        stats = obs.StatCounters("ns", combinations=4, invocations=0)
+        assert stats.as_dict() == {"combinations": 4, "invocations": 0}
+
+
+class TestCapture:
+    def test_capture_scopes_enablement_and_collects(self):
+        assert not obs.is_enabled()
+        with obs.Capture() as cap:
+            assert obs.is_enabled()
+            with obs.span("inside"):
+                pass
+        assert not obs.is_enabled()
+        assert [r.name for r in cap.roots] == ["inside"]
+        assert "span.inside.ms" in cap.registry.snapshot()["histograms"]
+
+    def test_capture_restores_prior_enabled_state(self):
+        obs.enable()
+        with obs.Capture():
+            pass
+        assert obs.is_enabled()
+
+    def test_capture_resets_registry(self):
+        obs.registry().counter("stale").inc()
+        with obs.Capture() as cap:
+            pass
+        assert "stale" not in cap.registry.snapshot()["counters"]
+
+
+class TestFormatting:
+    def test_format_span_tree_indents_and_collapses(self):
+        obs.enable()
+        with obs.span("root"):
+            for _ in range(10):
+                with obs.span("scan.cpdhb"):
+                    pass
+        (root,) = take_roots()
+        text = obs.format_span_tree([root])
+        assert text.splitlines()[0].startswith("root")
+        assert "... 4 more siblings" in text
+        assert text.count("scan.cpdhb") == 7  # 6 shown + 1 aggregate line
+
+    def test_format_metrics_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(5)
+        reg.histogram("h").record(1.0)
+        text = obs.format_metrics(reg.snapshot())
+        assert "counters:" in text and "c = 2" in text
+        assert "gauges:" in text and "g = 5" in text
+        assert "histograms:" in text and "count=1" in text
