@@ -14,12 +14,20 @@ Commands:
 Examples::
 
     python -m repro simulate token-ring --processes 5 --seed 1 -o ring.json
+    python -m repro simulate token-ring --faults plan.json -o lossy.json
+    python -m repro simulate lock-server --variant crash-restart -o mx.json
     python -m repro detect ring.json "cs@1 & cs@3"
     python -m repro detect ring.json "cs@1 & cs@3" --profile
     python -m repro detect ring.json "count(token) >= 2" --modality definitely
     python -m repro profile ring.json "cs@1 & cs@3" --repeat 20
     python -m repro generate --processes 4 --events 10 --bool x -o random.json
     python -m repro info random.json
+
+Exit codes: 0 = success (``detect``: predicate holds), 1 = ``detect``
+ran but the predicate does not hold, 2 = usage or predicate-syntax
+error, 3 = unreadable/malformed trace, 4 = simulation or fault-plan
+error, 5 = monitor error.  Every error prints a one-line
+``repro: <message>`` diagnostic to stderr instead of a traceback.
 """
 
 from __future__ import annotations
@@ -156,42 +164,89 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _run_simulation(args: argparse.Namespace, faults) -> "object":
     from repro.simulation.protocols import (
+        build_crash_restart_lock_scenario,
         build_leader_election,
+        build_lock_scenario,
         build_primary_backup,
         build_resource_pool,
         build_token_ring,
     )
 
     if args.protocol == "token-ring":
-        computation = build_token_ring(
+        return build_token_ring(
             args.processes,
             hops=args.rounds,
             seed=args.seed,
             rogue_process=args.rogue,
+            faults=faults,
         )
-    elif args.protocol == "leader-election":
-        computation = build_leader_election(args.processes, seed=args.seed)
-    elif args.protocol == "primary-backup":
-        computation = build_primary_backup(
-            max(1, args.processes - 1), args.rounds, seed=args.seed
+    if args.protocol == "leader-election":
+        return build_leader_election(
+            args.processes, seed=args.seed, faults=faults
         )
-    elif args.protocol == "resource-pool":
-        computation = build_resource_pool(
+    if args.protocol == "primary-backup":
+        return build_primary_backup(
+            max(1, args.processes - 1),
+            args.rounds,
+            seed=args.seed,
+            faults=faults,
+        )
+    if args.protocol == "resource-pool":
+        return build_resource_pool(
             max(1, args.processes - 1),
             capacity=max(1, args.processes // 3),
             rounds=args.rounds,
             seed=args.seed,
+            faults=faults,
         )
-    else:  # pragma: no cover - argparse restricts choices
-        raise ValueError(args.protocol)
+    if args.protocol == "lock-server":
+        if args.variant == "crash-restart":
+            # The deterministic mutual-exclusion-violation demo; an
+            # explicit --faults plan overrides the built-in one.
+            return build_crash_restart_lock_scenario(
+                seed=args.seed, faults=faults
+            )
+        return build_lock_scenario(
+            consistent_order=not args.conflicting_order,
+            seed=args.seed,
+            faults=faults,
+        )
+    raise ValueError(args.protocol)  # pragma: no cover - argparse choices
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    faults = None
+    if args.faults is not None:
+        from repro.simulation.faults import load_fault_plan
+
+        faults = load_fault_plan(args.faults)
+    if args.profile:
+        from repro import obs
+
+        with obs.Capture() as cap:
+            computation = _run_simulation(args, faults)
+        print("── span tree ──", file=sys.stderr)
+        print(obs.format_span_tree(cap.roots), file=sys.stderr)
+        print("── metrics ──", file=sys.stderr)
+        print(obs.format_metrics(cap.registry.snapshot()), file=sys.stderr)
+    else:
+        computation = _run_simulation(args, faults)
     dump_computation(computation, args.output)
-    print(
+    summary = (
         f"{args.protocol}: {computation.num_processes} processes, "
         f"{computation.total_events()} events, "
         f"{len(computation.messages)} messages -> {args.output}"
     )
+    fault_meta = computation.meta.get("faults")
+    if fault_meta:
+        counts = fault_meta.get("counts", {})
+        injected = ", ".join(
+            f"{kind}={n}" for kind, n in sorted(counts.items())
+        ) or "none"
+        summary += f" (faults: {injected})"
+    print(summary)
     return 0
 
 
@@ -330,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
             "leader-election",
             "primary-backup",
             "resource-pool",
+            "lock-server",
         ],
     )
     p_sim.add_argument("--processes", type=int, default=5)
@@ -338,6 +394,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--rogue", type=int, default=None,
         help="token-ring only: index of the process with the injected bug",
+    )
+    p_sim.add_argument(
+        "--variant",
+        choices=["deadlock", "crash-restart"],
+        default="deadlock",
+        help="lock-server only: workload variant (crash-restart is the "
+        "deterministic mutual-exclusion-violation demo, see docs/FAULTS.md)",
+    )
+    p_sim.add_argument(
+        "--conflicting-order",
+        action="store_true",
+        help="lock-server deadlock variant only: clients acquire locks in "
+        "opposite orders (hold-and-wait cycle)",
+    )
+    p_sim.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="inject faults from a JSON fault plan (see docs/FAULTS.md); "
+        "injected faults are recorded in the trace's meta.faults",
+    )
+    p_sim.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the simulation's span tree and metrics (including "
+        "sim.faults.* counters) to stderr",
     )
     p_sim.add_argument("-o", "--output", required=True)
     p_sim.set_defaults(func=_cmd_simulate)
@@ -377,10 +457,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fail(message: str, code: int) -> int:
+    print(f"repro: {message}", file=sys.stderr)
+    return code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.computation import ComputationError
+    from repro.monitor import MonitorError
+    from repro.predicates import PredicateError
+    from repro.simulation import FaultPlanError, SimulationError
+    from repro.trace import TraceFormatError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except PredicateError as exc:
+        return _fail(f"bad predicate: {exc}", 2)
+    except FaultPlanError as exc:
+        return _fail(f"bad fault plan: {exc}", 4)
+    except (TraceFormatError, ComputationError) as exc:
+        return _fail(f"bad trace: {exc}", 3)
+    except OSError as exc:
+        return _fail(str(exc), 3)
+    except SimulationError as exc:
+        return _fail(f"simulation failed: {exc}", 4)
+    except MonitorError as exc:
+        return _fail(f"monitor failed: {exc}", 5)
 
 
 if __name__ == "__main__":  # pragma: no cover

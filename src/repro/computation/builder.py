@@ -149,9 +149,16 @@ class ComputationBuilder:
     # ------------------------------------------------------------------
     # Finalization
     # ------------------------------------------------------------------
-    def build(self) -> Computation:
-        """Validate and freeze into an immutable :class:`Computation`."""
-        return Computation(self._events, self._messages)
+    def build(
+        self, meta: Optional[Dict[str, Any]] = None
+    ) -> Computation:
+        """Validate and freeze into an immutable :class:`Computation`.
+
+        Args:
+            meta: Optional provenance metadata to attach (see
+                :attr:`Computation.meta`).
+        """
+        return Computation(self._events, self._messages, meta=meta)
 
     def resolve_label(self, label: str) -> EventId:
         """Event id previously assigned to ``label``."""

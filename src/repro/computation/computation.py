@@ -67,9 +67,12 @@ class Computation:
         self,
         process_events: Sequence[Sequence[Event]],
         messages: Iterable[MessageEdge] = (),
+        *,
+        meta: Optional[Mapping[str, object]] = None,
     ):
         if not process_events:
             raise ComputationError("a computation needs at least one process")
+        self._meta: Dict[str, object] = dict(meta) if meta else {}
         self._events: Tuple[Tuple[Event, ...], ...] = tuple(
             tuple(seq) for seq in process_events
         )
@@ -97,6 +100,18 @@ class Computation:
     def messages(self) -> Tuple[MessageEdge, ...]:
         """All (send-id, receive-id) message edges."""
         return self._messages
+
+    @property
+    def meta(self) -> Mapping[str, object]:
+        """Structured provenance metadata (e.g. injected faults).
+
+        Carries information *about* the recording — such as the fault plan
+        and the faults actually injected by the simulator — that is not
+        part of the event structure itself.  Algorithms never read it; it
+        exists so results can be cross-referenced with how the trace was
+        produced.  Round-trips through the JSON trace format.
+        """
+        return self._meta
 
     def events_of(self, process: int) -> Tuple[Event, ...]:
         """All events of ``process`` in local order (initial event first)."""

@@ -1,6 +1,12 @@
 """Online (streaming) predicate monitors."""
 
+from repro.monitor import recovery
 from repro.monitor.multiplex import MonitorGroup
 from repro.monitor.online import MonitorError, OnlineConjunctiveMonitor
 
-__all__ = ["MonitorError", "MonitorGroup", "OnlineConjunctiveMonitor"]
+__all__ = [
+    "MonitorError",
+    "MonitorGroup",
+    "OnlineConjunctiveMonitor",
+    "recovery",
+]

@@ -36,10 +36,16 @@ class MonitorGroup:
     event's process, index, clock, and a mapping ``query name -> truth of
     that query's conjunct on this process`` (queries not monitoring the
     process ignore the entry).
+
+    Args:
+        lossy: Create every member monitor in lossy-stream mode (tolerate
+            gaps, duplicates and corrupted observations instead of
+            raising; see :class:`OnlineConjunctiveMonitor`).
     """
 
-    def __init__(self, num_processes: int):
+    def __init__(self, num_processes: int, lossy: bool = False):
         self._n = num_processes
+        self._lossy = bool(lossy)
         self._monitors: Dict[str, OnlineConjunctiveMonitor] = {}
         self._interested: Dict[int, List[str]] = {}
 
@@ -50,17 +56,20 @@ class MonitorGroup:
         """Register a conjunctive query over the given processes."""
         if name in self._monitors:
             raise MonitorError(f"duplicate monitor name {name!r}")
-        monitor = OnlineConjunctiveMonitor(self._n, processes)
+        monitor = OnlineConjunctiveMonitor(self._n, processes, lossy=self._lossy)
         self._monitors[name] = monitor
         for p in processes:
             self._interested.setdefault(p, []).append(name)
 
     @classmethod
     def all_pairs(
-        cls, num_processes: int, processes: Optional[Iterable[int]] = None
+        cls,
+        num_processes: int,
+        processes: Optional[Iterable[int]] = None,
+        lossy: bool = False,
     ) -> "MonitorGroup":
         """One monitor per unordered pair — the mutual-exclusion shape."""
-        group = cls(num_processes)
+        group = cls(num_processes, lossy=lossy)
         pool = list(processes) if processes is not None else list(
             range(num_processes)
         )
@@ -117,6 +126,20 @@ class MonitorGroup:
             name: monitor.detected
             for name, monitor in self._monitors.items()
         }
+
+    def detailed_verdicts(self) -> Dict[str, str]:
+        """Name -> verdict string, distinguishing ``detected`` from
+        ``detected_despite_gaps`` (and ``impossible`` from
+        ``inconclusive``) for lossy streams."""
+        return {
+            name: monitor.verdict
+            for name, monitor in self._monitors.items()
+        }
+
+    @property
+    def lossy(self) -> bool:
+        """Were the member monitors created in lossy-stream mode?"""
+        return self._lossy
 
     def __len__(self) -> int:
         return len(self._monitors)

@@ -24,6 +24,28 @@ The stream for process p must include *all* its events (true and false):
 false events cost O(1) and carry the causal information that eliminates
 stale candidates... they are simply ignored by the queues, but feeding
 them is how a real monitor works and keeps indices honest.
+
+**Lossy streams.**  A monitor watching a faulty system cannot assume its
+own observation channel is perfect.  With ``lossy=True`` the monitor
+tolerates imperfect streams instead of raising :class:`MonitorError`:
+
+* *gaps* — a jump in the reported index (equivalently, in the process's
+  own vector-clock component, since ``clock[p] == index + 1`` for a
+  Fidge–Mattern labeling) means observations were lost; the gap is
+  recorded and the stream continues;
+* *stale or duplicated observations* (index at or below the last seen
+  one, e.g. a duplicated report) are dropped and counted;
+* *corrupted observations* whose index contradicts their own clock
+  component are quarantined — kept aside, never used for detection.
+
+Detection remains **sound** under gaps: every queued candidate was really
+observed with its true clock, eliminations rely only on observed clocks,
+and a witness is a genuinely pairwise-consistent set of true events.  What
+loss costs is *completeness*: a witness whose events fell into a gap can
+be missed, so (a) a detection after any gap is reported as
+``detected_despite_gaps`` (an earlier witness may exist), and (b) the
+monitor never concludes ``impossible`` once a gap occurred — the verdict
+becomes ``inconclusive`` instead.  See ``docs/FAULTS.md``.
 """
 
 from __future__ import annotations
@@ -60,9 +82,19 @@ class OnlineConjunctiveMonitor:
     Feed observations with :meth:`observe`; query :attr:`detected` /
     :attr:`witness` at any time.  Call :meth:`finish` when a process's
     stream ends so the monitor can conclude impossibility.
+
+    Args:
+        lossy: Tolerate imperfect streams (observation gaps, duplicates,
+            corrupted reports) instead of raising; see the module
+            docstring for the exact semantics.
     """
 
-    def __init__(self, num_processes: int, monitored: Sequence[int]):
+    def __init__(
+        self,
+        num_processes: int,
+        monitored: Sequence[int],
+        lossy: bool = False,
+    ):
         if not monitored:
             raise MonitorError("need at least one monitored process")
         seen = set()
@@ -74,15 +106,27 @@ class OnlineConjunctiveMonitor:
             seen.add(p)
         self._n = num_processes
         self._monitored: Tuple[int, ...] = tuple(monitored)
+        self._lossy = bool(lossy)
         self._queues: Dict[int, Deque[_Candidate]] = {
             p: deque() for p in self._monitored
         }
         self._last_index: Dict[int, int] = {p: -1 for p in self._monitored}
         self._finished: Dict[int, bool] = {p: False for p in self._monitored}
         self._witness: Optional[Dict[int, Tuple[int, VectorClock]]] = None
+        self._witness_gapped = False
         self._impossible = False
+        #: Per process, the inclusive (first, last) index ranges never observed.
+        self._gaps: Dict[int, List[Tuple[int, int]]] = {
+            p: [] for p in self._monitored
+        }
+        #: Per process, quarantined (index, clock, truth) observations whose
+        #: index contradicted their own clock component.
+        self._quarantine: Dict[int, List[Tuple[int, VectorClock, bool]]] = {
+            p: [] for p in self._monitored
+        }
         self.observations = 0
         self.eliminations = 0
+        self.stale_dropped = 0
         self._created_at = perf_counter()
 
     # ------------------------------------------------------------------
@@ -104,6 +148,54 @@ class OnlineConjunctiveMonitor:
         if self._witness is None:
             return None
         return dict(self._witness)
+
+    @property
+    def lossy(self) -> bool:
+        """Was the monitor created in lossy-stream mode?"""
+        return self._lossy
+
+    @property
+    def monitored(self) -> Tuple[int, ...]:
+        """The monitored processes, in registration order."""
+        return self._monitored
+
+    @property
+    def gaps(self) -> Dict[int, List[Tuple[int, int]]]:
+        """Per process, the inclusive index ranges lost from its stream."""
+        return {p: list(ranges) for p, ranges in self._gaps.items()}
+
+    @property
+    def had_gaps(self) -> bool:
+        """Did any monitored stream lose or corrupt observations?"""
+        return any(self._gaps.values()) or any(self._quarantine.values())
+
+    @property
+    def quarantined(self) -> Dict[int, int]:
+        """Per process, the number of quarantined (corrupted) observations."""
+        return {p: len(items) for p, items in self._quarantine.items()}
+
+    @property
+    def verdict(self) -> str:
+        """Current verdict as a string.
+
+        * ``"detected"`` — witness found on a gap-free stream;
+        * ``"detected_despite_gaps"`` — witness found, but observations had
+          been lost or quarantined by then, so an earlier witness may have
+          been missed;
+        * ``"impossible"`` — complete streams ended without a witness;
+        * ``"inconclusive"`` — streams ended without a witness, but gaps
+          mean one may have gone unobserved;
+        * ``"undecided"`` — streams still open, nothing found yet.
+        """
+        if self.detected:
+            return "detected_despite_gaps" if self._witness_gapped else "detected"
+        if self._impossible:
+            return "impossible"
+        if all(self._finished.values()):
+            # Streams ended, no witness, impossibility not provable
+            # (gaps may have hidden one).
+            return "inconclusive"
+        return "undecided"
 
     # ------------------------------------------------------------------
     # Observations
@@ -131,15 +223,44 @@ class OnlineConjunctiveMonitor:
             return self.detected
         if process not in self._queues:
             raise MonitorError(f"process {process} is not monitored")
-        if self._finished[process]:
-            raise MonitorError(f"process {process} already finished")
         if len(clock) != self._n:
             raise MonitorError("clock dimension mismatch")
+        if self._finished[process]:
+            if self._lossy:
+                # A restarted reporter may replay its tail; drop quietly.
+                self.stale_dropped += 1
+                if STATE.enabled:
+                    registry().counter("monitor.stale_observations").inc()
+                return self.detected
+            raise MonitorError(f"process {process} already finished")
         if index <= self._last_index[process]:
+            if self._lossy:
+                # Duplicate or stale delivery of an observation.
+                self.stale_dropped += 1
+                if STATE.enabled:
+                    registry().counter("monitor.stale_observations").inc()
+                return self.detected
             raise MonitorError(
                 f"out-of-order observation for process {process}: "
                 f"{index} after {self._last_index[process]}"
             )
+        if self._lossy:
+            if clock[process] != index + 1:
+                # In a Fidge-Mattern labeling an event's own component is
+                # its index + 1; a mismatch means the observation itself is
+                # corrupt.  Quarantine it rather than poisoning the queues
+                # (or killing the monitor).
+                self._quarantine[process].append((index, clock, truth))
+                if STATE.enabled:
+                    registry().counter("monitor.quarantined_observations").inc()
+                return self.detected
+            if index > self._last_index[process] + 1:
+                # Vector-clock discontinuity: observations were lost.
+                self._gaps[process].append(
+                    (self._last_index[process] + 1, index - 1)
+                )
+                if STATE.enabled:
+                    registry().counter("monitor.gaps").inc()
         self._last_index[process] = index
         self.observations += 1
         if STATE.enabled:
@@ -218,11 +339,17 @@ class OnlineConjunctiveMonitor:
                 p: (self._queues[p][0].index, self._queues[p][0].clock)
                 for p in self._monitored
             }
+            self._witness_gapped = self.had_gaps
         else:
             self._check_impossible()
 
     def _check_impossible(self) -> None:
         if self.detected:
+            return
+        if self._lossy and self.had_gaps:
+            # A true event lost in a gap could have completed a witness, so
+            # impossibility is no longer provable; the verdict stays
+            # "inconclusive" once the streams finish.
             return
         for p in self._monitored:
             if not self._queues[p] and self._finished[p]:

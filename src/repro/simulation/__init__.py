@@ -1,9 +1,18 @@
-"""Discrete-event simulator, middleware and snapshots (substrate S9)."""
+"""Discrete-event simulator, middleware, faults and snapshots (substrate S9)."""
 
 from repro.simulation.channels import (
     Channel,
     FIFODelayChannel,
     UniformDelayChannel,
+)
+from repro.simulation.faults import (
+    CrashSpec,
+    DelaySpike,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    PartitionWindow,
+    load_fault_plan,
 )
 from repro.simulation.middleware import ClockedMessage, VectorClockMiddleware
 from repro.simulation.process import Message, ProcessContext, ProcessProgram
@@ -13,8 +22,14 @@ from repro.simulation.snapshot import SnapshotAdapter, snapshot_cut
 __all__ = [
     "Channel",
     "ClockedMessage",
+    "CrashSpec",
+    "DelaySpike",
     "FIFODelayChannel",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
     "Message",
+    "PartitionWindow",
     "ProcessContext",
     "ProcessProgram",
     "SimulationError",
@@ -22,5 +37,6 @@ __all__ = [
     "Simulator",
     "UniformDelayChannel",
     "VectorClockMiddleware",
+    "load_fault_plan",
     "snapshot_cut",
 ]

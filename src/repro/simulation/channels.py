@@ -32,8 +32,10 @@ class UniformDelayChannel(Channel):
     """Reliable, non-FIFO: i.i.d. uniform delay in [min_delay, max_delay]."""
 
     def __init__(self, rng: random.Random, min_delay: float = 1.0, max_delay: float = 10.0):
-        if min_delay <= 0 or max_delay < min_delay:
-            raise ValueError("need 0 < min_delay <= max_delay")
+        # Zero-delay channels are legal (instant delivery, useful for
+        # stress tests); only negative delays are rejected.
+        if min_delay < 0 or max_delay < min_delay:
+            raise ValueError("need 0 <= min_delay <= max_delay")
         self._rng = rng
         self._min = min_delay
         self._max = max_delay
@@ -46,8 +48,8 @@ class FIFODelayChannel(Channel):
     """Reliable FIFO: random delays, but per-pair delivery order preserved."""
 
     def __init__(self, rng: random.Random, min_delay: float = 1.0, max_delay: float = 10.0):
-        if min_delay <= 0 or max_delay < min_delay:
-            raise ValueError("need 0 < min_delay <= max_delay")
+        if min_delay < 0 or max_delay < min_delay:
+            raise ValueError("need 0 <= min_delay <= max_delay")
         self._rng = rng
         self._min = min_delay
         self._max = max_delay

@@ -1,0 +1,542 @@
+"""Deterministic fault injection for the simulator (substrate S9).
+
+The paper's monitoring setting watches *real* distributed executions —
+executions where messages are lost or duplicated, the network partitions,
+and processes crash (and sometimes come back).  A :class:`FaultPlan`
+describes such an adversarial environment declaratively; the simulator
+applies it on top of any channel model, so every protocol in
+:mod:`repro.simulation.protocols` can be exercised on faulty runs without
+changing a line of protocol code.
+
+Fault classes:
+
+* **message loss** — a sent message is silently dropped;
+* **message duplication** — a sent message is delivered twice (each copy
+  draws its own channel delay, so duplicates reorder freely);
+* **delay spikes** — adversarial reordering: a message occasionally picks
+  up a large extra delay on top of the channel's;
+* **partitions** — during a time window the process set is split into
+  groups; messages sent across groups are dropped;
+* **crash / crash-restart** — a process dies at a given time: its pending
+  deliveries and timers are lost and its event sequence is truncated.
+  With a restart time, the process later begins a new *epoch*: the
+  simulator invokes :meth:`~repro.simulation.process.ProcessProgram.on_restart`,
+  which records a recovery event causally after everything the process did
+  before the crash (it extends the same process line).  Timers armed in an
+  earlier epoch never fire (volatile state does not survive a crash);
+  messages that arrive while the process is down are lost, while messages
+  arriving after the restart are delivered normally.
+
+Determinism: every probabilistic decision draws from a single
+:class:`random.Random` stream owned by the :class:`FaultInjector`, seeded
+either by the plan's own ``seed`` or derived from the simulator's master
+seed.  The same (programs, seed, plan) triple therefore always records the
+same computation, byte for byte — faulty runs are as replayable as clean
+ones.
+
+Every injected fault is appended to a structured record list that the
+simulator attaches to the resulting computation as metadata (see
+``Computation.meta["faults"]``), so detection verdicts can be
+cross-referenced with the exact faults that produced the trace.  The
+injector also mirrors per-class counters into :mod:`repro.obs` as
+``sim.faults.*`` when observability is enabled.
+
+JSON schema (see ``docs/FAULTS.md`` for the full reference)::
+
+    {
+      "seed": 7,
+      "message_loss": 0.1,
+      "message_duplication": 0.05,
+      "delay_spike": {"probability": 0.1, "extra_min": 5.0, "extra_max": 20.0},
+      "partitions": [{"start": 10.0, "end": 20.0, "groups": [[0, 1], [2, 3]]}],
+      "crashes": [{"process": 2, "at": 4.5},
+                  {"process": 0, "at": 5.0, "restart_at": 6.0}]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.obs import STATE, registry
+
+__all__ = [
+    "CrashSpec",
+    "DelaySpike",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "PartitionWindow",
+    "load_fault_plan",
+]
+
+
+class FaultPlanError(ValueError):
+    """A fault plan is malformed (bad schema, bad value, bad reference)."""
+
+
+def _require_number(value: Any, what: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise FaultPlanError(f"{what} must be a number, got {value!r}")
+    return float(value)
+
+
+def _require_probability(value: Any, what: str) -> float:
+    number = _require_number(value, what)
+    if not 0.0 <= number <= 1.0:
+        raise FaultPlanError(f"{what} must be in [0, 1], got {number}")
+    return number
+
+
+@dataclass(frozen=True)
+class DelaySpike:
+    """Occasional extra delivery delay (adversarial reordering).
+
+    With probability ``probability`` a delivered message copy picks up an
+    extra delay drawn uniformly from ``[extra_min, extra_max]`` on top of
+    whatever the channel model assigned.
+    """
+
+    probability: float
+    extra_min: float
+    extra_max: float
+
+    def __post_init__(self) -> None:
+        _require_probability(self.probability, "delay_spike.probability")
+        if self.extra_min < 0 or self.extra_max < self.extra_min:
+            raise FaultPlanError(
+                "delay spike needs 0 <= extra_min <= extra_max, got "
+                f"[{self.extra_min}, {self.extra_max}]"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DelaySpike":
+        if not isinstance(data, Mapping):
+            raise FaultPlanError(
+                f"'delay_spike' must be an object, got {type(data).__name__}"
+            )
+        unknown = set(data) - {"probability", "extra_min", "extra_max"}
+        if unknown:
+            raise FaultPlanError(
+                f"unknown delay_spike key(s): {sorted(unknown)}"
+            )
+        if "probability" not in data:
+            raise FaultPlanError("delay_spike is missing 'probability'")
+        return cls(
+            probability=_require_probability(
+                data["probability"], "delay_spike.probability"
+            ),
+            extra_min=_require_number(
+                data.get("extra_min", 0.0), "delay_spike.extra_min"
+            ),
+            extra_max=_require_number(
+                data.get("extra_max", data.get("extra_min", 0.0)),
+                "delay_spike.extra_max",
+            ),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "probability": self.probability,
+            "extra_min": self.extra_min,
+            "extra_max": self.extra_max,
+        }
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A network partition active during ``[start, end)``.
+
+    ``groups`` lists disjoint process groups; a message is dropped iff it
+    is sent during the window and its endpoints lie in *different* groups.
+    Processes not listed in any group are unaffected (they can talk to
+    everyone), which keeps plans short when only part of the system splits.
+    """
+
+    start: float
+    end: float
+    groups: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise FaultPlanError(
+                f"partition window needs start < end, got "
+                f"[{self.start}, {self.end})"
+            )
+        seen: set = set()
+        for group in self.groups:
+            for p in group:
+                if p in seen:
+                    raise FaultPlanError(
+                        f"process {p} appears in two partition groups"
+                    )
+                seen.add(p)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PartitionWindow":
+        if not isinstance(data, Mapping):
+            raise FaultPlanError(
+                f"partition entry must be an object, got {type(data).__name__}"
+            )
+        unknown = set(data) - {"start", "end", "groups"}
+        if unknown:
+            raise FaultPlanError(f"unknown partition key(s): {sorted(unknown)}")
+        for key in ("start", "end", "groups"):
+            if key not in data:
+                raise FaultPlanError(f"partition entry is missing {key!r}")
+        groups = data["groups"]
+        if not isinstance(groups, Sequence) or isinstance(groups, (str, bytes)):
+            raise FaultPlanError("partition 'groups' must be a list of lists")
+        parsed: List[Tuple[int, ...]] = []
+        for i, group in enumerate(groups):
+            if not isinstance(group, Sequence) or isinstance(group, (str, bytes)):
+                raise FaultPlanError(f"partition group {i} must be a list")
+            members: List[int] = []
+            for member in group:
+                if isinstance(member, bool) or not isinstance(member, int):
+                    raise FaultPlanError(
+                        f"partition group {i} member {member!r} is not a "
+                        "process index"
+                    )
+                members.append(member)
+            parsed.append(tuple(members))
+        return cls(
+            start=_require_number(data["start"], "partition.start"),
+            end=_require_number(data["end"], "partition.end"),
+            groups=tuple(parsed),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "groups": [list(group) for group in self.groups],
+        }
+
+    def severs(self, source: int, destination: int, now: float) -> bool:
+        """True iff a message sent now from source to destination crosses
+        the partition."""
+        if not self.start <= now < self.end:
+            return False
+        side_s = side_d = None
+        for i, group in enumerate(self.groups):
+            if source in group:
+                side_s = i
+            if destination in group:
+                side_d = i
+        return side_s is not None and side_d is not None and side_s != side_d
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """A process crash at simulated time ``at``, optionally restarting.
+
+    Without ``restart_at`` the crash is permanent: the process's event
+    sequence is truncated at the last event it executed before ``at``.
+    With ``restart_at`` the process recovers: ``on_restart`` runs at that
+    time and records the first event of the new epoch.
+    """
+
+    process: int
+    at: float
+    restart_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.process, bool) or not isinstance(self.process, int):
+            raise FaultPlanError(
+                f"crash 'process' must be an integer, got {self.process!r}"
+            )
+        if self.process < 0:
+            raise FaultPlanError(f"crash process {self.process} is negative")
+        if self.at < 0:
+            raise FaultPlanError(f"crash time {self.at} is negative")
+        if self.restart_at is not None and self.restart_at <= self.at:
+            raise FaultPlanError(
+                f"process {self.process}: restart_at ({self.restart_at}) "
+                f"must be after the crash time ({self.at})"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CrashSpec":
+        if not isinstance(data, Mapping):
+            raise FaultPlanError(
+                f"crash entry must be an object, got {type(data).__name__}"
+            )
+        unknown = set(data) - {"process", "at", "restart_at"}
+        if unknown:
+            raise FaultPlanError(f"unknown crash key(s): {sorted(unknown)}")
+        for key in ("process", "at"):
+            if key not in data:
+                raise FaultPlanError(f"crash entry is missing {key!r}")
+        restart = data.get("restart_at")
+        return cls(
+            process=data["process"],
+            at=_require_number(data["at"], "crash.at"),
+            restart_at=(
+                None if restart is None
+                else _require_number(restart, "crash.restart_at")
+            ),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"process": self.process, "at": self.at}
+        if self.restart_at is not None:
+            record["restart_at"] = self.restart_at
+        return record
+
+
+_PLAN_KEYS = {
+    "seed",
+    "message_loss",
+    "message_duplication",
+    "delay_spike",
+    "partitions",
+    "crashes",
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A composable, declarative description of the faults to inject.
+
+    All components default to "no fault", so plans list only what they
+    exercise.  Plans are immutable and JSON round-trippable
+    (:meth:`from_dict` / :meth:`to_dict`), and the plan used for a run is
+    embedded verbatim in the recorded computation's metadata.
+    """
+
+    seed: Optional[int] = None
+    message_loss: float = 0.0
+    message_duplication: float = 0.0
+    delay_spike: Optional[DelaySpike] = None
+    partitions: Tuple[PartitionWindow, ...] = ()
+    crashes: Tuple[CrashSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.seed is not None and (
+            isinstance(self.seed, bool) or not isinstance(self.seed, int)
+        ):
+            raise FaultPlanError(f"plan seed must be an integer, got {self.seed!r}")
+        _require_probability(self.message_loss, "message_loss")
+        _require_probability(self.message_duplication, "message_duplication")
+        # Crash schedules must be well-ordered per process: strictly
+        # increasing, each restart after its crash, and nothing after a
+        # permanent (restart-less) crash.
+        per_process: Dict[int, List[CrashSpec]] = {}
+        for spec in self.crashes:
+            per_process.setdefault(spec.process, []).append(spec)
+        for process, specs in per_process.items():
+            specs = sorted(specs, key=lambda s: s.at)
+            for earlier, later in zip(specs, specs[1:]):
+                if earlier.restart_at is None:
+                    raise FaultPlanError(
+                        f"process {process} crashes again at {later.at} "
+                        f"after a permanent crash at {earlier.at}"
+                    )
+                if later.at <= earlier.restart_at:
+                    raise FaultPlanError(
+                        f"process {process}: crash at {later.at} overlaps "
+                        f"the restart at {earlier.restart_at}"
+                    )
+
+    @property
+    def any_faults(self) -> bool:
+        """True iff the plan can inject at least one fault."""
+        return bool(
+            self.message_loss
+            or self.message_duplication
+            or self.delay_spike is not None
+            or self.partitions
+            or self.crashes
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Parse and validate a plan; raises :class:`FaultPlanError`."""
+        if not isinstance(data, Mapping):
+            raise FaultPlanError(
+                f"fault plan must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = set(data) - _PLAN_KEYS
+        if unknown:
+            raise FaultPlanError(f"unknown fault plan key(s): {sorted(unknown)}")
+        spike = data.get("delay_spike")
+        partitions = data.get("partitions", [])
+        crashes = data.get("crashes", [])
+        for name, value in (("partitions", partitions), ("crashes", crashes)):
+            if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+                raise FaultPlanError(f"{name!r} must be a list")
+        return cls(
+            seed=data.get("seed"),
+            message_loss=_require_probability(
+                data.get("message_loss", 0.0), "message_loss"
+            ),
+            message_duplication=_require_probability(
+                data.get("message_duplication", 0.0), "message_duplication"
+            ),
+            delay_spike=None if spike is None else DelaySpike.from_dict(spike),
+            partitions=tuple(
+                PartitionWindow.from_dict(entry) for entry in partitions
+            ),
+            crashes=tuple(CrashSpec.from_dict(entry) for entry in crashes),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form; omits defaulted components."""
+        record: Dict[str, Any] = {}
+        if self.seed is not None:
+            record["seed"] = self.seed
+        if self.message_loss:
+            record["message_loss"] = self.message_loss
+        if self.message_duplication:
+            record["message_duplication"] = self.message_duplication
+        if self.delay_spike is not None:
+            record["delay_spike"] = self.delay_spike.to_dict()
+        if self.partitions:
+            record["partitions"] = [w.to_dict() for w in self.partitions]
+        if self.crashes:
+            record["crashes"] = [c.to_dict() for c in self.crashes]
+        return record
+
+    def max_process(self) -> int:
+        """Largest process index the plan refers to (-1 if none)."""
+        largest = -1
+        for spec in self.crashes:
+            largest = max(largest, spec.process)
+        for window in self.partitions:
+            for group in window.groups:
+                largest = max(largest, max(group, default=-1))
+        return largest
+
+
+def load_fault_plan(path: Union[str, Path]) -> FaultPlan:
+    """Read and validate a JSON fault plan from disk."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise FaultPlanError(f"{path}: cannot read fault plan: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FaultPlanError(f"{path}: invalid JSON: {exc}") from exc
+    try:
+        return FaultPlan.from_dict(data)
+    except FaultPlanError as exc:
+        raise FaultPlanError(f"{path}: {exc}") from exc
+
+
+class FaultInjector:
+    """Runtime state of a fault plan during one simulation.
+
+    Owned by the simulator.  All probabilistic decisions draw from ``rng``
+    in a fixed order (partition check — no draw — then loss, duplication,
+    and one spike draw per delivered copy), so runs are deterministic.
+    Every injected fault is appended to :attr:`records` and counted in
+    :attr:`counts`; both end up in the computation's metadata.
+    """
+
+    def __init__(self, plan: FaultPlan, rng: random.Random, num_processes: int):
+        if plan.max_process() >= num_processes:
+            raise FaultPlanError(
+                f"fault plan refers to process {plan.max_process()} but the "
+                f"simulation has only {num_processes} processes"
+            )
+        self.plan = plan
+        self._rng = rng
+        self.records: List[Dict[str, Any]] = []
+        self.counts: Dict[str, int] = {}
+        #: (process, event index) of the first event of each post-restart epoch.
+        self.epochs: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def message_fate(self, source: int, destination: int, now: float) -> List[float]:
+        """Decide what happens to a message sent right now.
+
+        Returns one extra-delay value per delivered copy: ``[]`` means the
+        message is dropped, ``[0.0]`` is a clean delivery, two entries mean
+        duplication.  The caller adds each extra delay on top of the
+        channel's own delivery time.
+        """
+        for window in self.plan.partitions:
+            if window.severs(source, destination, now):
+                self._record(
+                    "partition_drop",
+                    time=now,
+                    source=source,
+                    destination=destination,
+                )
+                return []
+        if self.plan.message_loss and self._rng.random() < self.plan.message_loss:
+            self._record("loss", time=now, source=source, destination=destination)
+            return []
+        copies = 1
+        if (
+            self.plan.message_duplication
+            and self._rng.random() < self.plan.message_duplication
+        ):
+            copies = 2
+            self._record(
+                "duplicate", time=now, source=source, destination=destination
+            )
+        extras: List[float] = []
+        spike = self.plan.delay_spike
+        for _ in range(copies):
+            extra = 0.0
+            if spike is not None and self._rng.random() < spike.probability:
+                extra = self._rng.uniform(spike.extra_min, spike.extra_max)
+                self._record(
+                    "delay_spike",
+                    time=now,
+                    source=source,
+                    destination=destination,
+                    extra=extra,
+                )
+            extras.append(extra)
+        return extras
+
+    # ------------------------------------------------------------------
+    # Occurrences reported by the simulator
+    # ------------------------------------------------------------------
+    def record_crash(self, process: int, now: float) -> None:
+        """A process crashed (its event sequence is truncated here)."""
+        self._record("crash", time=now, process=process)
+
+    def record_restart(self, process: int, now: float, event_index: int) -> None:
+        """A crashed process recovered; ``event_index`` starts its new epoch."""
+        self._record(
+            "restart", time=now, process=process, event_index=event_index
+        )
+        self.epochs.append((process, event_index))
+
+    def record_crash_drop(self, process: int, now: float) -> None:
+        """A message arrived while its destination was down."""
+        self._record("crash_drop", time=now, process=process)
+
+    def record_timer_lost(self, process: int, now: float) -> None:
+        """A timer fired for a crashed process or for an earlier epoch."""
+        self._record("timer_lost", time=now, process=process)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def metadata(self) -> Dict[str, Any]:
+        """JSON-safe summary attached to the recorded computation."""
+        return {
+            "plan": self.plan.to_dict(),
+            "injected": list(self.records),
+            "counts": dict(self.counts),
+            "epochs": [[p, index] for p, index in self.epochs],
+        }
+
+    def _record(self, fault_type: str, **fields: Any) -> None:
+        self.records.append({"type": fault_type, **fields})
+        self.counts[fault_type] = self.counts.get(fault_type, 0) + 1
+        if STATE.enabled:
+            registry().counter(f"sim.faults.{fault_type}").inc()

@@ -109,3 +109,16 @@ class ProcessProgram:
 
     def on_timer(self, ctx: ProcessContext, name: str) -> None:
         """A previously armed timer fired."""
+
+    def on_restart(self, ctx: ProcessContext) -> None:
+        """The process recovered from a crash (fault injection only).
+
+        Called when a :class:`~repro.simulation.faults.CrashSpec` with a
+        restart time fires; the invocation records the first event of the
+        process's new epoch.  Volatile state did not survive the crash:
+        timers armed before the crash never fire, and deliveries that
+        arrived while the process was down were lost.  Override to model
+        what recovery looks like for the protocol — resetting in-memory
+        structures, re-announcing presence, re-arming timers.  Monitored
+        variable values persist in the trace unless explicitly reset here.
+        """

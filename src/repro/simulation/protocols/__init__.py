@@ -3,7 +3,9 @@
 from repro.simulation.protocols.lock_server import (
     LockClientProcess,
     LockServerProcess,
+    build_crash_restart_lock_scenario,
     build_lock_scenario,
+    crash_restart_lock_plan,
 )
 from repro.simulation.protocols.leader_election import (
     ChangRobertsProcess,
@@ -50,8 +52,10 @@ __all__ = [
     "TokenRingProcess",
     "WorkStealingWorker",
     "WorkerProcess",
+    "build_crash_restart_lock_scenario",
     "build_leader_election",
     "build_lock_scenario",
+    "crash_restart_lock_plan",
     "build_primary_backup",
     "build_resource_pool",
     "build_ricart_agrawala",

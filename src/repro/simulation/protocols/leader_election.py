@@ -21,6 +21,7 @@ import random
 from typing import List, Optional, Sequence
 
 from repro.computation import Computation
+from repro.simulation.faults import FaultPlan
 from repro.simulation.process import Message, ProcessContext, ProcessProgram
 from repro.simulation.simulator import Simulator
 
@@ -81,6 +82,7 @@ def build_leader_election(
     num_processes: int,
     seed: int = 0,
     usurper_process: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> Computation:
     """Run an election and return the recorded computation.
 
@@ -99,5 +101,5 @@ def build_leader_election(
         )
         for p in range(num_processes)
     ]
-    simulator = Simulator(programs, seed=seed)
+    simulator = Simulator(programs, seed=seed, faults=faults)
     return simulator.run(max_events=20 * num_processes * num_processes)

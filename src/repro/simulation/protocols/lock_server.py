@@ -13,7 +13,9 @@ This workload produces both deadlocked and deadlock-free traces:
   interleave.
 
 Monitored client variables: ``blocked`` (sent a request, no grant yet),
-``holding`` (number of locks held), ``done`` (finished its work).
+``holding`` (number of locks held), ``holds_lock`` (boolean form of
+``holding > 0``, the conjunct used by mutual-exclusion queries), and
+``done`` (finished its work).
 
 Detection story (exercised in tests and the deadlock example):
 
@@ -22,25 +24,47 @@ Detection story (exercised in tests and the deadlock example):
   conjunctive ``possibly`` query, polynomial via CPDHB;
 * actual deadlock is the *stable* strengthening: both clients blocked at
   the final cut (:func:`repro.detection.detect_stable`), true exactly for
-  the deadlocked executions.
+  the deadlocked executions;
+* under fault injection, a crash-restart of a lock server wipes its
+  volatile holder table, so it can grant the same lock twice — the
+  mutual-exclusion violation ``possibly(holds_lock_2 AND holds_lock_3)``
+  that :func:`build_crash_restart_lock_scenario` produces deterministically.
 """
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.computation import Computation
+from repro.simulation.channels import UniformDelayChannel
+from repro.simulation.faults import CrashSpec, FaultPlan
 from repro.simulation.process import Message, ProcessContext, ProcessProgram
 from repro.simulation.simulator import Simulator
 
-__all__ = ["LockServerProcess", "LockClientProcess", "build_lock_scenario"]
+__all__ = [
+    "LockServerProcess",
+    "LockClientProcess",
+    "build_crash_restart_lock_scenario",
+    "build_lock_scenario",
+    "crash_restart_lock_plan",
+]
 
 
 class LockServerProcess(ProcessProgram):
-    """Grants one holder at a time; queues waiting clients FIFO."""
+    """Grants one holder at a time; queues waiting clients FIFO.
 
-    def __init__(self) -> None:
+    Args:
+        strict: In strict mode (the default, suitable for fault-free
+            runs) a RELEASE from a non-holder is a protocol-invariant
+            violation and raises.  Under fault injection stale releases
+            are *expected* — a restarted server has forgotten its holder —
+            so non-strict servers ignore them.
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self._strict = strict
         self._holder: Optional[int] = None
         self._waiting: Deque[int] = deque()
 
@@ -58,16 +82,29 @@ class LockServerProcess(ProcessProgram):
                 self._waiting.append(message.source)
         elif kind == "RELEASE":
             if message.source != self._holder:
-                raise AssertionError(
-                    f"release from {message.source} but holder is {self._holder}"
-                )
-            if self._waiting:
+                if self._strict:
+                    raise AssertionError(
+                        f"release from {message.source} but holder is "
+                        f"{self._holder}"
+                    )
+                # Stale release (e.g. the server crash-restarted and lost
+                # its holder table): ignore it.
+            elif self._waiting:
                 self._holder = self._waiting.popleft()
                 ctx.send(self._holder, ("GRANT", ctx.process_id))
             else:
                 self._holder = None
         ctx.set_value("queue_length", len(self._waiting))
         ctx.set_value("held", self._holder is not None)
+
+    def on_restart(self, ctx: ProcessContext) -> None:
+        # The holder table and wait queue were volatile: a recovered
+        # server believes the lock is free — the crack through which two
+        # clients can end up holding the same lock.
+        self._holder = None
+        self._waiting.clear()
+        ctx.set_value("queue_length", 0)
+        ctx.set_value("held", False)
 
 
 class LockClientProcess(ProcessProgram):
@@ -87,6 +124,7 @@ class LockClientProcess(ProcessProgram):
     def on_init(self, ctx: ProcessContext) -> None:
         ctx.set_value("blocked", False)
         ctx.set_value("holding", 0)
+        ctx.set_value("holds_lock", False)
         ctx.set_value("done", False)
 
     def on_start(self, ctx: ProcessContext) -> None:
@@ -100,6 +138,7 @@ class LockClientProcess(ProcessProgram):
                 ctx.send(server, "RELEASE")
             self._acquired.clear()
             ctx.set_value("holding", 0)
+            ctx.set_value("holds_lock", False)
             ctx.set_value("done", True)
 
     def on_message(self, ctx: ProcessContext, message: Message) -> None:
@@ -108,10 +147,19 @@ class LockClientProcess(ProcessProgram):
         self._acquired.append(server)
         ctx.set_value("blocked", False)
         ctx.set_value("holding", len(self._acquired))
+        ctx.set_value("holds_lock", True)
         if len(self._acquired) < len(self._order):
             self._request_next(ctx)
         else:
             ctx.set_timer(self._work, "work-done")
+
+    def on_restart(self, ctx: ProcessContext) -> None:
+        # Amnesia: the client forgets which locks it held (it can no
+        # longer release them — the servers' problem now).
+        self._acquired.clear()
+        ctx.set_value("blocked", False)
+        ctx.set_value("holding", 0)
+        ctx.set_value("holds_lock", False)
 
     def _request_next(self, ctx: ProcessContext) -> None:
         target = self._order[len(self._acquired)]
@@ -123,6 +171,7 @@ def build_lock_scenario(
     consistent_order: bool,
     seed: int = 0,
     stagger: float = 0.5,
+    faults: Optional[FaultPlan] = None,
 ) -> Computation:
     """Two servers + two clients; deadlock iff orders conflict and requests
     interleave.
@@ -134,14 +183,64 @@ def build_lock_scenario(
         seed: Simulation seed (controls message delays).
         stagger: Start-delay gap between the two clients; small values make
             the conflicting-order case overlap (and deadlock).
+        faults: Optional fault plan (servers become non-strict so stale
+            releases after a crash-restart are tolerated).
     """
     order_a = [0, 1]
     order_b = [0, 1] if consistent_order else [1, 0]
+    strict = faults is None
     programs: List[ProcessProgram] = [
-        LockServerProcess(),
-        LockServerProcess(),
+        LockServerProcess(strict=strict),
+        LockServerProcess(strict=strict),
         LockClientProcess(order_a, start_delay=1.0),
         LockClientProcess(order_b, start_delay=1.0 + stagger),
     ]
-    simulator = Simulator(programs, seed=seed)
+    simulator = Simulator(programs, seed=seed, faults=faults)
     return simulator.run(max_events=400)
+
+
+def crash_restart_lock_plan() -> FaultPlan:
+    """The fault plan behind :func:`build_crash_restart_lock_scenario`.
+
+    Client 2 crashes permanently at t=4.5, while it is guaranteed to hold
+    lock A (the grant arrives by t=4.0 and work finishes no earlier than
+    t=5.0 under the scenario's 0.5–1.5 delay channel); server 0
+    crash-restarts over [5.0, 6.0], wiping its holder table.
+    """
+    return FaultPlan(
+        crashes=(
+            CrashSpec(process=2, at=4.5),
+            CrashSpec(process=0, at=5.0, restart_at=6.0),
+        )
+    )
+
+
+def build_crash_restart_lock_scenario(
+    seed: int = 0, faults: Optional[FaultPlan] = None
+) -> Computation:
+    """A crash-restart run that violates mutual exclusion, deterministically.
+
+    Both clients acquire only lock A (server 0).  Client 2 gets the grant,
+    then crashes while holding; server 0 crash-restarts and — its holder
+    table gone — grants the same lock to client 3, which starts at t=8.0,
+    safely after the recovery.  Client 2's event sequence is truncated
+    with ``holds_lock`` still true, so
+
+        ``possibly(holds_lock@2 & holds_lock@3)``
+
+    holds for *every* seed: the witness pairs client 2's final (grant)
+    event with client 3's grant event, and the injected faults are
+    recorded in the returned computation's ``meta["faults"]``.
+    """
+    plan = faults if faults is not None else crash_restart_lock_plan()
+    programs: List[ProcessProgram] = [
+        LockServerProcess(strict=False),
+        LockServerProcess(strict=False),
+        LockClientProcess([0], start_delay=1.0),
+        LockClientProcess([0], start_delay=8.0),
+    ]
+    # A tight delay band keeps the crash times inside the holding window
+    # for every seed (see crash_restart_lock_plan).
+    channel = UniformDelayChannel(random.Random(seed), 0.5, 1.5)
+    simulator = Simulator(programs, seed=seed, channel=channel, faults=plan)
+    return simulator.run(max_events=200)

@@ -16,9 +16,10 @@ Natural relational-sum queries on the recorded trace:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.computation import Computation
+from repro.simulation.faults import FaultPlan
 from repro.simulation.process import Message, ProcessContext, ProcessProgram
 from repro.simulation.simulator import Simulator
 
@@ -89,6 +90,7 @@ def build_primary_backup(
     num_backups: int,
     num_updates: int,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
 ) -> Computation:
     """Run replication and return the recorded computation."""
     if num_backups < 1:
@@ -98,5 +100,5 @@ def build_primary_backup(
     n = num_backups + 1
     programs: List[ProcessProgram] = [PrimaryProcess(n, num_updates)]
     programs.extend(BackupProcess() for _ in range(num_backups))
-    simulator = Simulator(programs, seed=seed)
+    simulator = Simulator(programs, seed=seed, faults=faults)
     return simulator.run(max_events=10 * n * num_updates + 100)

@@ -21,9 +21,10 @@ an invariant the integration tests check with the ±1 sum algorithm.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List
+from typing import Deque, List, Optional
 
 from repro.computation import Computation
+from repro.simulation.faults import FaultPlan
 from repro.simulation.process import Message, ProcessContext, ProcessProgram
 from repro.simulation.simulator import Simulator
 
@@ -95,6 +96,7 @@ def build_resource_pool(
     capacity: int,
     rounds: int = 2,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
 ) -> Computation:
     """Run the pool and return the recorded computation.
 
@@ -104,5 +106,5 @@ def build_resource_pool(
         raise ValueError("need at least one worker")
     programs: List[ProcessProgram] = [CoordinatorProcess(capacity)]
     programs.extend(WorkerProcess(rounds) for _ in range(num_workers))
-    simulator = Simulator(programs, seed=seed)
+    simulator = Simulator(programs, seed=seed, faults=faults)
     return simulator.run(max_events=60 * num_workers * rounds + 200)

@@ -23,6 +23,7 @@ import random
 from typing import List, Optional, Tuple
 
 from repro.computation import Computation
+from repro.simulation.faults import FaultPlan
 from repro.simulation.process import Message, ProcessContext, ProcessProgram
 from repro.simulation.simulator import Simulator
 
@@ -99,6 +100,7 @@ def build_token_ring(
     hops: int,
     seed: int = 0,
     rogue_process: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> Computation:
     """Run the token ring and return the recorded computation.
 
@@ -119,5 +121,5 @@ def build_token_ring(
         )
         for p in range(num_processes)
     ]
-    simulator = Simulator(programs, seed=seed)
+    simulator = Simulator(programs, seed=seed, faults=faults)
     return simulator.run(max_events=50 * (hops + num_processes))

@@ -23,6 +23,7 @@ from repro.computation import Computation, ComputationBuilder
 from repro.events import EventId, EventKind
 from repro.obs import STATE, registry, span
 from repro.simulation.channels import Channel, UniformDelayChannel
+from repro.simulation.faults import FaultInjector, FaultPlan
 from repro.simulation.process import Message, ProcessContext, ProcessProgram
 
 __all__ = ["Simulator", "SimulationError"]
@@ -36,11 +37,14 @@ class SimulationError(Exception):
 class _Scheduled:
     time: float
     sequence: int
-    kind: str = field(compare=False)  # "start" | "message" | "timer"
+    # "start" | "message" | "timer" | "crash" | "restart"
+    kind: str = field(compare=False)
     process: int = field(compare=False)
     message: Optional[Message] = field(compare=False, default=None)
     send_event: Optional[EventId] = field(compare=False, default=None)
     timer_name: str = field(compare=False, default="")
+    # Epoch the timer was armed in; timers never survive a crash.
+    epoch: int = field(compare=False, default=0)
 
 
 class Simulator:
@@ -51,6 +55,12 @@ class Simulator:
         seed: Master seed; derives channel and per-process RNG streams.
         channel: Channel model; defaults to a reliable non-FIFO channel
             with uniform delays (the paper's weakest assumption).
+        faults: Optional :class:`~repro.simulation.faults.FaultPlan`;
+            seeded fault injection (loss, duplication, delay spikes,
+            partitions, crash/restart) applied on top of the channel.
+            The faults actually injected are recorded on the resulting
+            computation's :attr:`~repro.computation.Computation.meta`
+            under the ``"faults"`` key.
     """
 
     def __init__(
@@ -58,6 +68,7 @@ class Simulator:
         programs: Sequence[ProcessProgram],
         seed: int = 0,
         channel: Optional[Channel] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         if not programs:
             raise SimulationError("need at least one process program")
@@ -70,12 +81,23 @@ class Simulator:
         self._process_rngs = [
             random.Random(master.randrange(2**63)) for _ in range(n)
         ]
+        # The fault stream is drawn last so fault-free runs keep the exact
+        # RNG streams (and hence traces) they recorded before faults existed.
+        self._injector: Optional[FaultInjector] = None
+        if faults is not None:
+            fault_seed = (
+                faults.seed if faults.seed is not None
+                else master.randrange(2**63)
+            )
+            self._injector = FaultInjector(faults, random.Random(fault_seed), n)
         self._values: List[Dict[str, Any]] = [{} for _ in range(n)]
         self._builder = ComputationBuilder(n)
         self._queue: List[_Scheduled] = []
         self._sequence = itertools.count()
         self._now = 0.0
         self._stopped = [False] * n
+        self._crashed = [False] * n
+        self._epochs = [0] * n
         self._events_executed = 0
         self._finished = False
 
@@ -127,6 +149,25 @@ class Simulator:
                         process=p,
                     )
                 )
+            if self._injector is not None:
+                for spec in self._injector.plan.crashes:
+                    self._schedule(
+                        _Scheduled(
+                            time=spec.at,
+                            sequence=next(self._sequence),
+                            kind="crash",
+                            process=spec.process,
+                        )
+                    )
+                    if spec.restart_at is not None:
+                        self._schedule(
+                            _Scheduled(
+                                time=spec.restart_at,
+                                sequence=next(self._sequence),
+                                kind="restart",
+                                process=spec.process,
+                            )
+                        )
 
             while self._queue and self._events_executed < max_events:
                 item = heapq.heappop(self._queue)
@@ -135,11 +176,15 @@ class Simulator:
                 self._now = item.time
                 self._execute(item)
 
+            meta = None
+            if self._injector is not None:
+                meta = {"faults": self._injector.metadata()}
+                sp.set(faults_injected=len(self._injector.records))
             sp.set(
                 events=self._events_executed,
                 simulated_time=self._now,
             )
-            return self._builder.build()
+            return self._builder.build(meta=meta)
 
     # ------------------------------------------------------------------
     # Internals
@@ -160,6 +205,32 @@ class Simulator:
         p = item.process
         if self._stopped[p]:
             return
+        if item.kind == "crash":
+            if not self._crashed[p]:
+                self._crashed[p] = True
+                assert self._injector is not None
+                self._injector.record_crash(p, self._now)
+            return
+        if item.kind == "restart":
+            if not self._crashed[p]:
+                return
+            self._crashed[p] = False
+            self._epochs[p] += 1
+            # Falls through: on_restart runs as a callback and records the
+            # first event of the new epoch.
+        elif self._crashed[p]:
+            # Deliveries and timer firings while the process is down are lost.
+            if self._injector is not None:
+                if item.kind == "message":
+                    self._injector.record_crash_drop(p, self._now)
+                elif item.kind == "timer":
+                    self._injector.record_timer_lost(p, self._now)
+            return
+        if item.kind == "timer" and item.epoch != self._epochs[p]:
+            # Armed before a crash; timers are volatile and did not survive.
+            if self._injector is not None:
+                self._injector.record_timer_lost(p, self._now)
+            return
         program = self._programs[p]
         ctx = self._context(p)
         if item.kind == "start":
@@ -169,6 +240,8 @@ class Simulator:
         elif item.kind == "message":
             assert item.message is not None
             program.on_message(ctx, item.message)
+        elif item.kind == "restart":
+            program.on_restart(ctx)
         else:  # pragma: no cover - internal invariant
             raise SimulationError(f"unknown occurrence kind {item.kind!r}")
         self._events_executed += 1
@@ -195,21 +268,34 @@ class Simulator:
         if received:
             assert item.send_event is not None
             self._builder.message(item.send_event, event_id)
+        if item.kind == "restart":
+            assert self._injector is not None
+            self._injector.record_restart(p, self._now, event_id[1])
 
         for message in ctx.sent:
-            at = self._channel.delivery_time(
-                message.source, message.destination, self._now
-            )
-            self._schedule(
-                _Scheduled(
-                    time=at,
-                    sequence=next(self._sequence),
-                    kind="message",
-                    process=message.destination,
-                    message=message,
-                    send_event=event_id,
+            if self._injector is not None:
+                fates = self._injector.message_fate(
+                    message.source, message.destination, self._now
                 )
-            )
+            else:
+                fates = [0.0]
+            for extra_delay in fates:
+                at = (
+                    self._channel.delivery_time(
+                        message.source, message.destination, self._now
+                    )
+                    + extra_delay
+                )
+                self._schedule(
+                    _Scheduled(
+                        time=at,
+                        sequence=next(self._sequence),
+                        kind="message",
+                        process=message.destination,
+                        message=message,
+                        send_event=event_id,
+                    )
+                )
         for delay, name in ctx.timers:
             self._schedule(
                 _Scheduled(
@@ -218,6 +304,7 @@ class Simulator:
                     kind="timer",
                     process=p,
                     timer_name=name,
+                    epoch=self._epochs[p],
                 )
             )
         if ctx.stopped:

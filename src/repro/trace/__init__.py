@@ -8,6 +8,7 @@ from repro.trace.generator import (
     random_computation,
 )
 from repro.trace.io import (
+    TraceFormatError,
     computation_from_dict,
     computation_to_dict,
     dump_computation,
@@ -17,6 +18,7 @@ from repro.trace.io import (
 __all__ = [
     "ArbitraryWalkVar",
     "BoolVar",
+    "TraceFormatError",
     "UnitWalkVar",
     "computation_from_dict",
     "computation_to_dict",

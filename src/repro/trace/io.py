@@ -10,24 +10,33 @@ other tooling can be imported::
           {"kind": "send", "values": {...}, "label": "f"}, ... ],
         ...
       ],
-      "messages": [ [[1, 1], [2, 1]], ... ]
+      "messages": [ [[1, 1], [2, 1]], ... ],
+      "meta": {"faults": {...}}          # optional provenance metadata
     }
 
 Only JSON-representable variable values survive a round trip (bool, int,
 float, str, None, and nested lists/dicts thereof) — which covers every
 predicate in this library.
+
+Malformed payloads raise :class:`TraceFormatError` (a ``ValueError``) with
+a message naming the file, the offending key, and the expected shape —
+never a raw ``KeyError``/``TypeError``.  Payloads that parse but violate
+the computation's *semantic* rules (dangling message endpoints, cyclic
+dependencies, ...) still raise the usual
+:class:`~repro.computation.errors.ComputationError` subclasses.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.computation import Computation
 from repro.events import Event, EventKind
 
 __all__ = [
+    "TraceFormatError",
     "computation_to_dict",
     "computation_from_dict",
     "dump_computation",
@@ -35,6 +44,10 @@ __all__ = [
 ]
 
 FORMAT = "repro-trace-v1"
+
+
+class TraceFormatError(ValueError):
+    """A trace payload is structurally malformed (bad JSON shape)."""
 
 
 def computation_to_dict(computation: Computation) -> Dict[str, Any]:
@@ -51,40 +64,137 @@ def computation_to_dict(computation: Computation) -> Dict[str, Any]:
                 record["label"] = ev.label
             events.append(record)
         processes.append(events)
-    return {
+    payload: Dict[str, Any] = {
         "format": FORMAT,
         "processes": processes,
         "messages": [
             [list(send), list(recv)] for send, recv in computation.messages
         ],
     }
+    if computation.meta:
+        payload["meta"] = dict(computation.meta)
+    return payload
 
 
-def computation_from_dict(data: Dict[str, Any]) -> Computation:
-    """Deserialize a computation; validates structure and format tag."""
-    if data.get("format") != FORMAT:
-        raise ValueError(
-            f"unsupported trace format {data.get('format')!r}; expected {FORMAT!r}"
+def _parse_endpoint(
+    entry: Any, what: str, fail: "_Fail"
+) -> tuple:
+    if (
+        not isinstance(entry, Sequence)
+        or isinstance(entry, (str, bytes))
+        or len(entry) != 2
+    ):
+        fail(f"{what} must be a [process, index] pair, got {entry!r}")
+    process, index = entry
+    for part in (process, index):
+        if isinstance(part, bool) or not isinstance(part, int):
+            fail(f"{what} components must be integers, got {entry!r}")
+    return (process, index)
+
+
+class _Fail:
+    """Raises :class:`TraceFormatError` with an optional source prefix."""
+
+    def __init__(self, source: Optional[str]):
+        self._prefix = f"{source}: " if source else ""
+
+    def __call__(self, message: str) -> None:
+        raise TraceFormatError(self._prefix + message)
+
+
+def computation_from_dict(
+    data: Mapping[str, Any], source: Optional[str] = None
+) -> Computation:
+    """Deserialize a computation; validates structure and format tag.
+
+    Args:
+        data: The parsed JSON payload.
+        source: Optional provenance (e.g. a file name) prefixed to error
+            messages.
+
+    Raises:
+        TraceFormatError: If the payload shape is malformed.
+        ComputationError: If the payload parses but describes an invalid
+            computation (bad message endpoints, cycles, ...).
+    """
+    fail = _Fail(source)
+    if not isinstance(data, Mapping):
+        fail(f"trace must be a JSON object, got {type(data).__name__}")
+    fmt = data.get("format")
+    if fmt != FORMAT:
+        fail(f"unsupported trace format {fmt!r}; expected {FORMAT!r}")
+    if "processes" not in data:
+        fail("missing required key 'processes'")
+    raw_processes = data["processes"]
+    if not isinstance(raw_processes, Sequence) or isinstance(
+        raw_processes, (str, bytes)
+    ):
+        fail(
+            "'processes' must be a list of per-process event lists, got "
+            f"{type(raw_processes).__name__}"
         )
     process_events: List[List[Event]] = []
-    for p, records in enumerate(data["processes"]):
+    for p, records in enumerate(raw_processes):
+        if not isinstance(records, Sequence) or isinstance(records, (str, bytes)):
+            fail(
+                f"process {p}: events must be a list, got "
+                f"{type(records).__name__}"
+            )
         events: List[Event] = []
         for i, record in enumerate(records):
+            where = f"process {p}, event {i}"
+            if not isinstance(record, Mapping):
+                fail(f"{where}: expected an object, got {type(record).__name__}")
+            if "kind" not in record:
+                fail(f"{where}: missing required key 'kind'")
+            try:
+                kind = EventKind(record["kind"])
+            except ValueError:
+                fail(
+                    f"{where}: unknown event kind {record['kind']!r} "
+                    f"(expected one of {sorted(k.value for k in EventKind)})"
+                )
+            values = record.get("values", {})
+            if not isinstance(values, Mapping):
+                fail(
+                    f"{where}: 'values' must be an object, got "
+                    f"{type(values).__name__}"
+                )
+            label = record.get("label")
+            if label is not None and not isinstance(label, str):
+                fail(f"{where}: 'label' must be a string, got {label!r}")
             events.append(
                 Event(
                     process=p,
                     index=i,
-                    kind=EventKind(record["kind"]),
-                    values=dict(record.get("values", {})),
-                    label=record.get("label"),
+                    kind=kind,
+                    values=dict(values),
+                    label=label,
                 )
             )
         process_events.append(events)
-    messages = [
-        ((send[0], send[1]), (recv[0], recv[1]))
-        for send, recv in data.get("messages", [])
-    ]
-    return Computation(process_events, messages)
+    raw_messages = data.get("messages", [])
+    if not isinstance(raw_messages, Sequence) or isinstance(
+        raw_messages, (str, bytes)
+    ):
+        fail(f"'messages' must be a list, got {type(raw_messages).__name__}")
+    messages = []
+    for m, entry in enumerate(raw_messages):
+        if (
+            not isinstance(entry, Sequence)
+            or isinstance(entry, (str, bytes))
+            or len(entry) != 2
+        ):
+            fail(
+                f"message {m} must be a [send, receive] pair, got {entry!r}"
+            )
+        send = _parse_endpoint(entry[0], f"message {m} send endpoint", fail)
+        recv = _parse_endpoint(entry[1], f"message {m} receive endpoint", fail)
+        messages.append((send, recv))
+    meta = data.get("meta")
+    if meta is not None and not isinstance(meta, Mapping):
+        fail(f"'meta' must be an object, got {type(meta).__name__}")
+    return Computation(process_events, messages, meta=meta)
 
 
 def dump_computation(
@@ -96,5 +206,19 @@ def dump_computation(
 
 
 def load_computation(path: Union[str, Path]) -> Computation:
-    """Read a computation previously written by :func:`dump_computation`."""
-    return computation_from_dict(json.loads(Path(path).read_text()))
+    """Read a computation previously written by :func:`dump_computation`.
+
+    Raises:
+        TraceFormatError: On an unreadable file, invalid JSON, or a
+            malformed payload — always with the file name in the message.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise TraceFormatError(f"{path}: cannot read trace: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{path}: invalid JSON: {exc}") from exc
+    return computation_from_dict(data, source=str(path))

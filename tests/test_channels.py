@@ -18,9 +18,15 @@ class TestUniformDelay:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            UniformDelayChannel(random.Random(1), 0.0, 1.0)
+            UniformDelayChannel(random.Random(1), -0.5, 1.0)
         with pytest.raises(ValueError):
             UniformDelayChannel(random.Random(1), 5.0, 2.0)
+
+    def test_zero_min_delay_accepted(self):
+        channel = UniformDelayChannel(random.Random(1), 0.0, 1.0)
+        for _ in range(50):
+            at = channel.delivery_time(0, 1, now=3.0)
+            assert 3.0 <= at <= 4.0
 
     def test_can_reorder(self):
         channel = UniformDelayChannel(random.Random(3), 1.0, 10.0)
@@ -48,3 +54,9 @@ class TestFIFODelay:
     def test_validation(self):
         with pytest.raises(ValueError):
             FIFODelayChannel(random.Random(1), -1.0, 1.0)
+        with pytest.raises(ValueError):
+            FIFODelayChannel(random.Random(1), 3.0, 1.0)
+
+    def test_zero_min_delay_accepted(self):
+        channel = FIFODelayChannel(random.Random(1), 0.0, 1.0)
+        assert channel.delivery_time(0, 1, now=2.0) >= 2.0

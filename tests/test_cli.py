@@ -141,3 +141,113 @@ class TestInfo:
         assert payload["concurrency_width"] == 3
         assert payload["variables"]["x"]["unit_step"] is True
         assert 0 <= payload["causal_density"] <= 1
+
+
+class TestSimulateFaults:
+    def test_faults_flag(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps({"seed": 7, "message_loss": 0.3,
+                        "message_duplication": 0.1})
+        )
+        out = tmp_path / "lossy.json"
+        code = main(
+            ["simulate", "token-ring", "--processes", "4", "--rounds", "6",
+             "--seed", "3", "--faults", str(plan), "-o", str(out)]
+        )
+        assert code == 0
+        banner = capsys.readouterr().out
+        assert "faults:" in banner
+        payload = json.loads(out.read_text())
+        assert payload["meta"]["faults"]["plan"]["message_loss"] == 0.3
+        assert payload["meta"]["faults"]["counts"]
+
+    def test_profile_shows_fault_counters(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"seed": 7, "message_loss": 0.5}))
+        out = tmp_path / "lossy.json"
+        code = main(
+            ["simulate", "token-ring", "--processes", "4", "--rounds", "6",
+             "--faults", str(plan), "--profile", "-o", str(out)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "sim.faults.loss" in captured.err
+        assert "sim.run" in captured.err
+
+    def test_lock_server_crash_restart_demo(self, tmp_path, capsys):
+        out = tmp_path / "mx.json"
+        code = main(
+            ["simulate", "lock-server", "--variant", "crash-restart",
+             "-o", str(out)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        detect_code = main(["detect", str(out), "holds_lock@2 & holds_lock@3"])
+        payload = json.loads(capsys.readouterr().out)
+        assert detect_code == 0
+        assert payload["holds"] is True
+
+    def test_lock_server_deadlock_variant(self, tmp_path, capsys):
+        out = tmp_path / "locks.json"
+        code = main(
+            ["simulate", "lock-server", "--conflicting-order",
+             "-o", str(out)]
+        )
+        assert code == 0
+
+
+class TestErrorExitCodes:
+    def test_predicate_syntax_error(self, trace_path, capsys):
+        code = main(["detect", trace_path, "x@0 &"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("repro: bad predicate:")
+        assert "Traceback" not in captured.err
+
+    def test_missing_trace(self, tmp_path, capsys):
+        code = main(["detect", str(tmp_path / "missing.json"), "x@0"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert captured.err.startswith("repro: bad trace:")
+        assert "missing.json" in captured.err
+
+    def test_invalid_json_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        code = main(["info", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "invalid JSON" in captured.err
+
+    def test_malformed_trace_payload(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "other"}))
+        code = main(["detect", str(bad), "x@0"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "unsupported trace format" in captured.err
+
+    def test_bad_fault_plan(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"message_loss": 2.0}))
+        code = main(
+            ["simulate", "token-ring", "--faults", str(plan),
+             "-o", str(tmp_path / "out.json")]
+        )
+        captured = capsys.readouterr()
+        assert code == 4
+        assert captured.err.startswith("repro: bad fault plan:")
+
+    def test_fault_plan_process_out_of_range(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps({"crashes": [{"process": 99, "at": 1.0}]})
+        )
+        code = main(
+            ["simulate", "token-ring", "--processes", "4",
+             "--faults", str(plan), "-o", str(tmp_path / "out.json")]
+        )
+        captured = capsys.readouterr()
+        assert code == 4
+        assert "process 99" in captured.err

@@ -1,0 +1,311 @@
+"""Tests for the fault-injection subsystem (repro.simulation.faults)."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro import obs
+from repro.detection import detect_conjunctive
+from repro.predicates import conjunctive, local
+from repro.simulation import (
+    CrashSpec,
+    DelaySpike,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    PartitionWindow,
+    Simulator,
+    load_fault_plan,
+)
+from repro.simulation.protocols import (
+    build_crash_restart_lock_scenario,
+    build_token_ring,
+    crash_restart_lock_plan,
+)
+from repro.trace import computation_from_dict, computation_to_dict
+
+
+class TestFaultPlanParsing:
+    def test_roundtrip(self):
+        plan = FaultPlan(
+            seed=7,
+            message_loss=0.1,
+            message_duplication=0.05,
+            delay_spike=DelaySpike(0.1, 5.0, 20.0),
+            partitions=(PartitionWindow(10.0, 20.0, ((0, 1), (2, 3))),),
+            crashes=(
+                CrashSpec(process=2, at=4.5),
+                CrashSpec(process=0, at=5.0, restart_at=6.0),
+            ),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_empty_plan(self):
+        plan = FaultPlan.from_dict({})
+        assert not plan.any_faults
+        assert plan.to_dict() == {}
+
+    def test_unknown_key(self):
+        with pytest.raises(FaultPlanError, match="unknown fault plan key"):
+            FaultPlan.from_dict({"message_los": 0.1})
+
+    def test_bad_probability(self):
+        with pytest.raises(FaultPlanError, match=r"\[0, 1\]"):
+            FaultPlan.from_dict({"message_loss": 1.5})
+        with pytest.raises(FaultPlanError, match="number"):
+            FaultPlan.from_dict({"message_duplication": "high"})
+
+    def test_bad_seed(self):
+        with pytest.raises(FaultPlanError, match="seed"):
+            FaultPlan.from_dict({"seed": "abc"})
+
+    def test_delay_spike_validation(self):
+        with pytest.raises(FaultPlanError, match="probability"):
+            DelaySpike.from_dict({"extra_min": 1.0})
+        with pytest.raises(FaultPlanError, match="extra_min <= extra_max"):
+            DelaySpike(0.5, 5.0, 2.0)
+        with pytest.raises(FaultPlanError, match="unknown delay_spike"):
+            DelaySpike.from_dict({"probability": 0.5, "jitter": 1.0})
+
+    def test_partition_validation(self):
+        with pytest.raises(FaultPlanError, match="start < end"):
+            PartitionWindow(5.0, 5.0, ((0,), (1,)))
+        with pytest.raises(FaultPlanError, match="two partition groups"):
+            PartitionWindow(0.0, 1.0, ((0, 1), (1, 2)))
+        with pytest.raises(FaultPlanError, match="missing 'groups'"):
+            PartitionWindow.from_dict({"start": 0.0, "end": 1.0})
+
+    def test_crash_validation(self):
+        with pytest.raises(FaultPlanError, match="after the crash time"):
+            CrashSpec(process=0, at=5.0, restart_at=5.0)
+        with pytest.raises(FaultPlanError, match="negative"):
+            CrashSpec(process=0, at=-1.0)
+        with pytest.raises(FaultPlanError, match="integer"):
+            CrashSpec.from_dict({"process": "zero", "at": 1.0})
+
+    def test_crash_schedule_after_permanent_crash(self):
+        with pytest.raises(FaultPlanError, match="permanent crash"):
+            FaultPlan(
+                crashes=(
+                    CrashSpec(process=0, at=1.0),
+                    CrashSpec(process=0, at=2.0),
+                )
+            )
+
+    def test_crash_schedule_overlapping_restart(self):
+        with pytest.raises(FaultPlanError, match="overlaps"):
+            FaultPlan(
+                crashes=(
+                    CrashSpec(process=0, at=1.0, restart_at=3.0),
+                    CrashSpec(process=0, at=2.0),
+                )
+            )
+
+    def test_load_fault_plan(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"message_loss": 0.25, "seed": 3}))
+        plan = load_fault_plan(path)
+        assert plan.message_loss == 0.25
+        assert plan.seed == 3
+
+    def test_load_fault_plan_errors_name_the_file(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(FaultPlanError, match="nope.json"):
+            load_fault_plan(missing)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(FaultPlanError, match="bad.json.*invalid JSON"):
+            load_fault_plan(bad)
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"crashes": [{"process": 0}]}))
+        with pytest.raises(FaultPlanError, match="wrong.json.*missing 'at'"):
+            load_fault_plan(wrong)
+
+
+class TestMessageFate:
+    def test_certain_loss(self):
+        injector = FaultInjector(
+            FaultPlan(message_loss=1.0), random.Random(0), 2
+        )
+        assert injector.message_fate(0, 1, now=1.0) == []
+        assert injector.counts == {"loss": 1}
+
+    def test_certain_duplication(self):
+        injector = FaultInjector(
+            FaultPlan(message_duplication=1.0), random.Random(0), 2
+        )
+        assert injector.message_fate(0, 1, now=1.0) == [0.0, 0.0]
+        assert injector.counts == {"duplicate": 1}
+
+    def test_certain_spike(self):
+        injector = FaultInjector(
+            FaultPlan(delay_spike=DelaySpike(1.0, 5.0, 5.0)),
+            random.Random(0),
+            2,
+        )
+        assert injector.message_fate(0, 1, now=1.0) == [5.0]
+
+    def test_partition_beats_loss_without_rng_draw(self):
+        # The partition check consumes no RNG draw, so a severed message is
+        # recorded as partition_drop even with certain loss configured.
+        plan = FaultPlan(
+            message_loss=1.0,
+            partitions=(PartitionWindow(0.0, 10.0, ((0,), (1,))),),
+        )
+        injector = FaultInjector(plan, random.Random(0), 2)
+        assert injector.message_fate(0, 1, now=5.0) == []
+        assert injector.counts == {"partition_drop": 1}
+        # Outside the window the partition is inactive.
+        assert injector.message_fate(0, 1, now=20.0) == []
+        assert injector.counts == {"partition_drop": 1, "loss": 1}
+
+    def test_partition_spares_unlisted_processes(self):
+        window = PartitionWindow(0.0, 10.0, ((0,), (1,)))
+        assert window.severs(0, 1, 5.0)
+        assert window.severs(1, 0, 5.0)
+        assert not window.severs(0, 2, 5.0)  # 2 is not in any group
+        assert not window.severs(0, 0, 5.0)
+
+    def test_plan_must_fit_the_simulation(self):
+        plan = FaultPlan(crashes=(CrashSpec(process=5, at=1.0),))
+        with pytest.raises(FaultPlanError, match="process 5"):
+            FaultInjector(plan, random.Random(0), 3)
+
+
+class TestInjectionOnProtocols:
+    def test_loss_drops_messages(self):
+        clean = build_token_ring(4, hops=8, seed=3)
+        lossy = build_token_ring(
+            4, hops=8, seed=3, faults=FaultPlan(message_loss=0.5, seed=9)
+        )
+        assert lossy.meta["faults"]["counts"].get("loss", 0) > 0
+        assert len(lossy.messages) < len(clean.messages)
+        for record in lossy.meta["faults"]["injected"]:
+            assert record["type"] in {"loss"}
+            assert record["time"] >= 0.0
+
+    def test_duplication_adds_messages(self):
+        clean = build_token_ring(4, hops=8, seed=3)
+        dup = build_token_ring(
+            4, hops=8, seed=3,
+            faults=FaultPlan(message_duplication=0.8, seed=9),
+        )
+        assert dup.meta["faults"]["counts"].get("duplicate", 0) > 0
+        assert len(dup.messages) > len(clean.messages)
+
+    def test_partition_severs_cross_group_traffic(self):
+        plan = FaultPlan(
+            partitions=(PartitionWindow(0.0, 1e9, ((0,), (1, 2, 3))),)
+        )
+        comp = build_token_ring(4, hops=8, seed=0, faults=plan)
+        assert comp.meta["faults"]["counts"].get("partition_drop", 0) > 0
+        # No message may cross the 0 | {1,2,3} boundary.
+        for (sp, _), (rp, _) in comp.messages:
+            assert not ((sp == 0) ^ (rp == 0))
+
+    def test_permanent_crash_truncates_and_drops(self):
+        plan = FaultPlan(crashes=(CrashSpec(process=1, at=2.0),))
+        crashed = build_token_ring(3, hops=9, seed=0, faults=plan)
+        clean = build_token_ring(3, hops=9, seed=0)
+        assert crashed.num_events(1) < clean.num_events(1)
+        counts = crashed.meta["faults"]["counts"]
+        assert counts["crash"] == 1
+        # The token keeps arriving at the dead process and is dropped.
+        assert counts.get("crash_drop", 0) > 0
+        assert "restart" not in counts
+
+    def test_crash_restart_records_epoch(self):
+        comp = build_crash_restart_lock_scenario(seed=0)
+        meta = comp.meta["faults"]
+        assert meta["counts"]["crash"] == 2
+        assert meta["counts"]["restart"] == 1
+        [(process, first_index)] = meta["epochs"]
+        assert process == 0
+        # The epoch's first event exists and extends the same process line.
+        event = comp.event((process, first_index))
+        assert event.index == first_index
+        # Restart is causally after everything pre-crash on that process.
+        assert comp.clock((process, first_index))[process] == first_index + 1
+        assert meta["plan"] == crash_restart_lock_plan().to_dict()
+
+    def test_crash_restart_violates_mutual_exclusion(self):
+        for seed in (0, 1, 2):
+            comp = build_crash_restart_lock_scenario(seed=seed)
+            result = detect_conjunctive(
+                comp,
+                conjunctive(local(2, "holds_lock"), local(3, "holds_lock")),
+            )
+            assert result.holds, seed
+
+
+class TestDeterminism:
+    def test_same_plan_same_seed_byte_identical(self):
+        plan = FaultPlan(
+            message_loss=0.3,
+            message_duplication=0.2,
+            delay_spike=DelaySpike(0.3, 1.0, 4.0),
+            crashes=(CrashSpec(process=2, at=6.0, restart_at=9.0),),
+        )
+        dumps = [
+            json.dumps(
+                computation_to_dict(
+                    build_token_ring(4, hops=10, seed=11, faults=plan)
+                ),
+                sort_keys=True,
+            )
+            for _ in range(2)
+        ]
+        assert dumps[0] == dumps[1]
+
+    def test_plan_seed_isolates_fault_stream(self):
+        # Same simulation seed, different fault seeds: faults differ.
+        a = build_token_ring(
+            4, hops=8, seed=5, faults=FaultPlan(message_loss=0.4, seed=1)
+        )
+        b = build_token_ring(
+            4, hops=8, seed=5, faults=FaultPlan(message_loss=0.4, seed=2)
+        )
+        assert a.meta["faults"]["injected"] != b.meta["faults"]["injected"]
+
+    def test_faultless_plan_preserves_the_fault_free_trace(self):
+        # Attaching an (empty) plan must not perturb the channel/process RNG
+        # streams: the recorded events and messages stay identical.
+        clean = build_token_ring(4, hops=8, seed=3)
+        with_plan = build_token_ring(4, hops=8, seed=3, faults=FaultPlan())
+        clean_d = computation_to_dict(clean)
+        plan_d = computation_to_dict(with_plan)
+        assert "meta" not in clean_d
+        assert plan_d.pop("meta") == {
+            "faults": {"plan": {}, "injected": [], "counts": {}, "epochs": []}
+        }
+        assert clean_d == plan_d
+
+
+class TestMetadata:
+    def test_meta_survives_trace_roundtrip(self):
+        comp = build_crash_restart_lock_scenario(seed=0)
+        payload = computation_to_dict(comp)
+        restored = computation_from_dict(json.loads(json.dumps(payload)))
+        assert restored.meta == comp.meta
+        assert restored.meta["faults"]["counts"]["crash"] == 2
+
+    def test_obs_counters(self):
+        plan = FaultPlan(message_loss=0.5, seed=9)
+        with obs.Capture() as cap:
+            build_token_ring(4, hops=8, seed=3, faults=plan)
+        counters = cap.registry.snapshot()["counters"]
+        assert counters.get("sim.faults.loss", 0) > 0
+
+    def test_simulator_direct_meta(self):
+        from repro.simulation.protocols.token_ring import TokenRingProcess
+
+        programs = [TokenRingProcess(3, 6) for _ in range(3)]
+        comp = Simulator(
+            programs, seed=0, faults=FaultPlan(message_loss=0.3, seed=2)
+        ).run(max_events=200)
+        meta = comp.meta["faults"]
+        assert set(meta) == {"plan", "injected", "counts", "epochs"}
+        assert meta["plan"] == {"seed": 2, "message_loss": 0.3}

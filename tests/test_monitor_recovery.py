@@ -1,0 +1,270 @@
+"""Lossy-stream monitoring and monitor checkpoint/resume.
+
+Covers the robustness semantics of ``OnlineConjunctiveMonitor(lossy=True)``
+(gaps, duplicates, quarantine, verdict strings), the
+``repro.monitor.recovery`` checkpoint/restore round trip, and the
+end-to-end crash-restart demo: a fault-injected lock-server run whose
+mutual-exclusion violation is caught by the offline engine *and* by a
+lossy monitor that is checkpointed and resumed mid-stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import some_linearization
+from repro.detection import detect_conjunctive
+from repro.events import VectorClock
+from repro.monitor import (
+    MonitorError,
+    MonitorGroup,
+    OnlineConjunctiveMonitor,
+    recovery,
+)
+from repro.predicates import conjunctive, local
+from repro.simulation.protocols import build_crash_restart_lock_scenario
+from repro.trace import BoolVar, random_computation
+
+
+def observation_stream(comp, monitored, variable="x"):
+    """The (process, index, clock, truth) stream of a computation."""
+    monitored = set(monitored)
+    stream = []
+    for p in sorted(monitored):
+        ev = comp.initial_event(p)
+        stream.append(
+            (p, 0, comp.clock(ev.event_id), bool(ev.value(variable, False)))
+        )
+    for eid in some_linearization(comp):
+        p, index = eid
+        if p not in monitored:
+            continue
+        ev = comp.event(eid)
+        stream.append(
+            (p, index, comp.clock(eid), bool(ev.value(variable, False)))
+        )
+    return stream
+
+
+def feed(monitor, stream):
+    for p, index, clock, truth in stream:
+        monitor.observe(p, index, clock, truth)
+    return monitor
+
+
+class TestLossyMode:
+    def _clock(self, values):
+        return VectorClock(values)
+
+    def test_gap_is_recorded_and_stream_continues(self):
+        monitor = OnlineConjunctiveMonitor(2, [0, 1], lossy=True)
+        monitor.observe(0, 0, self._clock([1, 0]), False)
+        # Indices 1-2 of process 0 are lost.
+        monitor.observe(0, 3, self._clock([4, 0]), True)
+        assert monitor.gaps[0] == [(1, 2)]
+        assert monitor.had_gaps
+        monitor.observe(1, 1, self._clock([0, 2]), True)
+        assert monitor.detected
+        assert monitor.verdict == "detected_despite_gaps"
+
+    def test_strict_mode_still_raises(self):
+        monitor = OnlineConjunctiveMonitor(2, [0, 1])
+        monitor.observe(0, 1, self._clock([2, 0]), False)
+        with pytest.raises(MonitorError, match="out-of-order"):
+            monitor.observe(0, 1, self._clock([2, 0]), False)
+
+    def test_duplicates_dropped_silently(self):
+        monitor = OnlineConjunctiveMonitor(2, [0, 1], lossy=True)
+        monitor.observe(0, 0, self._clock([1, 0]), False)
+        monitor.observe(0, 1, self._clock([2, 0]), False)
+        monitor.observe(0, 1, self._clock([2, 0]), False)  # duplicate
+        monitor.observe(0, 0, self._clock([1, 0]), True)   # stale replay
+        assert monitor.stale_dropped == 2
+        assert not monitor.had_gaps  # duplicates are not gaps
+
+    def test_corrupt_observation_quarantined(self):
+        monitor = OnlineConjunctiveMonitor(2, [0, 1], lossy=True)
+        # clock[0] must be index+1 == 2; 7 is corrupt.
+        monitor.observe(0, 1, self._clock([7, 0]), True)
+        assert monitor.quarantined[0] == 1
+        assert monitor.had_gaps
+        # The corrupt observation is not used for detection.
+        monitor.observe(1, 1, self._clock([0, 2]), True)
+        assert not monitor.detected
+
+    def test_no_impossible_verdict_after_gaps(self):
+        monitor = OnlineConjunctiveMonitor(2, [0, 1], lossy=True)
+        monitor.observe(0, 2, self._clock([3, 0]), False)  # gap: 0-1 lost
+        monitor.finish_all()
+        assert not monitor.impossible
+        assert monitor.verdict == "inconclusive"
+
+    def test_gap_free_lossy_matches_strict(self):
+        for seed in range(10):
+            comp = random_computation(
+                3, 5, 0.4, seed=seed, variables=[BoolVar("x", 0.4)]
+            )
+            stream = observation_stream(comp, range(3))
+            strict = feed(OnlineConjunctiveMonitor(3, range(3)), stream)
+            lossy = feed(
+                OnlineConjunctiveMonitor(3, range(3), lossy=True), stream
+            )
+            strict.finish_all()
+            lossy.finish_all()
+            assert strict.detected == lossy.detected, seed
+            assert strict.witness == lossy.witness, seed
+            assert lossy.verdict in ("detected", "impossible")
+
+    def test_lossy_detection_is_sound(self):
+        # Dropping arbitrary *false* observations (they can only carry
+        # eliminating clock information) must never create a detection the
+        # full trace does not have.
+        pred = conjunctive(*(local(p, "x") for p in range(3)))
+        for seed in range(15):
+            comp = random_computation(
+                3, 5, 0.4, seed=seed, variables=[BoolVar("x", 0.35)]
+            )
+            stream = observation_stream(comp, range(3))
+            thinned = [
+                obs for i, obs in enumerate(stream)
+                if obs[3] or i % 3 != seed % 3
+            ]
+            monitor = feed(
+                OnlineConjunctiveMonitor(3, range(3), lossy=True), thinned
+            )
+            monitor.finish_all()
+            if monitor.detected:
+                assert detect_conjunctive(comp, pred).holds, seed
+
+
+class TestCheckpointResume:
+    def test_resume_equivalence(self):
+        for seed in range(10):
+            comp = random_computation(
+                3, 6, 0.4, seed=seed, variables=[BoolVar("x", 0.35)]
+            )
+            stream = observation_stream(comp, range(3))
+            half = len(stream) // 2
+            original = feed(
+                OnlineConjunctiveMonitor(3, range(3), lossy=True),
+                stream[:half],
+            )
+            resumed = recovery.restore_monitor(
+                recovery.checkpoint_monitor(original)
+            )
+            feed(original, stream[half:])
+            feed(resumed, stream[half:])
+            original.finish_all()
+            resumed.finish_all()
+            assert original.verdict == resumed.verdict, seed
+            assert original.witness == resumed.witness, seed
+            assert original.gaps == resumed.gaps, seed
+            assert original.observations == resumed.observations, seed
+
+    def test_save_and_load_file(self, tmp_path):
+        monitor = OnlineConjunctiveMonitor(2, [0, 1], lossy=True)
+        monitor.observe(0, 2, VectorClock([3, 0]), True)  # gap 0-1
+        path = tmp_path / "monitor.ckpt"
+        recovery.save_monitor(monitor, path)
+        loaded = recovery.load_monitor(path)
+        assert loaded.lossy
+        assert loaded.gaps == monitor.gaps
+        loaded.observe(1, 0, VectorClock([0, 1]), True)
+        assert loaded.detected
+        assert loaded.verdict == "detected_despite_gaps"
+
+    def test_restore_rejects_bad_payloads(self, tmp_path):
+        with pytest.raises(MonitorError, match="format"):
+            recovery.restore_monitor({"format": "nope"})
+        with pytest.raises(MonitorError, match="must be an object"):
+            recovery.restore_monitor([1, 2, 3])
+        state = recovery.checkpoint_monitor(
+            OnlineConjunctiveMonitor(2, [0, 1])
+        )
+        state["last_index"] = [[9, 4]]
+        with pytest.raises(MonitorError, match="unmonitored process 9"):
+            recovery.restore_monitor(state)
+        bad = recovery.checkpoint_monitor(OnlineConjunctiveMonitor(2, [0]))
+        bad["queues"] = "garbage"
+        with pytest.raises(MonitorError, match="malformed"):
+            recovery.restore_monitor(bad)
+        missing = tmp_path / "missing.ckpt"
+        with pytest.raises(MonitorError, match="missing.ckpt"):
+            recovery.load_monitor(missing)
+
+    def test_group_checkpoint_roundtrip(self):
+        comp = random_computation(
+            4, 6, 0.4, seed=3, variables=[BoolVar("x", 0.4)]
+        )
+        stream = observation_stream(comp, range(4))
+        half = len(stream) // 2
+        group = MonitorGroup.all_pairs(4, lossy=True)
+        for p, index, clock, truth in stream[:half]:
+            group.observe(p, index, clock, truth)
+        restored = recovery.restore_group(recovery.checkpoint_group(group))
+        assert restored.lossy
+        assert len(restored) == len(group)
+        for g in (group, restored):
+            for p, index, clock, truth in stream[half:]:
+                g.observe(p, index, clock, truth)
+            g.finish_all()
+        assert group.detailed_verdicts() == restored.detailed_verdicts()
+
+    def test_group_restore_rejects_bad_format(self):
+        with pytest.raises(MonitorError, match="format"):
+            recovery.restore_group({"format": "repro-monitor-state-v1"})
+
+
+class TestCrashRestartDemo:
+    """The acceptance demo: crash-restart breaks mutual exclusion and the
+    violation survives offline detection, lossy streaming, and a
+    mid-stream monitor crash."""
+
+    def test_offline_detection(self):
+        comp = build_crash_restart_lock_scenario(seed=0)
+        result = detect_conjunctive(
+            comp,
+            conjunctive(local(2, "holds_lock"), local(3, "holds_lock")),
+        )
+        assert result.holds
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lossy_monitor_with_checkpoint_resume(self, seed, tmp_path):
+        comp = build_crash_restart_lock_scenario(seed=seed)
+        stream = observation_stream(comp, [2, 3], variable="holds_lock")
+        half = len(stream) // 2
+        monitor = OnlineConjunctiveMonitor(4, [2, 3], lossy=True)
+        feed(monitor, stream[:half])
+        # The monitor crashes; a fresh one resumes from its checkpoint.
+        path = tmp_path / "monitor.ckpt"
+        recovery.save_monitor(monitor, path)
+        resumed = recovery.load_monitor(path)
+        feed(resumed, stream[half:])
+        assert resumed.detected
+        assert resumed.verdict == "detected"
+        witness = resumed.witness
+        assert set(witness) == {2, 3}
+
+    def test_lossy_monitor_with_observation_loss(self):
+        comp = build_crash_restart_lock_scenario(seed=0)
+        stream = observation_stream(comp, [2, 3], variable="holds_lock")
+        # The observation channel drops every false report (e.g. the
+        # reporters batch and the batch with the falses is lost).
+        thinned = [obs for obs in stream if obs[3] or obs[1] == 0]
+        monitor = feed(
+            OnlineConjunctiveMonitor(4, [2, 3], lossy=True), thinned
+        )
+        assert monitor.detected
+        assert monitor.verdict == "detected_despite_gaps"
+        assert monitor.had_gaps
+
+    def test_group_catches_the_violating_pair(self):
+        comp = build_crash_restart_lock_scenario(seed=0)
+        stream = observation_stream(comp, [2, 3], variable="holds_lock")
+        group = MonitorGroup(4, lossy=True)
+        group.add("mutex(2,3)", [2, 3])
+        fired = []
+        for p, index, clock, truth in stream:
+            fired.extend(group.observe(p, index, clock, truth))
+        assert fired == ["mutex(2,3)"]
+        assert group.detailed_verdicts() == {"mutex(2,3)": "detected"}
