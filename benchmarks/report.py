@@ -9,6 +9,12 @@ result.  Usage::
     python benchmarks/report.py                    # all experiments
     python benchmarks/report.py F1-conj F3         # a subset
     python benchmarks/report.py --json BENCH.json  # + metrics snapshots
+    python benchmarks/report.py --baseline benchmarks/BENCH_baseline.json
+
+``--baseline`` compares each experiment's wall time against a committed
+``--json`` snapshot and exits 1 when any experiment above the noise
+floor is more than ``--max-slowdown`` (default 2x) slower — the CI
+benchmark smoke gate.
 
 With ``--json`` every experiment runs under the observability layer
 (:mod:`repro.obs`) and the output file records, per experiment id, the
@@ -263,6 +269,78 @@ def t_chain() -> None:
                     f"{ms_chain:.2f}", f"{ms_proc:.2f}")
 
 
+class _UnindexedQueries:
+    """Per-call ``Computation`` causality queries — the pre-index cost model.
+
+    Substituted into :class:`SelectionScan` via its ``index`` parameter to
+    time the legacy sweep: every ``leq``/``successor`` re-validates ids and
+    walks the clock objects, exactly as the engines did before the
+    :mod:`repro.perf` layer.
+    """
+
+    def __init__(self, comp):
+        self.leq = comp.leq
+        self.successor = comp.successor
+
+
+def _legacy_chain_sweep(comp, pred) -> bool:
+    """The pre-``repro.perf`` chain-choice loop: no index, no memoization."""
+    import itertools
+
+    from repro.computation import minimum_chain_cover
+    from repro.detection.garg_waldecker import SelectionScan
+
+    per_group = []
+    for cl in pred.clauses:
+        trues = []
+        for p in sorted(cl.processes()):
+            literals = [lit for lit in cl.literals if lit.process == p]
+            for ev in comp.events_of(p):
+                if any(lit.holds_after(ev) for lit in literals):
+                    trues.append(ev.event_id)
+        per_group.append(
+            [list(chain) for chain in minimum_chain_cover(comp, trues)]
+        )
+    adapter = _UnindexedQueries(comp)
+    for combo in itertools.product(*per_group):
+        if SelectionScan(comp, list(combo), index=adapter).run() is not None:
+            return True
+    return False
+
+
+def t_parallel() -> None:
+    header(
+        "T-parallel",
+        "memoized causality index + parallel sweep on the multi-combination "
+        "singular k-CNF tier",
+    )
+    row("groups", "combos", "legacy_ms", "indexed_ms", "parallel4_ms",
+        "index_speedup", "parallel4_speedup")
+    for m in (6, 7):
+        comp, pred = chain_structured_group(
+            m, 4, chains_per_group=4, events_per_process=8,
+            satisfiable=False,
+        )
+        legacy_holds, ms_legacy = timed(_legacy_chain_sweep, comp, pred)
+        serial, ms_serial = timed(detect_by_chain_choice, comp, pred)
+        par, ms_par = timed(detect_by_chain_choice, comp, pred, parallel=4)
+        assert legacy_holds == serial.holds == par.holds == False  # noqa: E712
+        assert serial.stats["invocations"] == par.stats["invocations"]
+        row(m, serial.stats["combinations"], f"{ms_legacy:.1f}",
+            f"{ms_serial:.1f}", f"{ms_par:.1f}",
+            f"{ms_legacy / ms_serial:.2f}x", f"{ms_legacy / ms_par:.2f}x")
+    # Determinism spot check: the parallel driver must return the very
+    # witness the serial loop finds.
+    comp, pred = chain_structured_group(
+        4, 4, chains_per_group=4, events_per_process=8, satisfiable=True
+    )
+    serial = detect_by_chain_choice(comp, pred)
+    par = detect_by_chain_choice(comp, pred, parallel=4)
+    assert serial.holds and par.holds
+    assert serial.witness.frontier == par.witness.frontier
+    row("witness determinism (4 workers)", "ok", "-", "-", "-", "-", "-")
+
+
 def t_slice() -> None:
     header("T-slice", "slicing vs filtering the lattice (satisfying cuts)")
     from repro.computation import iter_consistent_cuts
@@ -359,10 +437,54 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "T-sym": t_sym,
     "T-lattice": t_lattice,
     "T-chain": t_chain,
+    "T-parallel": t_parallel,
     "T-slice": t_slice,
     "T-definitely": t_definitely,
     "T-online": t_online,
 }
+
+
+#: Experiments faster than this in the baseline are skipped by the
+#: regression gate: their timings are scheduler noise, not signal.
+NOISE_FLOOR_MS = 20.0
+
+
+def check_baseline(
+    baseline_path: str,
+    wall_times: Dict[str, float],
+    max_slowdown: float,
+) -> int:
+    """Compare this run's wall times against a committed baseline.
+
+    Returns the number of regressions (experiments slower than
+    ``max_slowdown`` × their baseline time, baseline above the noise
+    floor).
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)["experiments"]
+    print(f"\n## Baseline comparison ({baseline_path}, "
+          f"max slowdown {max_slowdown:.1f}x)")
+    row("experiment", "baseline_ms", "current_ms", "ratio", "verdict")
+    regressions = 0
+    for exp_id, current_ms in wall_times.items():
+        entry = baseline.get(exp_id)
+        if entry is None:
+            row(exp_id, "-", f"{current_ms:.1f}", "-", "no baseline")
+            continue
+        base_ms = entry["wall_time_ms"]
+        ratio = current_ms / base_ms if base_ms > 0 else float("inf")
+        if base_ms < NOISE_FLOOR_MS:
+            row(exp_id, f"{base_ms:.1f}", f"{current_ms:.1f}",
+                f"{ratio:.2f}", "skipped (noise floor)")
+            continue
+        if ratio > max_slowdown:
+            regressions += 1
+            row(exp_id, f"{base_ms:.1f}", f"{current_ms:.1f}",
+                f"{ratio:.2f}", "REGRESSION")
+        else:
+            row(exp_id, f"{base_ms:.1f}", f"{current_ms:.1f}",
+                f"{ratio:.2f}", "ok")
+    return regressions
 
 
 def main(argv: List[str]) -> int:
@@ -373,6 +495,15 @@ def main(argv: List[str]) -> int:
         help="write per-experiment metrics snapshots (counters, gauges, "
         "histogram summaries) as JSON",
     )
+    parser.add_argument(
+        "--baseline", default=None, metavar="BENCH.json",
+        help="compare wall times against a committed --json snapshot; "
+        "exit 1 when any experiment exceeds --max-slowdown",
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=2.0, metavar="RATIO",
+        help="regression threshold for --baseline (default 2.0)",
+    )
     args = parser.parse_args(argv)
     wanted = args.experiments or list(EXPERIMENTS)
     unknown = [w for w in wanted if w not in EXPERIMENTS]
@@ -382,6 +513,7 @@ def main(argv: List[str]) -> int:
         return 2
     print("# Experiment report (regenerated)")
     metrics: Dict[str, Dict] = {}
+    wall_times: Dict[str, float] = {}
     for exp_id in wanted:
         if args.json_path is not None:
             from repro import obs
@@ -389,16 +521,26 @@ def main(argv: List[str]) -> int:
             start = time.perf_counter()
             with obs.Capture() as cap:
                 EXPERIMENTS[exp_id]()
+            wall_times[exp_id] = (time.perf_counter() - start) * 1000.0
             metrics[exp_id] = {
-                "wall_time_ms": (time.perf_counter() - start) * 1000.0,
+                "wall_time_ms": wall_times[exp_id],
                 "metrics": cap.registry.snapshot(),
             }
         else:
+            start = time.perf_counter()
             EXPERIMENTS[exp_id]()
+            wall_times[exp_id] = (time.perf_counter() - start) * 1000.0
     if args.json_path is not None:
         with open(args.json_path, "w") as handle:
             json.dump({"experiments": metrics}, handle, indent=2)
         print(f"\nwrote metrics snapshots to {args.json_path}")
+    if args.baseline is not None:
+        regressions = check_baseline(
+            args.baseline, wall_times, args.max_slowdown
+        )
+        if regressions:
+            print(f"\n{regressions} experiment(s) regressed", file=sys.stderr)
+            return 1
     return 0
 
 

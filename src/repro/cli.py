@@ -18,6 +18,7 @@ Examples::
     python -m repro simulate lock-server --variant crash-restart -o mx.json
     python -m repro detect ring.json "cs@1 & cs@3"
     python -m repro detect ring.json "cs@1 & cs@3" --profile
+    python -m repro detect ring.json "(a@0 | a@1) & (b@2 | b@3)" --parallel 4
     python -m repro detect ring.json "count(token) >= 2" --modality definitely
     python -m repro profile ring.json "cs@1 & cs@3" --repeat 20
     python -m repro generate --processes 4 --events 10 --bool x -o random.json
@@ -62,13 +63,17 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         from repro import obs
 
         with obs.Capture() as cap:
-            result = detect(computation, predicate, modality)
+            result = detect(
+                computation, predicate, modality, parallel=args.parallel
+            )
         print("── span tree ──", file=sys.stderr)
         print(obs.format_span_tree(cap.roots), file=sys.stderr)
         print("── metrics ──", file=sys.stderr)
         print(obs.format_metrics(cap.registry.snapshot()), file=sys.stderr)
     else:
-        result = detect(computation, predicate, modality)
+        result = detect(
+            computation, predicate, modality, parallel=args.parallel
+        )
     payload = {
         "predicate": predicate.description(),
         "modality": modality.value,
@@ -331,6 +336,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print the query's span tree and metrics snapshot to stderr",
+    )
+    p_detect.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="fan combination-sweep engines across N worker processes "
+        "(-1 = one per CPU); verdict and witness are unchanged",
     )
     p_detect.set_defaults(func=_cmd_detect)
 

@@ -53,14 +53,22 @@ def iter_levels(computation: Computation) -> Iterator[List[Cut]]:
     events.  Every run visits exactly one cut per level, which is why the
     Cooper–Marzullo ``definitely`` algorithm walks the lattice level by
     level.
+
+    Successor expansion and level dedup run on plain frontier tuples via
+    the computation's memoized causality index; each distinct cut is
+    materialized once through the shared interner.
     """
-    current: List[Cut] = [initial_cut(computation)]
+    from repro.perf.causality import CausalityIndex
+
+    index = CausalityIndex.of(computation)
+    interner = index.interner
+    current: List[Tuple[int, ...]] = [initial_cut(computation).frontier]
     while current:
-        yield current
-        next_level: Set[Cut] = set()
-        for cut in current:
-            next_level.update(cut.successors())
-        current = sorted(next_level, key=lambda c: c.frontier)
+        yield [interner.get(frontier) for frontier in current]
+        next_level: Set[Tuple[int, ...]] = set()
+        for frontier in current:
+            next_level.update(index.successor_frontiers(frontier))
+        current = sorted(next_level)
 
 
 def count_consistent_cuts(computation: Computation) -> int:

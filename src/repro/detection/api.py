@@ -61,8 +61,14 @@ def detect(
     computation: Computation,
     predicate: GlobalPredicate,
     modality: Modality = Modality.POSSIBLY,
+    parallel: Optional[int] = None,
 ) -> DetectionResult:
     """Full detection result for the given predicate and modality.
+
+    ``parallel`` fans combination-sweep engines (the singular k-CNF
+    process-/chain-choice drivers) across a worker pool; verdicts and
+    witnesses are identical to the serial sweep.  Engines without a
+    combination sweep ignore it.
 
     When observability is enabled (:mod:`repro.obs`) every query opens a
     root span ``detect.query`` recording the modality, the predicate
@@ -74,7 +80,7 @@ def detect(
         predicate=type(predicate).__name__,
     ) as root:
         if modality is Modality.POSSIBLY:
-            result = _possibly(computation, predicate)
+            result = _possibly(computation, predicate, parallel=parallel)
         else:
             result = _definitely(computation, predicate)
         root.set(engine=result.algorithm, holds=result.holds)
@@ -95,7 +101,9 @@ def definitely(computation: Computation, predicate: GlobalPredicate) -> bool:
 
 
 def _possibly(
-    computation: Computation, predicate: GlobalPredicate
+    computation: Computation,
+    predicate: GlobalPredicate,
+    parallel: Optional[int] = None,
 ) -> DetectionResult:
     if isinstance(predicate, ConjunctivePredicate):
         return detect_conjunctive(computation, predicate)
@@ -109,7 +117,9 @@ def _possibly(
                 computation, conjunctive_from_cnf(predicate)
             )
         if predicate.is_singular():
-            return detect_singular(computation, predicate, strategy="auto")
+            return detect_singular(
+                computation, predicate, strategy="auto", parallel=parallel
+            )
         # Non-singular CNF: the Stoller–Schneider decomposition into
         # conjunctive sub-problems (exponential in clauses, but each
         # sub-problem is a linear scan — far cheaper than the lattice).
@@ -123,7 +133,7 @@ def _possibly(
         with span("engine.disjunction", parts=len(predicate.parts)):
             explored = 0
             for part in predicate.parts:
-                result = _possibly(computation, part)
+                result = _possibly(computation, part, parallel=parallel)
                 explored += int(result.stats.get("cuts_explored", 0))
                 if result.holds:
                     return DetectionResult(

@@ -18,11 +18,12 @@ against in our benchmarks.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional, Set
+from typing import Optional, Set, Tuple
 
 from repro.computation import Computation, Cut, final_cut, initial_cut
 from repro.detection.result import DetectionResult
 from repro.obs import StatCounters, span
+from repro.perf.causality import CausalityIndex
 from repro.predicates.base import GlobalPredicate
 
 __all__ = ["possibly_enumerate", "definitely_enumerate"]
@@ -31,26 +32,36 @@ __all__ = ["possibly_enumerate", "definitely_enumerate"]
 def possibly_enumerate(
     computation: Computation, predicate: GlobalPredicate
 ) -> DetectionResult:
-    """Decide ``possibly(B)`` by exhaustive lattice search (with early exit)."""
+    """Decide ``possibly(B)`` by exhaustive lattice search (with early exit).
+
+    The BFS tracks plain frontier tuples (successor expansion and
+    ``seen``-set membership through the memoized causality index) and
+    materializes each consistent cut once, via the computation's interner,
+    only to evaluate the predicate on it.
+    """
     with span("engine.cooper-marzullo", modality="possibly") as sp:
-        start = initial_cut(computation)
+        index = CausalityIndex.of(computation)
+        interner = index.interner
+        start = initial_cut(computation).frontier
         explored = 0
-        seen: Set[Cut] = {start}
-        queue: deque[Cut] = deque([start])
+        seen: Set[Tuple[int, ...]] = {start}
+        queue: deque[Tuple[int, ...]] = deque([start])
         holds, witness = False, None
         while queue:
-            cut = queue.popleft()
+            frontier = queue.popleft()
             explored += 1
+            cut = interner.get(frontier)
             if predicate.evaluate(cut):
                 holds, witness = True, cut
                 break
-            for nxt in cut.successors():
+            for nxt in index.successor_frontiers(frontier):
                 if nxt not in seen:
                     seen.add(nxt)
                     queue.append(nxt)
         stats = StatCounters("engine.cooper-marzullo")
         stats.inc("cuts_explored", explored)
         sp.set(cuts_explored=explored, holds=holds)
+        index.maybe_flush_metrics()
         return DetectionResult(
             holds=holds,
             witness=witness,
@@ -70,9 +81,10 @@ def definitely_enumerate(
     final cut satisfies B, since every run contains both).
     """
     with span("engine.cooper-marzullo", modality="definitely") as sp:
+        index = CausalityIndex.of(computation)
+        interner = index.interner
         start = initial_cut(computation)
-        goal = final_cut(computation)
-        explored = 0
+        goal_frontier = final_cut(computation).frontier
 
         def _result(
             holds: bool, explored: int, witness: Optional[Cut] = None
@@ -80,6 +92,7 @@ def definitely_enumerate(
             stats = StatCounters("engine.cooper-marzullo")
             stats.inc("cuts_explored", explored)
             sp.set(cuts_explored=explored, holds=holds)
+            index.maybe_flush_metrics()
             return DetectionResult(
                 holds=holds,
                 witness=witness,
@@ -87,25 +100,34 @@ def definitely_enumerate(
                 stats=stats.as_dict(),
             )
 
-        if predicate.evaluate(start) or predicate.evaluate(goal):
-            return _result(
-                True, 2, start if predicate.evaluate(start) else goal
-            )
-        if start == goal:
+        # Evaluate each endpoint exactly once; ``cuts_explored`` counts the
+        # cuts actually examined (1 when the initial cut short-circuits).
+        if predicate.evaluate(start):
+            return _result(True, 1, start)
+        if start.frontier == goal_frontier:
             # The lattice is a single cut that violates B: the unique run
             # avoids B.
             return _result(False, 1)
-        seen: Set[Cut] = {start}
-        queue: deque[Cut] = deque([start])
+        goal = interner.get(goal_frontier)
+        if predicate.evaluate(goal):
+            return _result(True, 2, goal)
+        explored = 2  # both endpoints evaluated; count each cut once
+        seen: Set[Tuple[int, ...]] = {start.frontier}
+        queue: deque[Tuple[int, ...]] = deque([start.frontier])
         while queue:
-            cut = queue.popleft()
-            explored += 1
-            for nxt in cut.successors():
-                if nxt in seen or predicate.evaluate(nxt):
+            frontier = queue.popleft()
+            for nxt in index.successor_frontiers(frontier):
+                if nxt in seen:
                     continue
-                if nxt == goal:
-                    # A full run avoiding B exists.
-                    return _result(False, explored)
+                # Mark satisfying cuts seen too: they are barriers either
+                # way, and marking avoids re-evaluating B on every later
+                # edge reaching them.
                 seen.add(nxt)
+                if nxt == goal_frontier:
+                    # A full run avoiding B exists (goal is known false).
+                    return _result(False, explored)
+                explored += 1
+                if predicate.evaluate(interner.get(nxt)):
+                    continue
                 queue.append(nxt)
         return _result(True, explored)

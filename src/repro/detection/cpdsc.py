@@ -42,6 +42,7 @@ from repro.computation.reverse import (
 )
 from repro.detection.garg_waldecker import SelectionScan
 from repro.events import EventId
+from repro.perf.causality import CausalityIndex
 from repro.predicates.errors import UnsupportedPredicateError
 
 __all__ = [
@@ -61,36 +62,25 @@ def _events_of_group(computation: Computation, group: Sequence[int]) -> List[Eve
     return ids
 
 
-def _totally_ordered(computation: Computation, ids: Sequence[EventId]) -> bool:
-    for i, e in enumerate(ids):
-        for f in ids[i + 1 :]:
-            if computation.concurrent(e, f):
-                return False
-    return True
-
-
 def is_receive_ordered(
     computation: Computation, groups: Sequence[Sequence[int]]
 ) -> bool:
-    """All receive events of every meta-process totally ordered by causality."""
-    for group in groups:
-        receives = [
-            eid for p in group for eid in computation.receive_events(p)
-        ]
-        if not _totally_ordered(computation, receives):
-            return False
-    return True
+    """All receive events of every meta-process totally ordered by causality.
+
+    Memoized per group structure on the computation's causality index, so
+    auto dispatch and an explicit special-case run never pay twice.
+    """
+    return CausalityIndex.of(computation).is_receive_ordered(groups)
 
 
 def is_send_ordered(
     computation: Computation, groups: Sequence[Sequence[int]]
 ) -> bool:
-    """All send events of every meta-process totally ordered by causality."""
-    for group in groups:
-        sends = [eid for p in group for eid in computation.send_events(p)]
-        if not _totally_ordered(computation, sends):
-            return False
-    return True
+    """All send events of every meta-process totally ordered by causality.
+
+    Memoized per group structure on the computation's causality index.
+    """
+    return CausalityIndex.of(computation).is_send_ordered(groups)
 
 
 def meta_process_order(
@@ -105,6 +95,8 @@ def meta_process_order(
         UnsupportedPredicateError: If the extension is cyclic (the group is
             not receive-ordered).
     """
+    index = CausalityIndex.of(computation)
+    happened_before = index.happened_before
     ids = _events_of_group(computation, group)
     id_set = set(ids)
     succs: Dict[EventId, Set[EventId]] = {eid: set() for eid in ids}
@@ -119,13 +111,13 @@ def meta_process_order(
         for f in ids:
             if e == f:
                 continue
-            if computation.happened_before(e, f):
+            if happened_before(e, f):
                 if f not in succs[e]:
                     succs[e].add(f)
                     indegree[f] += 1
     for r in receives:
         for e in ids:
-            if e == r or computation.happened_before(e, r) or computation.happened_before(r, e):
+            if e == r or happened_before(e, r) or happened_before(r, e):
                 continue
             if r not in succs[e]:
                 succs[e].add(r)

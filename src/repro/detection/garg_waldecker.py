@@ -29,6 +29,7 @@ from repro.computation import Computation, Cut, least_consistent_cut
 from repro.detection.result import DetectionResult
 from repro.events import EventId
 from repro.obs import StatCounters, span
+from repro.perf.causality import CausalityIndex
 from repro.predicates.conjunctive import ConjunctivePredicate
 from repro.predicates.local import true_events
 
@@ -41,22 +42,104 @@ class SelectionScan:
     Exposes the number of eliminations performed (``advances``) for the
     benchmarks; the scan performs at most ``sum of chain lengths``
     eliminations, each costing O(number of chains) consistency checks.
+
+    Causality queries go through the computation's memoized
+    :class:`~repro.perf.causality.CausalityIndex` (raw-clock ``leq``,
+    precomputed successors); pass ``index`` explicitly only to substitute
+    a compatible query provider (the benchmarks use this to measure the
+    unindexed baseline).
     """
 
-    def __init__(self, computation: Computation, chains: Sequence[Sequence[EventId]]):
+    def __init__(
+        self,
+        computation: Computation,
+        chains: Sequence[Sequence[EventId]],
+        index=None,
+    ):
         self._comp = computation
+        self._index = index if index is not None else CausalityIndex.of(computation)
         self._chains: List[List[EventId]] = [list(c) for c in chains]
         self.advances = 0
         self.comparisons = 0
 
     def run(self) -> Optional[List[EventId]]:
         """Return a pairwise-consistent selection, or None if none exists."""
-        comp = self._comp
         m = len(self._chains)
         if m == 0:
             return []
         if any(not chain for chain in self._chains):
             return None
+        if isinstance(self._index, CausalityIndex):
+            return self._run_indexed(self._index, m)
+        return self._run_generic(self._index, m)
+
+    def _run_indexed(
+        self, index: CausalityIndex, m: int
+    ) -> Optional[List[EventId]]:
+        """Scan on raw clock tuples — no per-comparison function calls.
+
+        For a non-initial event ``e' = (p, i)`` with ``i >= 1``,
+        ``leq(e', f)`` reduces to ``f`` being non-initial with
+        ``clk(f)[p] > i`` (the component counts the events of ``p`` in
+        ``f``'s causal past, including the initial one, so same-process
+        equality is covered too).  Both elimination tests only ever apply
+        ``leq`` to local successors, which are non-initial by construction.
+        """
+        clk = index._clk
+        lengths = index._lengths
+        chains = self._chains
+        cursor = [0] * m
+        pending: deque[int] = deque(range(m))
+        queued = [True] * m
+        advances = 0
+        comparisons = 0
+        while pending:
+            i = pending.popleft()
+            queued[i] = False
+            ep, ei = chains[i][cursor[i]]
+            ei1 = ei + 1
+            e_last = ei1 >= lengths[ep]
+            restart = False
+            for j in range(m):
+                if j == i:
+                    continue
+                fp, fi = chains[j][cursor[j]]
+                comparisons += 1
+                if not e_last and fi and clk[fp][fi][ep] > ei1:
+                    # succ(e) -> f: e pairs with nothing at or after f.
+                    advances += 1
+                    cursor[i] += 1
+                    if cursor[i] >= len(chains[i]):
+                        self.advances = advances
+                        self.comparisons = comparisons
+                        return None
+                    if not queued[i]:
+                        pending.append(i)
+                        queued[i] = True
+                    restart = True
+                    break
+                fi1 = fi + 1
+                if fi1 < lengths[fp] and ei and clk[ep][ei][fp] > fi1:
+                    # succ(f) -> e: eliminate f symmetrically.
+                    advances += 1
+                    cursor[j] += 1
+                    if cursor[j] >= len(chains[j]):
+                        self.advances = advances
+                        self.comparisons = comparisons
+                        return None
+                    if not queued[j]:
+                        pending.append(j)
+                        queued[j] = True
+            if restart:
+                continue
+        self.advances = advances
+        self.comparisons = comparisons
+        return [chains[i][cursor[i]] for i in range(m)]
+
+    def _run_generic(self, index, m: int) -> Optional[List[EventId]]:
+        """Scan through the provider's ``leq``/``successor`` callables."""
+        leq = index.leq
+        successor = index.successor
         cursor = [0] * m
         # Chains whose candidate changed and must be re-checked against all.
         pending: deque[int] = deque(range(m))
@@ -72,14 +155,14 @@ class SelectionScan:
             i = pending.popleft()
             queued[i] = False
             e = self._chains[i][cursor[i]]
-            succ_e = comp.successor(e)
+            succ_e = successor(e)
             restart = False
             for j in range(m):
                 if j == i:
                     continue
                 f = self._chains[j][cursor[j]]
                 self.comparisons += 1
-                if succ_e is not None and comp.leq(succ_e, f):
+                if succ_e is not None and leq(succ_e, f):
                     # e cannot pair with f nor any later event of chain j.
                     if not advance(i):
                         return None
@@ -88,8 +171,8 @@ class SelectionScan:
                         queued[i] = True
                     restart = True
                     break
-                succ_f = comp.successor(f)
-                if succ_f is not None and comp.leq(succ_f, e):
+                succ_f = successor(f)
+                if succ_f is not None and leq(succ_f, e):
                     if not advance(j):
                         return None
                     if not queued[j]:
@@ -127,6 +210,7 @@ def detect_conjunctive(
         ]
         scan = SelectionScan(computation, chains)
         selection = scan.run()
+        CausalityIndex.of(computation).maybe_flush_metrics()
         stats = StatCounters("engine.cpdhb")
         stats.set("chains", len(chains))
         stats.inc("advances", scan.advances)

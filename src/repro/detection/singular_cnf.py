@@ -31,23 +31,18 @@ import itertools
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.computation import (
-    Computation,
-    Cut,
-    least_consistent_cut,
-    minimum_chain_cover,
-)
+from repro.computation import Computation, Cut, least_consistent_cut
 from repro.detection.cooper_marzullo import possibly_enumerate
 from repro.detection.cpdsc import (
     detect_receive_ordered,
     detect_send_ordered,
-    is_receive_ordered,
-    is_send_ordered,
 )
 from repro.detection.garg_waldecker import SelectionScan
 from repro.detection.result import DetectionResult
 from repro.events import EventId
 from repro.obs import StatCounters, span
+from repro.perf.causality import CausalityIndex
+from repro.perf.parallel import resolve_workers, run_combination_search
 from repro.predicates.boolean import Clause, CNFPredicate
 from repro.predicates.errors import UnsupportedPredicateError
 
@@ -64,23 +59,19 @@ __all__ = [
 def clause_true_events_on(
     computation: Computation, cl: Clause, process: int
 ) -> List[EventId]:
-    """Events of ``process`` making some literal of the clause true."""
-    literals = [lit for lit in cl.literals if lit.process == process]
-    if not literals:
-        return []
-    result: List[EventId] = []
-    for event in computation.events_of(process):
-        if any(lit.holds_after(event) for lit in literals):
-            result.append(event.event_id)
-    return result
+    """Events of ``process`` making some literal of the clause true.
+
+    Memoized per (clause, process) on the computation's causality index.
+    """
+    return list(CausalityIndex.of(computation).clause_true_events_on(cl, process))
 
 
 def clause_true_events(computation: Computation, cl: Clause) -> List[EventId]:
-    """All events (across the clause's group) making the clause true."""
-    result: List[EventId] = []
-    for process in sorted(cl.processes()):
-        result.extend(clause_true_events_on(computation, cl, process))
-    return result
+    """All events (across the clause's group) making the clause true.
+
+    Memoized per clause on the computation's causality index.
+    """
+    return list(CausalityIndex.of(computation).clause_true_events(cl))
 
 
 def _groups(predicate: CNFPredicate) -> List[List[int]]:
@@ -99,37 +90,44 @@ def _witness(
     return witness
 
 
-def detect_special_case(
-    computation: Computation, predicate: CNFPredicate
-) -> DetectionResult:
-    """Polynomial detection for receive-ordered / send-ordered computations.
+def _choose_special_variant(
+    computation: Computation, groups: Sequence[Sequence[int]]
+) -> Optional[str]:
+    """Which CPDSC variant applies, or None.  Memoized per group structure."""
+    index = CausalityIndex.of(computation)
+    if index.is_receive_ordered(groups):
+        return "receive-ordered"
+    if index.is_send_ordered(groups):
+        return "send-ordered"
+    return None
 
-    Raises:
-        UnsupportedPredicateError: If the computation is neither
-            receive-ordered nor send-ordered with respect to the clause
-            groups — use one of the general engines then.
+
+def _detect_special_given(
+    computation: Computation,
+    predicate: CNFPredicate,
+    groups: Sequence[Sequence[int]],
+    variant: str,
+) -> DetectionResult:
+    """Run the already-chosen CPDSC variant.
+
+    The caller has established applicability; clause-true events are only
+    materialized here, after the variant decision, so an inapplicable
+    predicate never pays for them.
     """
-    groups = _groups(predicate)
     with span("engine.cpdsc", groups=len(groups)) as sp:
+        index = CausalityIndex.of(computation)
         trues = [
-            clause_true_events(computation, cl) for cl in predicate.clauses
+            list(index.clause_true_events(cl)) for cl in predicate.clauses
         ]
-        if is_receive_ordered(computation, groups):
+        if variant == "receive-ordered":
             selection = detect_receive_ordered(computation, groups, trues)
-            variant = "receive-ordered"
-        elif is_send_ordered(computation, groups):
-            selection = detect_send_ordered(computation, groups, trues)
-            variant = "send-ordered"
         else:
-            raise UnsupportedPredicateError(
-                "computation is neither receive-ordered nor send-ordered "
-                "with respect to the clause groups; use "
-                "detect_by_chain_choice"
-            )
+            selection = detect_send_ordered(computation, groups, trues)
         stats = StatCounters("engine.cpdsc")
         stats.set("variant", variant)
         stats.inc("scans")
         sp.set(variant=variant, holds=selection is not None)
+        index.maybe_flush_metrics()
         if selection is None:
             return DetectionResult(
                 holds=False, algorithm="cpdsc", stats=stats.as_dict()
@@ -142,39 +140,78 @@ def detect_special_case(
         )
 
 
-def detect_by_process_choice(
+def detect_special_case(
     computation: Computation, predicate: CNFPredicate
+) -> DetectionResult:
+    """Polynomial detection for receive-ordered / send-ordered computations.
+
+    The orderedness check runs once, up front (and is memoized on the
+    computation's causality index, so an ``auto`` dispatch that already
+    classified the computation never re-derives the verdict).
+
+    Raises:
+        UnsupportedPredicateError: If the computation is neither
+            receive-ordered nor send-ordered with respect to the clause
+            groups — use one of the general engines then.
+    """
+    groups = _groups(predicate)
+    variant = _choose_special_variant(computation, groups)
+    if variant is None:
+        raise UnsupportedPredicateError(
+            "computation is neither receive-ordered nor send-ordered "
+            "with respect to the clause groups; use "
+            "detect_by_chain_choice"
+        )
+    return _detect_special_given(computation, predicate, groups, variant)
+
+
+def detect_by_process_choice(
+    computation: Computation,
+    predicate: CNFPredicate,
+    parallel: Optional[int] = None,
 ) -> DetectionResult:
     """Try every one-process-per-group choice; CPDHB on each (Section 3.3a)."""
     groups = _groups(predicate)
+    index = CausalityIndex.of(computation)
     per_group_chains: List[List[List[EventId]]] = []
     for cl, group in zip(predicate.clauses, groups):
         per_group_chains.append(
-            [clause_true_events_on(computation, cl, p) for p in group]
+            [list(index.clause_true_events_on(cl, p)) for p in group]
         )
     return _detect_by_combinations(
-        computation, predicate, per_group_chains, algorithm="process-choice"
+        computation,
+        predicate,
+        per_group_chains,
+        algorithm="process-choice",
+        parallel=parallel,
     )
 
 
 def detect_by_chain_choice(
-    computation: Computation, predicate: CNFPredicate
+    computation: Computation,
+    predicate: CNFPredicate,
+    parallel: Optional[int] = None,
 ) -> DetectionResult:
     """Try every one-chain-per-group choice; CPDHB on each (Section 3.3b).
 
-    Uses a minimum chain cover of each group's true events, so the number of
-    CPDHB invocations is ``prod c_j`` where ``c_j`` is the width (largest
-    antichain) of group j's true events — never more than the process-choice
-    engine, exponentially fewer when groups communicate internally.
+    Uses a minimum chain cover of each group's true events (memoized on the
+    causality index), so the number of CPDHB invocations is ``prod c_j``
+    where ``c_j`` is the width (largest antichain) of group j's true events
+    — never more than the process-choice engine, exponentially fewer when
+    groups communicate internally.
     """
-    groups = _groups(predicate)
-    per_group_chains: List[List[List[EventId]]] = []
-    for cl in predicate.clauses:
-        trues = clause_true_events(computation, cl)
-        chains = minimum_chain_cover(computation, trues)
-        per_group_chains.append([list(chain) for chain in chains])
+    _groups(predicate)
+    index = CausalityIndex.of(computation)
+    per_group_chains: List[List[List[EventId]]] = [
+        [list(chain) for chain in index.chain_cover(cl)]
+        for cl in predicate.clauses
+    ]
     return _detect_by_combinations(
-        computation, predicate, per_group_chains, algorithm="chain-choice"
+        computation,
+        predicate,
+        per_group_chains,
+        algorithm="chain-choice",
+        parallel=parallel,
     )
 
 
@@ -183,69 +220,115 @@ def _detect_by_combinations(
     predicate: CNFPredicate,
     per_group_chains: Sequence[Sequence[List[EventId]]],
     algorithm: str,
+    parallel: Optional[int] = None,
 ) -> DetectionResult:
-    """Shared driver: CPDHB over every combination of one chain per group."""
+    """Shared driver: CPDHB over every combination of one chain per group.
+
+    With ``parallel`` > 1 the combination ranks are fanned across a
+    multiprocessing pool (:mod:`repro.perf.parallel`); verdict and witness
+    are identical to the serial sweep by construction, and the serial loop
+    is the automatic fallback when no pool can be created.
+    """
     total = math.prod(len(chains) for chains in per_group_chains)
+    workers = resolve_workers(parallel, total)
     with span(
         f"engine.{algorithm}",
         groups=len(per_group_chains),
         combinations=total,
     ) as sp:
+        index = CausalityIndex.of(computation)
         stats = StatCounters(f"engine.{algorithm}")
         stats.set("combinations", total)
+        stats.set("workers", workers)
         stats.inc("invocations", 0)
         stats.inc("advances", 0)
+
+        def _finish(
+            holds: bool, selection: Optional[Sequence[EventId]] = None
+        ) -> DetectionResult:
+            sp.set(holds=holds)
+            index.maybe_flush_metrics()
+            if not holds:
+                return DetectionResult(
+                    holds=False, algorithm=algorithm, stats=stats.as_dict()
+                )
+            assert selection is not None
+            return DetectionResult(
+                holds=True,
+                witness=_witness(computation, predicate, selection),
+                algorithm=algorithm,
+                stats=stats.as_dict(),
+            )
+
         if total == 0:
             # Some group has no true event at all: the clause can never hold.
-            return DetectionResult(
-                holds=False, algorithm=algorithm, stats=stats.as_dict()
+            return _finish(False)
+
+        if workers > 1:
+            outcome = run_combination_search(
+                computation, per_group_chains, workers
             )
+            if outcome is not None:
+                stats.inc("invocations", outcome.invocations)
+                stats.inc("advances", outcome.advances)
+                return _finish(
+                    outcome.selection is not None, outcome.selection
+                )
+            # Pool creation failed (restricted sandbox): serial fallback.
+            stats.set("workers", 1)
+
         for combo in itertools.product(*per_group_chains):
             stats.inc("invocations")
             with span("scan.cpdhb") as scan_sp:
-                scan = SelectionScan(computation, list(combo))
+                scan = SelectionScan(computation, list(combo), index=index)
                 selection = scan.run()
                 scan_sp.set(advances=scan.advances)
             stats.inc("advances", scan.advances)
             if selection is not None:
-                sp.set(holds=True)
-                return DetectionResult(
-                    holds=True,
-                    witness=_witness(computation, predicate, selection),
-                    algorithm=algorithm,
-                    stats=stats.as_dict(),
-                )
-        sp.set(holds=False)
-        return DetectionResult(
-            holds=False, algorithm=algorithm, stats=stats.as_dict()
-        )
+                return _finish(True, selection)
+        return _finish(False)
 
 
 def detect_singular(
     computation: Computation,
     predicate: CNFPredicate,
     strategy: str = "auto",
+    parallel: Optional[int] = None,
 ) -> DetectionResult:
     """Facade for singular k-CNF ``possibly`` detection.
 
     Strategies: ``"auto"`` (polynomial special case when applicable, else
     chain-choice), ``"special"``, ``"process-choice"``, ``"chain-choice"``,
     ``"enumerate"`` (Cooper–Marzullo baseline).
+
+    ``parallel`` fans the combination sweep of the process-choice and
+    chain-choice engines across a worker pool (negative = one worker per
+    CPU); verdicts and witnesses are unchanged.  Ignored by strategies
+    that run no combination sweep.
     """
     if strategy == "auto":
         groups = _groups(predicate)
         with span("dispatch.singular", strategy="auto", groups=len(groups)):
-            if is_receive_ordered(computation, groups) or is_send_ordered(
-                computation, groups
-            ):
-                return detect_special_case(computation, predicate)
-            return detect_by_chain_choice(computation, predicate)
+            # Classify once; the chosen variant is handed to the special
+            # engine so it never re-runs the orderedness scan.
+            variant = _choose_special_variant(computation, groups)
+            if variant is not None:
+                return _detect_special_given(
+                    computation, predicate, groups, variant
+                )
+            return detect_by_chain_choice(
+                computation, predicate, parallel=parallel
+            )
     if strategy == "special":
         return detect_special_case(computation, predicate)
     if strategy == "process-choice":
-        return detect_by_process_choice(computation, predicate)
+        return detect_by_process_choice(
+            computation, predicate, parallel=parallel
+        )
     if strategy == "chain-choice":
-        return detect_by_chain_choice(computation, predicate)
+        return detect_by_chain_choice(
+            computation, predicate, parallel=parallel
+        )
     if strategy == "enumerate":
         return possibly_enumerate(computation, predicate)
     raise ValueError(f"unknown strategy {strategy!r}")

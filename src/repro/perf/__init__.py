@@ -1,0 +1,28 @@
+"""Performance core for the detection engines (substrate S13).
+
+Three pieces, layered under :mod:`repro.detection`:
+
+* :class:`~repro.perf.causality.CausalityIndex` — per-computation
+  memoized causality queries (raw-clock ``leq`` fast path, precomputed
+  successor arrays, cached per-clause true events / chain covers /
+  orderedness verdicts);
+* :class:`~repro.perf.interning.CutInterner` — one canonical ``Cut``
+  per frontier tuple, so lattice walks track plain tuples;
+* :mod:`repro.perf.parallel` — a chunked ``multiprocessing`` driver for
+  the Section 3.3 combination sweeps with deterministic first-witness
+  semantics and early cancellation.
+
+This package deliberately does **not** import ``repro.perf.parallel``
+here: that module depends on :mod:`repro.detection` (for the CPDHB scan)
+and importing it at package level would cycle through the detection
+engines, which themselves import the causality index.  Import it
+explicitly as ``from repro.perf.parallel import run_combination_search``.
+
+Cache behaviour is observable through the ``perf.*`` metrics documented
+in ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.perf.causality import CausalityIndex
+from repro.perf.interning import CutInterner
+
+__all__ = ["CausalityIndex", "CutInterner"]

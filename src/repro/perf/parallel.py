@@ -1,0 +1,218 @@
+"""Parallel batch driver for the Section 3.3 combination sweeps.
+
+The process-choice and chain-choice engines pay for NP-hardness with
+``prod c_j`` *independent* CPDHB scans — an embarrassingly parallel sweep
+that the serial driver walks one combination at a time.  This module fans
+contiguous rank chunks of the combination space across a
+``multiprocessing`` pool while preserving the serial engine's exact
+semantics:
+
+* **Deterministic first witness.**  Combinations are ranked in
+  ``itertools.product`` order (last group varies fastest).  Chunks
+  partition the rank space contiguously and results are consumed in
+  submission order (``imap``), so the first successful chunk observed
+  contains the globally minimal successful rank, and within a chunk the
+  scan stops at its first success.  The selection returned is therefore
+  the one the serial loop would have found — verdict *and* witness are
+  identical by construction.
+* **Early cancellation.**  Once a success is consumed, the pool is
+  terminated; in-flight later chunks are abandoned.
+* **Fork-friendly distribution.**  Workers receive the computation via
+  the pool initializer (inherited by ``fork`` on POSIX — no per-task
+  pickling of the trace) and build the shared
+  :class:`~repro.perf.causality.CausalityIndex` once at startup.
+
+If a pool cannot be created (sandboxes without process spawning,
+interpreter shutdown), :func:`run_combination_search` returns ``None``
+and the caller falls back to the serial loop — behaviour, again,
+identical.
+
+Pool telemetry lands in the ``perf.pool.*`` metrics when observability
+is enabled.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.events import EventId
+from repro.obs.config import STATE
+from repro.obs.metrics import registry
+from repro.perf.causality import CausalityIndex
+
+__all__ = [
+    "ParallelOutcome",
+    "combination_at",
+    "resolve_workers",
+    "run_combination_search",
+]
+
+#: Upper bound on ranks per chunk: small enough for early cancellation to
+#: bite, large enough to amortize one IPC round trip over many scans.
+MAX_CHUNK = 64
+
+
+@dataclass(frozen=True)
+class ParallelOutcome:
+    """Aggregate result of a parallel combination sweep."""
+
+    selection: Optional[List[EventId]]  #: witness selection, or None
+    rank: Optional[int]  #: rank of the winning combination, or None
+    invocations: int  #: CPDHB scans actually executed (across workers)
+    advances: int  #: eliminations across all executed scans
+    workers: int  #: pool size used
+    chunks: int  #: chunks consumed before returning
+
+
+def resolve_workers(parallel: Optional[int], total: int) -> int:
+    """Effective worker count for a sweep of ``total`` combinations.
+
+    ``None``, ``0`` and ``1`` mean serial; a negative value means "one
+    worker per available CPU".  The result is clamped to ``total`` — more
+    workers than combinations would only fork idle processes.
+    """
+    if parallel is None or parallel == 0 or parallel == 1:
+        return 1
+    workers = os.cpu_count() or 1 if parallel < 0 else parallel
+    return max(1, min(workers, total))
+
+
+def combination_at(
+    per_group_chains: Sequence[Sequence[Sequence[EventId]]], rank: int
+) -> List[Sequence[EventId]]:
+    """The ``rank``-th combination in ``itertools.product`` order.
+
+    Mixed-radix decode with the last group as the fastest-varying digit,
+    matching ``itertools.product(*per_group_chains)`` exactly.
+    """
+    combo: List[Sequence[EventId]] = []
+    for chains in reversed(per_group_chains):
+        rank, digit = divmod(rank, len(chains))
+        combo.append(chains[digit])
+    combo.reverse()
+    return combo
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+_WORKER_STATE: Optional[Tuple[object, Sequence[Sequence[Sequence[EventId]]]]] = None
+
+
+def _init_worker(computation, per_group_chains) -> None:
+    """Pool initializer: pin the shared inputs and prebuild the index."""
+    global _WORKER_STATE
+    _WORKER_STATE = (computation, per_group_chains)
+    CausalityIndex.of(computation)
+
+
+def _scan_chunk(bounds: Tuple[int, int]):
+    """Scan ranks ``[start, stop)``; stop at the chunk's first success.
+
+    Returns ``(winning_rank_or_None, selection_or_None, invocations,
+    advances)``.
+    """
+    from repro.detection.garg_waldecker import SelectionScan
+
+    assert _WORKER_STATE is not None, "worker used before initialization"
+    computation, per_group_chains = _WORKER_STATE
+    start, stop = bounds
+    invocations = 0
+    advances = 0
+    for rank in range(start, stop):
+        scan = SelectionScan(
+            computation, combination_at(per_group_chains, rank)
+        )
+        selection = scan.run()
+        invocations += 1
+        advances += scan.advances
+        if selection is not None:
+            return rank, selection, invocations, advances
+    return None, None, invocations, advances
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+def _chunk_bounds(total: int, workers: int) -> List[Tuple[int, int]]:
+    chunk = max(1, min(MAX_CHUNK, math.ceil(total / (workers * 4))))
+    return [(i, min(i + chunk, total)) for i in range(0, total, chunk)]
+
+
+def _pool_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+def run_combination_search(
+    computation,
+    per_group_chains: Sequence[Sequence[Sequence[EventId]]],
+    workers: int,
+    chunk_bounds: Optional[List[Tuple[int, int]]] = None,
+) -> Optional[ParallelOutcome]:
+    """Sweep all chain combinations over a worker pool.
+
+    Returns the :class:`ParallelOutcome` (selection ``None`` when no
+    combination admits a consistent selection), or ``None`` when no pool
+    could be created — the caller must then run the serial sweep.
+    """
+    total = math.prod(len(chains) for chains in per_group_chains)
+    if total == 0:
+        return ParallelOutcome(None, None, 0, 0, workers, 0)
+    bounds = chunk_bounds or _chunk_bounds(total, workers)
+    frozen = [
+        [list(chain) for chain in chains] for chains in per_group_chains
+    ]
+    ctx = _pool_context()
+    try:
+        pool = ctx.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(computation, frozen),
+        )
+    except (OSError, ValueError, RuntimeError):
+        if STATE.enabled:
+            registry().counter("perf.pool.fallbacks").inc()
+        return None
+    invocations = 0
+    advances = 0
+    consumed = 0
+    outcome: Optional[ParallelOutcome] = None
+    try:
+        for rank, selection, chunk_inv, chunk_adv in pool.imap(
+            _scan_chunk, bounds
+        ):
+            consumed += 1
+            invocations += chunk_inv
+            advances += chunk_adv
+            if selection is not None:
+                outcome = ParallelOutcome(
+                    selection=[tuple(eid) for eid in selection],
+                    rank=rank,
+                    invocations=invocations,
+                    advances=advances,
+                    workers=workers,
+                    chunks=consumed,
+                )
+                break
+    finally:
+        pool.terminate()
+        pool.join()
+    if outcome is None:
+        outcome = ParallelOutcome(
+            None, None, invocations, advances, workers, consumed
+        )
+    if STATE.enabled:
+        reg = registry()
+        reg.gauge("perf.pool.workers").set(workers)
+        reg.counter("perf.pool.chunks").inc(outcome.chunks)
+        reg.counter("perf.pool.scans").inc(outcome.invocations)
+        if outcome.selection is not None and outcome.chunks < len(bounds):
+            reg.counter("perf.pool.early_cancels").inc()
+    return outcome

@@ -10,10 +10,12 @@ from repro.computation import ComputationBuilder
 from repro.detection import (
     SelectionScan,
     detect_conjunctive,
+    detect_singular,
     find_consistent_selection,
     possibly_enumerate,
 )
-from repro.predicates import conjunctive, local
+from repro.predicates import clause, conjunctive, local, singular_cnf
+from repro.predicates.local import true_events
 from repro.trace import BoolVar, random_computation
 
 random_comp = st.builds(
@@ -58,6 +60,65 @@ class TestSelectionScan:
         assert scan.run() is not None
         assert scan.advances >= 1
         assert scan.comparisons >= 1
+
+
+class _RawComputationQueries:
+    """Unindexed ``leq``/``successor`` provider (the pre-index cost model)."""
+
+    def __init__(self, comp):
+        self.leq = comp.leq
+        self.successor = comp.successor
+
+
+class TestSelectionScanProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(random_comp)
+    def test_advances_bounded_by_total_chain_length(self, comp):
+        """The docstring's bound: at most ``sum of chain lengths`` advances."""
+        chains = [
+            true_events(comp, local(p, "x"))
+            for p in range(comp.num_processes)
+        ]
+        scan = SelectionScan(comp, chains)
+        scan.run()
+        assert scan.advances <= sum(len(chain) for chain in chains)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_comp)
+    def test_indexed_and_generic_paths_agree(self, comp):
+        """The raw-clock fast path equals the provider-callable slow path."""
+        chains = [
+            true_events(comp, local(p, "x"))
+            for p in range(comp.num_processes)
+        ]
+        fast = SelectionScan(comp, chains)
+        slow = SelectionScan(
+            comp, chains, index=_RawComputationQueries(comp)
+        )
+        assert fast.run() == slow.run()
+        assert fast.advances == slow.advances
+        assert fast.comparisons == slow.comparisons
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_parallel_driver_matches_serial_scan(self, seed):
+        """Verdict, witness, and scan count are worker-count invariant."""
+        comp = random_computation(
+            4, 5, 0.3, seed=seed, variables=[BoolVar("x", density=0.4)]
+        )
+        pred = singular_cnf(
+            clause(local(0, "x"), local(1, "x")),
+            clause(local(2, "x"), local(3, "x")),
+        )
+        serial = detect_singular(comp, pred, strategy="chain-choice")
+        parallel = detect_singular(
+            comp, pred, strategy="chain-choice", parallel=2
+        )
+        assert parallel.holds == serial.holds
+        assert parallel.stats["invocations"] == serial.stats["invocations"]
+        assert parallel.stats["advances"] == serial.stats["advances"]
+        if serial.holds:
+            assert parallel.witness.frontier == serial.witness.frontier
 
 
 class TestDetectConjunctive:

@@ -9,7 +9,11 @@ import pytest
 
 from repro import obs
 from repro.cli import main
-from repro.detection import detect
+from repro.detection import (
+    detect,
+    detect_by_chain_choice,
+    detect_by_process_choice,
+)
 from repro.monitor import OnlineConjunctiveMonitor
 from repro.obs.spans import take_roots
 from repro.predicates import Modality
@@ -78,6 +82,38 @@ class TestSpanTreePerEngineFamily:
         # stdout still carries the ordinary JSON verdict.
         payload = json.loads(captured.out)
         assert "algorithm" in payload
+
+
+class TestZeroCombinationSpan:
+    """A group with no true events must still close the span with holds."""
+
+    def test_chain_choice_span_on_zero_combinations(self, figure2):
+        # Variable ``y`` never holds, so the first group covers with zero
+        # chains and the sweep has zero combinations.
+        predicate = parse_predicate(
+            "(y@0 | y@1) & (x@2 | x@3)", num_processes=4
+        )
+        with obs.Capture() as cap:
+            result = detect_by_chain_choice(figure2, predicate)
+        assert not result.holds
+        assert result.stats["combinations"] == 0
+        (root,) = cap.roots
+        assert root.name == "engine.chain-choice"
+        assert root.attributes["combinations"] == 0
+        assert root.attributes["holds"] is False
+
+    def test_process_choice_span_on_empty_true_events(self, figure2):
+        # Process-choice keeps one (empty) chain per group process, so the
+        # sweep runs but every scan fails; holds must still be recorded.
+        predicate = parse_predicate(
+            "(y@0 | y@1) & (x@2 | x@3)", num_processes=4
+        )
+        with obs.Capture() as cap:
+            result = detect_by_process_choice(figure2, predicate)
+        assert not result.holds
+        (root,) = cap.roots
+        assert root.name == "engine.process-choice"
+        assert root.attributes["holds"] is False
 
 
 class TestCountersMatchStats:
