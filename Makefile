@@ -3,13 +3,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples check clean
+.PHONY: install test fuzz bench report examples check clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Differential fuzz sweep (docs/TESTING.md); FUZZ_ARGS adds/overrides flags.
+fuzz:
+	$(PYTHON) -m repro fuzz --seed 0 --iterations 400 --time-budget 30 $(FUZZ_ARGS)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -8,6 +8,9 @@ Commands:
   and report latency percentiles plus engine counters;
 * ``generate`` — produce a seeded random trace as JSON;
 * ``simulate`` — run one of the bundled protocols and dump its trace;
+* ``fuzz`` — differential-fuzz every registered engine against the
+  brute-force oracles; shrink and save any disagreement
+  (see ``docs/TESTING.md``);
 * ``info`` — structural summary of a trace (processes, events, messages,
   lattice size if small enough).
 
@@ -22,13 +25,16 @@ Examples::
     python -m repro detect ring.json "count(token) >= 2" --modality definitely
     python -m repro profile ring.json "cs@1 & cs@3" --repeat 20
     python -m repro generate --processes 4 --events 10 --bool x -o random.json
+    python -m repro fuzz --seed 7 --iterations 100
+    python -m repro fuzz --seed 7 --time-budget 30 --corpus tests/corpus
     python -m repro info random.json
 
-Exit codes: 0 = success (``detect``: predicate holds), 1 = ``detect``
-ran but the predicate does not hold, 2 = usage or predicate-syntax
-error, 3 = unreadable/malformed trace, 4 = simulation or fault-plan
-error, 5 = monitor error.  Every error prints a one-line
-``repro: <message>`` diagnostic to stderr instead of a traceback.
+Exit codes: 0 = success (``detect``: predicate holds; ``fuzz``: all
+engines agreed), 1 = ``detect`` ran but the predicate does not hold, or
+``fuzz`` found a disagreement, 2 = usage or predicate-syntax error,
+3 = unreadable/malformed trace, 4 = simulation or fault-plan error,
+5 = monitor error.  Every error prints a one-line ``repro: <message>``
+diagnostic to stderr instead of a traceback.
 """
 
 from __future__ import annotations
@@ -255,6 +261,64 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.testkit import CorpusCase, FuzzConfig, run_fuzz, save_case
+
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        time_budget=args.time_budget,
+        families=args.family or None,
+        shrink=not args.no_shrink,
+    )
+    if args.profile:
+        from repro import obs
+
+        with obs.Capture() as cap:
+            report = run_fuzz(config)
+        print("── metrics ──", file=sys.stderr)
+        print(obs.format_metrics(cap.registry.snapshot()), file=sys.stderr)
+    else:
+        report = run_fuzz(config)
+    for line in report.log_lines():
+        print(line)
+    if args.corpus is not None and report.findings:
+        from repro.testkit import default_registry
+
+        registry = default_registry()
+        for finding in report.findings:
+            comp = finding.minimized_computation
+            pred = finding.minimized_predicate
+            oracle = registry.oracle_for(pred, finding.modality)
+            if oracle is None or not oracle.applicable(comp, pred):
+                print(
+                    "repro: no applicable oracle for minimized case of "
+                    f"iteration {finding.log.iteration}; not saved",
+                    file=sys.stderr,
+                )
+                continue
+            case = CorpusCase(
+                name=f"fuzz-seed{args.seed}-iter{finding.log.iteration:04d}",
+                pins=(
+                    f"{finding.engine_pair[0]} vs {finding.engine_pair[1]} "
+                    f"({finding.log.family}, {finding.log.modality})"
+                ),
+                modality=finding.modality,
+                expected=bool(oracle.run(comp, pred)),
+                computation=comp,
+                predicate=pred,
+                provenance={
+                    "fuzz_seed": args.seed,
+                    "iteration": finding.log.iteration,
+                    "instance_seed": finding.log.instance_seed,
+                    "family": finding.log.family,
+                },
+            )
+            path = save_case(case, args.corpus)
+            print(f"saved minimized counterexample to {path}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -387,6 +451,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("-o", "--output", required=True)
     p_gen.set_defaults(func=_cmd_generate)
 
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz the detection engines against the oracles",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed; a fuzz run is bit-for-bit reproducible per seed",
+    )
+    p_fuzz.add_argument(
+        "--iterations", type=int, default=50,
+        help="number of instances to generate (default 50)",
+    )
+    p_fuzz.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop after this many seconds even if iterations remain",
+    )
+    p_fuzz.add_argument(
+        "--family", action="append", metavar="NAME",
+        help="restrict to an instance family (repeatable); see docs/TESTING.md",
+    )
+    p_fuzz.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="write shrunk counterexamples as corpus cases into DIR",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="report raw findings without minimizing them",
+    )
+    p_fuzz.add_argument(
+        "--profile", action="store_true",
+        help="print testkit.* metrics to stderr after the run",
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
+
     p_sim = sub.add_parser("simulate", help="run a bundled protocol")
     p_sim.add_argument(
         "protocol",
@@ -495,6 +593,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _fail(f"simulation failed: {exc}", 4)
     except MonitorError as exc:
         return _fail(f"monitor failed: {exc}", 5)
+    except ValueError as exc:
+        # e.g. an unknown --family name passed to fuzz.
+        return _fail(str(exc), 2)
 
 
 if __name__ == "__main__":  # pragma: no cover

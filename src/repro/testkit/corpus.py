@@ -1,0 +1,291 @@
+"""Regression corpus: minimized counterexamples, committed and replayed.
+
+Every fuzz finding that survives shrinking can be serialized as a corpus
+case: the minimized trace (standard ``repro-trace-v1`` payload, embedded),
+the predicate (structural JSON — the parser language cannot express every
+predicate the fuzzer generates), the modality, the expected verdict, and a
+``pins`` comment naming the engine pair the case regression-tests.
+
+``tests/corpus/`` holds the committed cases; ``tests/test_corpus_replay.py``
+replays each one through the full engine roster of the
+:class:`~repro.testkit.registry.OracleRegistry` on every pytest run, so a
+re-introduced divergence fails tier-1 immediately — with the tiny shrunk
+instance as the error message, not a 400-event fuzz blob.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.computation import Computation
+from repro.predicates import Modality
+from repro.predicates.base import GlobalPredicate
+from repro.predicates.boolean import Clause, CNFPredicate
+from repro.predicates.conjunctive import ConjunctivePredicate
+from repro.predicates.local import Literal
+from repro.predicates.relational import RelationalSumPredicate, Relop
+from repro.predicates.symmetric import SymmetricPredicate
+from repro.testkit.registry import OracleRegistry, default_registry
+from repro.trace.io import computation_from_dict, computation_to_dict
+
+__all__ = [
+    "CorpusFormatError",
+    "CorpusCase",
+    "ReplayResult",
+    "predicate_to_dict",
+    "predicate_from_dict",
+    "save_case",
+    "load_case",
+    "iter_corpus",
+    "replay_case",
+]
+
+CORPUS_FORMAT = "repro-corpus-v1"
+
+
+class CorpusFormatError(ValueError):
+    """A corpus case file is malformed."""
+
+
+# ----------------------------------------------------------------------
+# Predicate (de)serialization
+# ----------------------------------------------------------------------
+def _literal_to_dict(literal: Literal) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "process": literal.process,
+        "variable": literal.variable,
+    }
+    if literal.negated:
+        record["negated"] = True
+    return record
+
+
+def _literal_from_dict(data: Mapping[str, Any], where: str) -> Literal:
+    try:
+        return Literal(
+            int(data["process"]),
+            str(data["variable"]),
+            bool(data.get("negated", False)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CorpusFormatError(f"{where}: bad literal {data!r}: {exc}") from exc
+
+
+def predicate_to_dict(predicate: GlobalPredicate) -> Dict[str, Any]:
+    """Structural JSON form of the predicate classes the fuzzer emits."""
+    if isinstance(predicate, CNFPredicate):
+        clauses = []
+        for cl in predicate.clauses:
+            literals = []
+            for lit in cl.literals:
+                if not isinstance(lit, Literal):
+                    raise CorpusFormatError(
+                        "only Literal-based CNF predicates serialize"
+                    )
+                literals.append(_literal_to_dict(lit))
+            clauses.append(literals)
+        return {"type": "cnf", "clauses": clauses}
+    if isinstance(predicate, ConjunctivePredicate):
+        literals = []
+        for conj in predicate.conjuncts:
+            if not isinstance(conj, Literal):
+                raise CorpusFormatError(
+                    "only Literal-based conjunctive predicates serialize"
+                )
+            literals.append(_literal_to_dict(conj))
+        return {"type": "conjunctive", "literals": literals}
+    if isinstance(predicate, RelationalSumPredicate):
+        return {
+            "type": "sum",
+            "variable": predicate.variable,
+            "relop": predicate.relop.value,
+            "constant": predicate.constant,
+        }
+    if isinstance(predicate, SymmetricPredicate):
+        return {
+            "type": "symmetric",
+            "variable": predicate.variable,
+            "num_processes": predicate.num_processes,
+            "counts": sorted(predicate.counts),
+        }
+    raise CorpusFormatError(
+        f"cannot serialize predicate of type {type(predicate).__name__}"
+    )
+
+
+def predicate_from_dict(
+    data: Mapping[str, Any], source: Optional[str] = None
+) -> GlobalPredicate:
+    """Inverse of :func:`predicate_to_dict`."""
+    where = f"{source}: predicate" if source else "predicate"
+    if not isinstance(data, Mapping) or "type" not in data:
+        raise CorpusFormatError(f"{where}: expected an object with 'type'")
+    kind = data["type"]
+    if kind == "cnf":
+        clauses = data.get("clauses")
+        if not isinstance(clauses, list) or not clauses:
+            raise CorpusFormatError(f"{where}: 'clauses' must be a list")
+        return CNFPredicate(
+            [
+                Clause([_literal_from_dict(lit, where) for lit in literals])
+                for literals in clauses
+            ]
+        )
+    if kind == "conjunctive":
+        literals = data.get("literals")
+        if not isinstance(literals, list) or not literals:
+            raise CorpusFormatError(f"{where}: 'literals' must be a list")
+        return ConjunctivePredicate(
+            [_literal_from_dict(lit, where) for lit in literals]
+        )
+    if kind == "sum":
+        try:
+            return RelationalSumPredicate(
+                str(data["variable"]),
+                Relop(data["relop"]),
+                int(data["constant"]),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise CorpusFormatError(f"{where}: bad sum predicate: {exc}") from exc
+    if kind == "symmetric":
+        try:
+            return SymmetricPredicate(
+                str(data["variable"]),
+                int(data["num_processes"]),
+                [int(c) for c in data["counts"]],
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise CorpusFormatError(
+                f"{where}: bad symmetric predicate: {exc}"
+            ) from exc
+    raise CorpusFormatError(f"{where}: unknown predicate type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Cases
+# ----------------------------------------------------------------------
+@dataclass
+class CorpusCase:
+    """One committed regression instance."""
+
+    name: str
+    pins: str  #: human comment naming the engine pair this case pins
+    modality: Modality
+    expected: bool
+    computation: Computation
+    predicate: GlobalPredicate
+    provenance: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": CORPUS_FORMAT,
+            "name": self.name,
+            "pins": self.pins,
+            "modality": self.modality.value,
+            "expected": self.expected,
+            "predicate": predicate_to_dict(self.predicate),
+            "trace": computation_to_dict(self.computation),
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], source: Optional[str] = None
+    ) -> "CorpusCase":
+        prefix = f"{source}: " if source else ""
+        if not isinstance(data, Mapping):
+            raise CorpusFormatError(prefix + "corpus case must be an object")
+        if data.get("format") != CORPUS_FORMAT:
+            raise CorpusFormatError(
+                prefix
+                + f"unsupported corpus format {data.get('format')!r}; "
+                f"expected {CORPUS_FORMAT!r}"
+            )
+        for key in ("name", "pins", "modality", "expected", "predicate", "trace"):
+            if key not in data:
+                raise CorpusFormatError(prefix + f"missing required key {key!r}")
+        try:
+            modality = Modality(data["modality"])
+        except ValueError as exc:
+            raise CorpusFormatError(
+                prefix + f"unknown modality {data['modality']!r}"
+            ) from exc
+        expected = data["expected"]
+        if not isinstance(expected, bool):
+            raise CorpusFormatError(
+                prefix + f"'expected' must be a boolean, got {expected!r}"
+            )
+        return cls(
+            name=str(data["name"]),
+            pins=str(data["pins"]),
+            modality=modality,
+            expected=expected,
+            computation=computation_from_dict(data["trace"], source=source),
+            predicate=predicate_from_dict(data["predicate"], source=source),
+            provenance=dict(data.get("provenance", {})),
+        )
+
+
+def save_case(case: CorpusCase, directory: Union[str, Path]) -> Path:
+    """Write the case as ``<directory>/<name>.json``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{case.name}.json"
+    path.write_text(json.dumps(case.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_case(path: Union[str, Path]) -> CorpusCase:
+    """Read one corpus case; raises :class:`CorpusFormatError` on junk."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise CorpusFormatError(f"{path}: cannot read case: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CorpusFormatError(f"{path}: invalid JSON: {exc}") from exc
+    return CorpusCase.from_dict(data, source=str(path))
+
+
+def iter_corpus(directory: Union[str, Path]) -> List[Tuple[Path, CorpusCase]]:
+    """All cases under ``directory``, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        (path, load_case(path)) for path in sorted(directory.glob("*.json"))
+    ]
+
+
+@dataclass
+class ReplayResult:
+    """Verdicts of one corpus replay."""
+
+    case: CorpusCase
+    verdicts: Dict[str, object]
+
+    @property
+    def ok(self) -> bool:
+        booleans = [
+            v for v in self.verdicts.values() if isinstance(v, bool)
+        ]
+        return bool(booleans) and all(
+            v == self.case.expected for v in booleans
+        )
+
+
+def replay_case(
+    case: CorpusCase, registry: Optional[OracleRegistry] = None
+) -> ReplayResult:
+    """Run every applicable engine on the case and compare to ``expected``."""
+    from repro.testkit.fuzz import _run_engines
+
+    registry = registry or default_registry()
+    engines = registry.engines_for(
+        case.predicate, case.computation, case.modality
+    )
+    verdicts = _run_engines(engines, case.computation, case.predicate)
+    return ReplayResult(case=case, verdicts=verdicts)

@@ -1,0 +1,91 @@
+"""Independent brute-force oracles for differential testing.
+
+These are the library's *ground truth*: deliberately naive algorithms that
+avoid every code path they are used to check.
+
+* :func:`brute_possibly` enumerates every consistent cut by filtering *all*
+  frontier vectors (it does not use the lattice successor machinery);
+* :func:`brute_definitely` enumerates every run via depth-first search over
+  enabled events and checks each run's cut sequence directly.
+
+Both are exponential — use them only on small computations.  The
+:mod:`repro.testkit.registry` gates them behind a ``max_events`` budget for
+exactly that reason.
+
+Historically these lived in ``tests/helpers.py``; they were promoted into
+the library so the differential fuzzer (:mod:`repro.testkit.fuzz`) and the
+corpus replayer (:mod:`repro.testkit.corpus`) can treat them as registered
+engines.  ``tests/helpers.py`` still re-exports them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional
+
+from repro.computation import Computation, Cut
+
+__all__ = [
+    "all_cuts",
+    "all_consistent_cuts",
+    "brute_possibly",
+    "brute_definitely",
+    "brute_runs",
+]
+
+
+def all_cuts(computation: Computation) -> List[Cut]:
+    """Every frontier vector (consistent or not) as a Cut."""
+    ranges = [
+        range(1, len(computation.events_of(p)) + 1)
+        for p in range(computation.num_processes)
+    ]
+    return [Cut(computation, frontier) for frontier in itertools.product(*ranges)]
+
+
+def all_consistent_cuts(computation: Computation) -> List[Cut]:
+    """Every consistent cut, by brute-force filtering of all frontiers."""
+    return [cut for cut in all_cuts(computation) if cut.is_consistent()]
+
+
+def brute_possibly(
+    computation: Computation, predicate: Callable[[Cut], bool]
+) -> Optional[Cut]:
+    """First consistent cut satisfying the predicate, else None."""
+    for cut in all_consistent_cuts(computation):
+        if predicate(cut):
+            return cut
+    return None
+
+
+def brute_runs(computation: Computation) -> List[List[Cut]]:
+    """Every run of the computation as its sequence of cuts (incl. bottom)."""
+    from repro.computation import final_cut, initial_cut
+
+    target = final_cut(computation)
+    runs: List[List[Cut]] = []
+
+    def extend(cut: Cut, prefix: List[Cut]) -> None:
+        if cut == target:
+            runs.append(list(prefix))
+            return
+        for p in range(computation.num_processes):
+            if cut.is_enabled(p):
+                nxt = cut.advance(p)
+                prefix.append(nxt)
+                extend(nxt, prefix)
+                prefix.pop()
+
+    start = initial_cut(computation)
+    extend(start, [start])
+    return runs
+
+
+def brute_definitely(
+    computation: Computation, predicate: Callable[[Cut], bool]
+) -> bool:
+    """Does every run pass through a cut satisfying the predicate?"""
+    for run in brute_runs(computation):
+        if not any(predicate(cut) for cut in run):
+            return False
+    return True

@@ -1,0 +1,357 @@
+"""Automatic minimization of failing (computation, predicate) pairs.
+
+Given an *interestingness* test — for the fuzzer: "this engine pair still
+disagrees (or still crashes)" — the shrinker greedily applies
+structure-removing transformations while the test keeps passing:
+
+1. delete whole processes the predicate does not mention (remapping
+   message endpoints and predicate process indices);
+2. delete contiguous runs of events, largest chunks first (messages
+   touching a deleted event go with it, local order re-indexes);
+3. delete individual messages (event kinds are recomputed);
+4. weaken the predicate: drop CNF clauses, drop literals from multi-literal
+   clauses, drop conjuncts.
+
+Every transformation only ever *removes* order constraints, so candidates
+are legal computations by construction (deleting an event splices its
+local predecessor to its successor — an edge already implied by
+transitivity).  The loop restarts after every accepted step and stops at a
+fixpoint or an attempt budget, yielding a 1-minimal counterexample: no
+single remaining deletion preserves the failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.computation import Computation
+from repro.events import Event, EventId, EventKind
+from repro.obs import STATE, registry as obs_registry
+from repro.predicates.base import GlobalPredicate
+from repro.predicates.boolean import Clause, CNFPredicate
+from repro.predicates.conjunctive import ConjunctivePredicate
+from repro.predicates.local import Literal, LocalPredicate
+from repro.predicates.relational import RelationalSumPredicate
+from repro.predicates.symmetric import SymmetricPredicate
+
+__all__ = ["ShrinkResult", "shrink", "referenced_processes"]
+
+#: interesting(computation, predicate) -> the failure still reproduces.
+Interesting = Callable[[Computation, GlobalPredicate], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of a shrink run."""
+
+    computation: Computation
+    predicate: GlobalPredicate
+    steps: int  #: accepted transformations
+    attempts: int  #: interestingness checks executed
+    original_shape: Tuple[int, int]  #: (processes, events) before
+    shape: Tuple[int, int]  #: (processes, events) after
+
+    def describe(self) -> str:
+        op, oe = self.original_shape
+        p, e = self.shape
+        return (
+            f"{op} procs x {oe} events -> {p} procs x {e} events "
+            f"({self.steps} steps, {self.attempts} attempts)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Mutable sketch of a computation
+# ----------------------------------------------------------------------
+@dataclass
+class _Sketch:
+    """Editable computation: values + messages; kinds are derived."""
+
+    init: List[Dict[str, Any]]
+    events: List[List[Dict[str, Any]]]  # per process: {"values", "label"}
+    messages: List[Tuple[EventId, EventId]]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, computation: Computation) -> "_Sketch":
+        init = []
+        events: List[List[Dict[str, Any]]] = []
+        for p in range(computation.num_processes):
+            seq = computation.events_of(p)
+            init.append(dict(seq[0].values))
+            events.append(
+                [{"values": dict(ev.values), "label": ev.label} for ev in seq[1:]]
+            )
+        return cls(
+            init=init,
+            events=events,
+            messages=[tuple(m) for m in computation.messages],  # type: ignore[misc]
+            meta=dict(computation.meta),
+        )
+
+    def build(self) -> Computation:
+        """Materialize; event kinds derive from the surviving messages."""
+        sends = {send for send, _ in self.messages}
+        recvs = {recv for _, recv in self.messages}
+        process_events: List[List[Event]] = []
+        for p, records in enumerate(self.events):
+            seq = [Event(p, 0, EventKind.INITIAL, dict(self.init[p]))]
+            for i, record in enumerate(records, start=1):
+                eid = (p, i)
+                if eid in sends and eid in recvs:
+                    kind = EventKind.SEND_RECEIVE
+                elif eid in sends:
+                    kind = EventKind.SEND
+                elif eid in recvs:
+                    kind = EventKind.RECEIVE
+                else:
+                    kind = EventKind.INTERNAL
+                seq.append(
+                    Event(p, i, kind, dict(record["values"]), record["label"])
+                )
+            process_events.append(seq)
+        return Computation(process_events, list(self.messages), meta=self.meta)
+
+    def total_events(self) -> int:
+        return sum(len(records) for records in self.events)
+
+    # -- transformations (each returns a new sketch) --------------------
+    def drop_process(self, p: int) -> "_Sketch":
+        def remap(eid: EventId) -> EventId:
+            return (eid[0] - 1, eid[1]) if eid[0] > p else eid
+
+        return _Sketch(
+            init=self.init[:p] + self.init[p + 1 :],
+            events=[list(r) for r in self.events[:p] + self.events[p + 1 :]],
+            messages=[
+                (remap(s), remap(r))
+                for s, r in self.messages
+                if s[0] != p and r[0] != p
+            ],
+            meta=dict(self.meta),
+        )
+
+    def drop_events(self, p: int, start: int, count: int) -> "_Sketch":
+        """Remove events ``start .. start+count-1`` (1-based) of ``p``."""
+        gone = range(start, start + count)
+
+        def remap(eid: EventId) -> Optional[EventId]:
+            if eid[0] != p:
+                return eid
+            if eid[1] in gone:
+                return None
+            if eid[1] >= start + count:
+                return (p, eid[1] - count)
+            return eid
+
+        messages = []
+        for s, r in self.messages:
+            s2, r2 = remap(s), remap(r)
+            if s2 is not None and r2 is not None:
+                messages.append((s2, r2))
+        events = [list(r) for r in self.events]
+        events[p] = events[p][: start - 1] + events[p][start - 1 + count :]
+        return _Sketch(
+            init=list(self.init), events=events, messages=messages,
+            meta=dict(self.meta),
+        )
+
+    def drop_message(self, index: int) -> "_Sketch":
+        messages = self.messages[:index] + self.messages[index + 1 :]
+        return _Sketch(
+            init=list(self.init),
+            events=[list(r) for r in self.events],
+            messages=messages,
+            meta=dict(self.meta),
+        )
+
+
+# ----------------------------------------------------------------------
+# Predicate surgery
+# ----------------------------------------------------------------------
+def referenced_processes(predicate: GlobalPredicate) -> Optional[frozenset]:
+    """Process indices a predicate names, or None when process-agnostic.
+
+    Relational sums range over whatever processes the cut has, so every
+    process is droppable; symmetric predicates are handled specially
+    (their ``num_processes`` must track the computation).
+    """
+    if isinstance(predicate, CNFPredicate):
+        procs: set = set()
+        for cl in predicate.clauses:
+            procs |= cl.processes()
+        return frozenset(procs)
+    if isinstance(predicate, ConjunctivePredicate):
+        return frozenset(c.process for c in predicate.conjuncts)
+    if isinstance(predicate, LocalPredicate):
+        return frozenset({predicate.process})
+    if isinstance(predicate, RelationalSumPredicate):
+        return frozenset()
+    if isinstance(predicate, SymmetricPredicate):
+        return frozenset()
+    return None  # unknown structure: no process is safely droppable
+
+
+def _predicate_after_process_drop(
+    predicate: GlobalPredicate, dropped: int, new_n: int
+) -> Optional[GlobalPredicate]:
+    """The predicate rewritten for a computation without process ``dropped``.
+
+    Only called when the predicate does not reference ``dropped``.  Returns
+    None when the rewrite is not supported.
+    """
+    if isinstance(predicate, CNFPredicate):
+        clauses = []
+        for cl in predicate.clauses:
+            literals = []
+            for lit in cl.literals:
+                if not isinstance(lit, Literal):
+                    return None
+                p = lit.process - 1 if lit.process > dropped else lit.process
+                literals.append(Literal(p, lit.variable, lit.negated))
+            clauses.append(Clause(literals))
+        return CNFPredicate(clauses)
+    if isinstance(predicate, ConjunctivePredicate):
+        conjuncts = []
+        for conj in predicate.conjuncts:
+            if not isinstance(conj, Literal):
+                return None
+            p = conj.process - 1 if conj.process > dropped else conj.process
+            conjuncts.append(Literal(p, conj.variable, conj.negated))
+        return ConjunctivePredicate(conjuncts)
+    if isinstance(predicate, RelationalSumPredicate):
+        return predicate
+    if isinstance(predicate, SymmetricPredicate):
+        counts = {c for c in predicate.counts if c <= new_n}
+        return SymmetricPredicate(predicate.variable, new_n, counts)
+    return None
+
+
+def _weakenings(predicate: GlobalPredicate) -> Iterator[GlobalPredicate]:
+    """Strictly smaller predicates of the same class."""
+    if isinstance(predicate, CNFPredicate):
+        clauses = list(predicate.clauses)
+        if len(clauses) > 1:
+            for k in range(len(clauses)):
+                yield CNFPredicate(clauses[:k] + clauses[k + 1 :])
+        for k, cl in enumerate(clauses):
+            if len(cl) > 1:
+                literals = list(cl.literals)
+                for j in range(len(literals)):
+                    smaller = Clause(literals[:j] + literals[j + 1 :])
+                    yield CNFPredicate(
+                        clauses[:k] + [smaller] + clauses[k + 1 :]
+                    )
+    elif isinstance(predicate, ConjunctivePredicate):
+        conjuncts = list(predicate.conjuncts)
+        if len(conjuncts) > 1:
+            for k in range(len(conjuncts)):
+                yield ConjunctivePredicate(
+                    conjuncts[:k] + conjuncts[k + 1 :]
+                )
+    elif isinstance(predicate, SymmetricPredicate):
+        counts = sorted(predicate.counts)
+        if len(counts) > 1:
+            for c in counts:
+                yield SymmetricPredicate(
+                    predicate.variable,
+                    predicate.num_processes,
+                    set(counts) - {c},
+                )
+
+
+# ----------------------------------------------------------------------
+# The shrink loop
+# ----------------------------------------------------------------------
+def _candidates(
+    sketch: _Sketch, predicate: GlobalPredicate
+) -> Iterator[Tuple[_Sketch, GlobalPredicate]]:
+    """All one-step reductions of the pair, most aggressive first."""
+    n = len(sketch.events)
+    referenced = referenced_processes(predicate)
+    # 1. whole processes (only ones the predicate does not name).
+    if referenced is not None and n > 1:
+        for p in range(n - 1, -1, -1):
+            if p in referenced:
+                continue
+            pred2 = _predicate_after_process_drop(predicate, p, n - 1)
+            if pred2 is None:
+                continue
+            yield sketch.drop_process(p), pred2
+    # 2. event chunks, halving chunk sizes, scanning from the tail.
+    for p in range(n):
+        length = len(sketch.events[p])
+        size = length
+        while size >= 1:
+            start = length - size + 1
+            while start >= 1:
+                if size != length or length > 0:
+                    yield sketch.drop_events(p, start, size), predicate
+                start -= size
+            if size == 1:
+                break
+            size = max(1, size // 2)
+            if size == length:  # avoid re-yielding the full-length chunk
+                size -= 1
+    # 3. individual messages.
+    for k in range(len(sketch.messages) - 1, -1, -1):
+        yield sketch.drop_message(k), predicate
+    # 4. predicate weakenings.
+    for pred2 in _weakenings(predicate):
+        yield sketch, pred2
+
+
+def shrink(
+    computation: Computation,
+    predicate: GlobalPredicate,
+    interesting: Interesting,
+    max_attempts: int = 5000,
+) -> ShrinkResult:
+    """Minimize the pair while ``interesting`` keeps returning True.
+
+    ``interesting`` must hold on the input pair (it is not re-checked);
+    exceptions it raises on candidates count as "not interesting".
+    """
+    sketch = _Sketch.of(computation)
+    original_shape = (computation.num_processes, computation.total_events())
+    current_pred = predicate
+    steps = 0
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for cand_sketch, cand_pred in _candidates(sketch, current_pred):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            try:
+                cand_comp = cand_sketch.build()
+                if not interesting(cand_comp, cand_pred):
+                    continue
+            except Exception:
+                continue
+            sketch, current_pred = cand_sketch, cand_pred
+            steps += 1
+            improved = True
+            break
+    final = sketch.build()
+    if STATE.enabled:
+        obs_registry().counter("testkit.shrink.steps").inc(steps)
+        obs_registry().counter("testkit.shrink.attempts").inc(attempts)
+    return ShrinkResult(
+        computation=final,
+        predicate=current_pred,
+        steps=steps,
+        attempts=attempts,
+        original_shape=original_shape,
+        shape=(final.num_processes, final.total_events()),
+    )

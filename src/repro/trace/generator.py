@@ -85,7 +85,9 @@ def random_computation(
         events_per_process: Non-initial events per process.
         message_density: Per-event probability of attempting a send, and
             independently of attempting a receive of a pending message.
-        seed: RNG seed — same arguments, same computation.
+        seed: RNG seed — same arguments, same computation, on every run
+            and under every ``PYTHONHASHSEED`` (the fuzzer's corpus
+            provenance depends on this).
         variables: Monitored-variable specs applied to every process.
         receive_sites: If given, only these processes may receive.
         send_sites: If given, only these processes may send.
@@ -98,22 +100,25 @@ def random_computation(
         raise ValueError("message_density must be within [0, 1]")
     rng = random.Random(seed)
     builder = ComputationBuilder(num_processes)
-    may_receive = (
-        set(receive_sites) if receive_sites is not None else set(range(num_processes))
+    # Determinism contract: identical arguments (including seed) produce the
+    # identical computation on every run, regardless of PYTHONHASHSEED.  To
+    # keep that true, nothing here may iterate a set or dict whose order
+    # feeds an RNG draw — membership sites are stored as sorted frozensets
+    # (order-free queries only) and every choice indexes a list.
+    may_receive = frozenset(
+        receive_sites if receive_sites is not None else range(num_processes)
     )
-    may_send = (
-        set(send_sites) if send_sites is not None else set(range(num_processes))
+    may_send = frozenset(
+        send_sites if send_sites is not None else range(num_processes)
     )
 
-    # Variable state per process.
+    # Variable state per process.  Built in ``variables`` order — a
+    # sequence, not a set — so initial-value dicts have a stable order too.
     state: List[Dict[str, object]] = []
     for p in range(num_processes):
-        values: Dict[str, object] = {}
-        for spec in variables:
-            if isinstance(spec, BoolVar):
-                values[spec.name] = spec.initial
-            else:
-                values[spec.name] = spec.initial
+        values: Dict[str, object] = {
+            spec.name: spec.initial for spec in variables
+        }
         builder.init_values(p, **values)
         state.append(values)
 

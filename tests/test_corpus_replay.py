@@ -1,0 +1,73 @@
+"""Replay every committed corpus case through the full engine roster.
+
+Each file under ``tests/corpus/`` is a minimized fuzz (or fuzz-shaped)
+instance whose ``pins`` field names the engine pair it regression-tests.
+Replaying runs *every* applicable engine, so a re-introduced divergence
+fails here with a tiny counterexample attached.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.testkit import (
+    CorpusCase,
+    iter_corpus,
+    load_case,
+    replay_case,
+)
+from repro.testkit.corpus import CorpusFormatError
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CASES = iter_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_populated():
+    # The acceptance bar: at least five minimized instances committed.
+    assert len(CASES) >= 5
+
+
+def test_every_case_names_its_engine_pair():
+    for _, case in CASES:
+        assert " vs " in case.pins, f"{case.name}: pins={case.pins!r}"
+
+
+def test_cases_are_minimized():
+    for _, case in CASES:
+        assert case.computation.num_processes <= 4, case.name
+        assert case.computation.total_events() <= 12, case.name
+
+
+@pytest.mark.parametrize(
+    "path,case", CASES, ids=[path.stem for path, _ in CASES]
+)
+def test_replay(path: Path, case: CorpusCase):
+    result = replay_case(case)
+    assert result.verdicts, f"{case.name}: no engine was applicable"
+    assert result.ok, (
+        f"{case.name} (pins: {case.pins}) expected "
+        f"{case.expected}, got {result.verdicts}"
+    )
+
+
+@pytest.mark.parametrize(
+    "path,case", CASES, ids=[path.stem for path, _ in CASES]
+)
+def test_case_round_trips(path: Path, case: CorpusCase):
+    again = CorpusCase.from_dict(case.to_dict(), source=str(path))
+    assert again.to_dict() == case.to_dict()
+
+
+def test_load_rejects_junk(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(CorpusFormatError):
+        load_case(bad)
+    bad.write_text('{"format": "something-else"}')
+    with pytest.raises(CorpusFormatError):
+        load_case(bad)
+    bad.write_text('{"format": "repro-corpus-v1", "name": "x"}')
+    with pytest.raises(CorpusFormatError):
+        load_case(bad)

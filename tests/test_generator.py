@@ -138,3 +138,49 @@ class TestGrouped:
             grouped_computation(0, 2, 3)
         with pytest.raises(ValueError):
             grouped_computation(2, 2, 3, ordering="bogus")
+
+
+class TestHashRandomizationDeterminism:
+    """Same seed, same trace — under any ``PYTHONHASHSEED``.
+
+    The corpus records provenance seeds, so generation must not depend on
+    Python's per-process hash randomization (the classic way set/dict
+    iteration order leaks into RNG draws).  Each subprocess re-generates
+    the same computations under a different hash seed and prints a digest.
+    """
+
+    SCRIPT = (
+        "import hashlib, json\n"
+        "from repro.trace import (ArbitraryWalkVar, BoolVar, UnitWalkVar,\n"
+        "    computation_to_dict, grouped_computation, random_computation)\n"
+        "blobs = []\n"
+        "for seed in range(4):\n"
+        "    comp = random_computation(3, 4, 0.5, seed=seed,\n"
+        "        variables=[BoolVar('x', 0.4), UnitWalkVar('v', floor=None),\n"
+        "                   ArbitraryWalkVar('w', max_step=3)],\n"
+        "        receive_sites=[0, 2], send_sites=[1, 2])\n"
+        "    blobs.append(computation_to_dict(comp))\n"
+        "    blobs.append(computation_to_dict(grouped_computation(\n"
+        "        2, 2, 3, 0.6, seed=seed, variables=[BoolVar('x')],\n"
+        "        ordering='receive')))\n"
+        "payload = json.dumps(blobs, sort_keys=True).encode()\n"
+        "print(hashlib.sha256(payload).hexdigest())\n"
+    )
+
+    def test_identical_digest_across_hash_seeds(self):
+        import os
+        import subprocess
+        import sys
+
+        digests = set()
+        for hash_seed in ("0", "1", "31337"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            result = subprocess.run(
+                [sys.executable, "-c", self.SCRIPT],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            digests.add(result.stdout.strip())
+        assert len(digests) == 1, f"digests diverged: {digests}"

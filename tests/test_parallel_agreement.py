@@ -1,0 +1,46 @@
+"""Property test: the parallel combination sweep never changes verdicts.
+
+For seeded sweeps of singular 2-CNF instances, ``detect_singular`` with
+``parallel=2`` must agree with the serial engine run against a warmed
+:class:`~repro.perf.causality.CausalityIndex` (the memoized fast path),
+and both must agree with the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import CausalityIndex
+from repro.detection import detect_singular
+from repro.predicates import CNFPredicate, Clause, Literal
+from repro.testkit.oracles import brute_possibly
+from repro.trace import BoolVar, grouped_computation
+
+PRED = CNFPredicate(
+    [
+        Clause([Literal(0, "x"), Literal(1, "x")]),
+        Clause([Literal(2, "x"), Literal(3, "x")]),
+    ]
+)
+
+
+@pytest.mark.parametrize("seed", range(25))
+@pytest.mark.parametrize("ordering", [None, "receive"])
+def test_parallel2_and_indexed_serial_match_oracle(seed, ordering):
+    comp = grouped_computation(
+        2,
+        2,
+        3,
+        message_density=0.5,
+        seed=seed,
+        variables=[BoolVar("x", 0.4)],
+        ordering=ordering,
+    )
+    CausalityIndex.of(comp)  # warm the memoized index for the serial run
+    serial = detect_singular(comp, PRED, "chain-choice").holds
+    fanned = detect_singular(comp, PRED, "chain-choice", parallel=2).holds
+    oracle = brute_possibly(comp, PRED.evaluate) is not None
+    assert serial == fanned == oracle, (
+        f"seed={seed} ordering={ordering}: "
+        f"serial={serial} parallel2={fanned} oracle={oracle}"
+    )

@@ -1,0 +1,157 @@
+"""The differential fuzzer: clean sweeps, determinism, and the planted bug.
+
+The mutation self-test is the subsystem's own acceptance test: a copy of
+the CPDHB elimination scan with a planted off-by-one must be *found* by a
+smoke-budget fuzz run and the finding must shrink to a tiny instance.  If
+this test fails, the fuzzer has lost its teeth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predicates.errors import UnsupportedPredicateError
+from repro.testkit import (
+    FAMILY_NAMES,
+    FuzzConfig,
+    PLANTED_ENGINE_NAME,
+    buggy_detect_conjunctive,
+    planted_engine,
+    run_fuzz,
+)
+from repro.testkit.fuzz import _agreement, _pin_engine_pair
+
+
+class TestCleanSweep:
+    def test_all_families_agree(self):
+        # The real engines must never disagree: a finding here is a bug
+        # in the library, not in the fuzzer.
+        report = run_fuzz(FuzzConfig(seed=3, iterations=40))
+        assert report.ok, "\n".join(report.log_lines())
+        assert report.iterations_run == 40
+        assert not report.stopped_by_budget
+
+    def test_every_family_is_exercised_over_enough_iterations(self):
+        report = run_fuzz(FuzzConfig(seed=0, iterations=120))
+        seen = {log.family for log in report.instances}
+        assert seen == set(FAMILY_NAMES)
+
+    def test_family_filter(self):
+        report = run_fuzz(
+            FuzzConfig(seed=1, iterations=10, families=["symmetric"])
+        )
+        assert {log.family for log in report.instances} == {"symmetric"}
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown fuzz families"):
+            FuzzConfig(families=["nope"]).family_names()
+
+    def test_family_filter_order_does_not_matter(self):
+        a = FuzzConfig(families=["symmetric", "conjunctive"]).family_names()
+        b = FuzzConfig(families=["conjunctive", "symmetric"]).family_names()
+        assert a == b  # canonical order, so the RNG stream is identical
+
+
+class TestDeterminism:
+    def test_same_seed_same_log(self):
+        config = dict(seed=42, iterations=30)
+        first = run_fuzz(FuzzConfig(**config))
+        second = run_fuzz(FuzzConfig(**config))
+        assert first.log_lines() == second.log_lines()
+
+    def test_different_seeds_differ(self):
+        a = run_fuzz(FuzzConfig(seed=0, iterations=20))
+        b = run_fuzz(FuzzConfig(seed=1, iterations=20))
+        assert a.log_lines() != b.log_lines()
+
+    def test_budget_run_is_a_prefix(self):
+        # A time budget may stop the run early but must never change what
+        # the executed iterations did.
+        full = run_fuzz(FuzzConfig(seed=5, iterations=25))
+        budgeted = run_fuzz(
+            FuzzConfig(seed=5, iterations=25, time_budget=10_000.0)
+        )
+        k = budgeted.iterations_run
+        assert [l.line() for l in budgeted.instances] == [
+            l.line() for l in full.instances[:k]
+        ]
+
+    def test_zero_budget_stops_immediately(self):
+        report = run_fuzz(FuzzConfig(seed=5, iterations=25, time_budget=0.0))
+        assert report.iterations_run == 0
+        assert report.stopped_by_budget
+
+
+class TestVoteBookkeeping:
+    def test_agreement_ignores_skips(self):
+        assert _agreement({"a": True, "b": True, "c": "skip"})
+        assert not _agreement({"a": True, "b": False})
+        assert not _agreement({"a": True, "b": "crash:ValueError"})
+
+    def test_pin_prefers_crash_then_oracle(self):
+        assert _pin_engine_pair({"a": "crash:KeyError", "b": True}, "b") == (
+            "a",
+            "a",
+        )
+        assert _pin_engine_pair(
+            {"fast": False, "brute": True}, "brute"
+        ) == ("brute", "fast")
+        # No oracle vote: first boolean becomes the reference.
+        assert _pin_engine_pair({"a": True, "b": False}, None) == ("a", "b")
+
+
+class TestMutationSelfTest:
+    """Plant a bug; the fuzzer must find it and shrink it small."""
+
+    SMOKE = FuzzConfig(
+        seed=7,
+        iterations=200,
+        families=["conjunctive"],
+        extra_engines={"conjunctive": [planted_engine()]},
+    )
+
+    def test_planted_bug_is_found_and_shrunk(self):
+        report = run_fuzz(self.SMOKE)
+        assert report.findings, "fuzzer failed to detect the planted bug"
+        for finding in report.findings:
+            assert PLANTED_ENGINE_NAME in finding.engine_pair
+            assert finding.shrink_result is not None
+            mini = finding.minimized_computation
+            # The acceptance bound: tiny, human-readable counterexamples.
+            assert mini.num_processes <= 3
+            assert mini.total_events() <= 12
+
+    def test_planted_findings_are_deterministic(self):
+        a = run_fuzz(self.SMOKE)
+        b = run_fuzz(self.SMOKE)
+        assert a.log_lines() == b.log_lines()
+        assert [f.log.iteration for f in a.findings] == [
+            f.log.iteration for f in b.findings
+        ]
+
+    def test_clean_run_with_planted_engine_removed(self):
+        # Sanity: the disagreements really come from the mutant.
+        config = FuzzConfig(seed=7, iterations=200, families=["conjunctive"])
+        assert run_fuzz(config).ok
+
+    def test_planted_engine_rejects_non_conjunctive(self):
+        from repro.predicates import CNFPredicate, Clause, Literal
+        from repro.trace import BoolVar, random_computation
+
+        comp = random_computation(2, 2, 0.5, seed=0, variables=[BoolVar("x")])
+        pred = CNFPredicate(
+            [Clause([Literal(0, "x"), Literal(1, "x")])] * 2
+        )
+        with pytest.raises(UnsupportedPredicateError):
+            buggy_detect_conjunctive(comp, pred)
+
+
+class TestObsIntegration:
+    def test_counters_register_when_enabled(self):
+        from repro import obs
+
+        with obs.Capture() as capture:
+            run_fuzz(FuzzConfig(seed=2, iterations=5))
+        counters = capture.registry.snapshot()["counters"]
+        assert counters.get("testkit.instances") == 5
+        assert counters.get("testkit.engine_runs", 0) > 0

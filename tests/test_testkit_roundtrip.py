@@ -1,0 +1,83 @@
+"""trace/io round-trips for generator- and shrinker-produced computations.
+
+The corpus embeds traces as ``repro-trace-v1`` payloads, so everything the
+fuzzer can generate — including simulator traces with fault metadata —
+must survive ``computation_to_dict`` / ``computation_from_dict`` exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predicates import conjunctive, local
+from repro.simulation.faults import FaultPlan
+from repro.simulation.protocols import build_token_ring
+from repro.testkit import shrink
+from repro.trace import (
+    ArbitraryWalkVar,
+    BoolVar,
+    UnitWalkVar,
+    computation_from_dict,
+    computation_to_dict,
+    grouped_computation,
+    random_computation,
+)
+
+
+def assert_round_trips(comp):
+    data = computation_to_dict(comp)
+    again = computation_from_dict(data)
+    assert computation_to_dict(again) == data
+    assert again.num_processes == comp.num_processes
+    assert again.total_events() == comp.total_events()
+    assert again.messages == comp.messages
+    assert again.meta == comp.meta
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_computation_round_trips(seed):
+    comp = random_computation(
+        3,
+        4,
+        0.5,
+        seed=seed,
+        variables=[
+            BoolVar("x", 0.4),
+            UnitWalkVar("v", floor=None),
+            ArbitraryWalkVar("w", max_step=5),
+        ],
+    )
+    assert_round_trips(comp)
+
+
+@pytest.mark.parametrize("ordering", [None, "receive", "send"])
+def test_grouped_computation_round_trips(ordering):
+    comp = grouped_computation(
+        2, 2, 3, 0.5, seed=9, variables=[BoolVar("x")], ordering=ordering
+    )
+    assert_round_trips(comp)
+
+
+def test_faulty_protocol_trace_round_trips_with_meta():
+    plan = FaultPlan(seed=5, message_loss=0.3, message_duplication=0.15)
+    comp = build_token_ring(3, hops=4, seed=5, faults=plan)
+    assert comp.meta, "fault injection should stamp provenance metadata"
+    assert_round_trips(comp)
+
+
+def test_shrinker_output_round_trips_with_meta():
+    plan = FaultPlan(seed=2, message_loss=0.2)
+    comp = build_token_ring(3, hops=4, seed=2, faults=plan)
+    pred = conjunctive(local(0, "cs"), local(1, "cs"))
+    result = shrink(comp, pred, lambda c, p: c.num_processes >= 2)
+    assert result.computation.meta == comp.meta
+    assert_round_trips(result.computation)
+
+
+def test_shrinker_output_round_trips_after_heavy_deletion():
+    comp = random_computation(4, 4, 0.6, seed=3, variables=[BoolVar("x")])
+    pred = conjunctive(local(0, "x"), local(1, "x"))
+    # Keep at least one message so derived event kinds stay interesting.
+    result = shrink(comp, pred, lambda c, p: len(c.messages) >= 1)
+    assert result.computation.messages
+    assert_round_trips(result.computation)

@@ -1,0 +1,165 @@
+"""The trace shrinker: minimization, legality, and predicate surgery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import ComputationBuilder
+from repro.predicates import (
+    CNFPredicate,
+    Clause,
+    Literal,
+    SymmetricPredicate,
+    conjunctive,
+    local,
+    sum_predicate,
+)
+from repro.testkit import referenced_processes, shrink
+from repro.testkit.oracles import brute_possibly
+from repro.trace import BoolVar, computation_to_dict, random_computation
+
+
+def bool_comp(n=3, events=4, seed=0, density=0.4):
+    return random_computation(
+        n, events, 0.5, seed=seed, variables=[BoolVar("x", density)]
+    )
+
+
+class TestReferencedProcesses:
+    def test_cnf_names_clause_processes(self):
+        pred = CNFPredicate(
+            [Clause([Literal(0, "x"), Literal(2, "x")])]
+        )
+        assert referenced_processes(pred) == frozenset({0, 2})
+
+    def test_conjunctive_names_conjunct_processes(self):
+        assert referenced_processes(
+            conjunctive(local(1, "x"), local(3, "x"))
+        ) == frozenset({1, 3})
+
+    def test_sum_and_symmetric_are_process_agnostic(self):
+        assert referenced_processes(sum_predicate("v", "==", 0)) == frozenset()
+        assert referenced_processes(
+            SymmetricPredicate("x", 4, [2])
+        ) == frozenset()
+
+    def test_unknown_predicate_returns_none(self):
+        class Weird:
+            pass
+
+        assert referenced_processes(Weird()) is None
+
+
+class TestShrinkLoop:
+    def test_result_still_interesting_and_smaller(self):
+        comp = bool_comp(4, 5, seed=9)
+        pred = sum_predicate("x", ">=", 0)  # trivially true everywhere
+
+        def interesting(c, p):
+            return brute_possibly(c, p.evaluate) is not None
+
+        result = shrink(comp, pred, interesting)
+        assert interesting(result.computation, result.predicate)
+        assert result.computation.total_events() <= comp.total_events()
+        assert result.shape == (
+            result.computation.num_processes,
+            result.computation.total_events(),
+        )
+        # A trivially-true predicate should shrink very far.
+        assert result.computation.total_events() == 0
+
+    def test_unreferenced_processes_are_dropped_and_remapped(self):
+        comp = bool_comp(4, 3, seed=2)
+        # Only processes 1 and 3 matter; 0 and 2 must go, and the
+        # surviving literals must be renumbered to the new indices.
+        pred = conjunctive(local(1, "x"), local(3, "x"))
+
+        def interesting(c, p):
+            return c.num_processes >= 2 and len(p.conjuncts) == 2
+
+        result = shrink(comp, pred, interesting)
+        assert result.computation.num_processes == 2
+        assert sorted(
+            lit.process for lit in result.predicate.conjuncts
+        ) == [0, 1]
+
+    def test_shrunk_computation_is_legal(self):
+        comp = bool_comp(3, 5, seed=7)
+        pred = conjunctive(*(local(p, "x") for p in range(3)))
+
+        def interesting(c, p):
+            return c.total_events() >= 3
+
+        result = shrink(comp, pred, interesting)
+        # Round-tripping through the strict trace-io validator proves
+        # every surviving message endpoint and event kind is coherent.
+        from repro.trace import computation_from_dict
+
+        data = computation_to_dict(result.computation)
+        again = computation_from_dict(data)
+        assert computation_to_dict(again) == data
+
+    def test_meta_survives_shrinking(self):
+        builder = ComputationBuilder(2)
+        builder.init_values(0, x=False)
+        builder.init_values(1, x=False)
+        for _ in range(3):
+            builder.internal(0, x=True)
+            builder.internal(1, x=True)
+        comp = builder.build(meta={"protocol": "synthetic", "faults": {"lost": 1}})
+        result = shrink(
+            comp,
+            conjunctive(local(0, "x"), local(1, "x")),
+            lambda c, p: True,
+        )
+        assert result.computation.meta == comp.meta
+
+    def test_attempt_budget_is_respected(self):
+        comp = bool_comp(4, 6, seed=5)
+        pred = conjunctive(*(local(p, "x") for p in range(4)))
+        result = shrink(comp, pred, lambda c, p: True, max_attempts=7)
+        assert result.attempts <= 7
+
+    def test_exceptions_count_as_not_interesting(self):
+        comp = bool_comp(2, 3, seed=1)
+        pred = conjunctive(local(0, "x"), local(1, "x"))
+        calls = []
+
+        def flaky(c, p):
+            calls.append(1)
+            if c.total_events() < 3:
+                raise RuntimeError("boom")
+            return True
+
+        result = shrink(comp, pred, flaky)
+        assert result.computation.total_events() == 3
+        assert calls  # it did probe candidates
+
+    def test_cnf_weakening_drops_clauses_and_literals(self):
+        comp = bool_comp(2, 2, seed=3)
+        pred = CNFPredicate(
+            [
+                Clause([Literal(0, "x"), Literal(1, "x")]),
+                Clause([Literal(0, "x", True), Literal(1, "x", True)]),
+            ]
+        )
+
+        def interesting(c, p):
+            return True  # anything goes: weaken all the way
+
+        result = shrink(comp, pred, interesting)
+        assert isinstance(result.predicate, CNFPredicate)
+        assert len(result.predicate.clauses) == 1
+        assert len(result.predicate.clauses[0]) == 1
+
+    def test_one_minimality_of_events(self):
+        comp = bool_comp(2, 4, seed=11)
+        pred = conjunctive(local(0, "x"), local(1, "x"))
+        target = min(4, comp.total_events())
+
+        def interesting(c, p):
+            return c.total_events() >= target
+
+        result = shrink(comp, pred, interesting)
+        # 1-minimal: exactly at the threshold, nothing more to delete.
+        assert result.computation.total_events() == target
