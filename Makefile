@@ -3,13 +3,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test fuzz bench report examples check clean
+.PHONY: install test lint fuzz bench report examples check clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static analysis suite (docs/ANALYSIS.md); exits 1 on any finding.
+lint:
+	$(PYTHON) -m repro lint src/repro examples
 
 # Differential fuzz sweep (docs/TESTING.md); FUZZ_ARGS adds/overrides flags.
 fuzz:
@@ -27,7 +31,7 @@ examples:
 		$(PYTHON) $$script || exit 1; \
 	done
 
-check: test bench
+check: lint test bench
 
 clean:
 	rm -rf .pytest_cache build *.egg-info src/*.egg-info

@@ -1,5 +1,23 @@
-"""Structural analysis of traces (shape statistics for workloads)."""
+"""Analysis tooling: trace shape statistics and the static-analysis suite.
 
+* :mod:`repro.analysis.stats` — structural statistics of recorded traces
+  (``repro info --deep``);
+* :mod:`repro.analysis.lint` — AST-based determinism lint, protocol race
+  detector, and instrumentation-conformance checker (``repro lint``,
+  catalog in ``docs/ANALYSIS.md``).
+"""
+
+from repro.analysis.lint import (
+    AnalysisError,
+    Finding,
+    LintConfig,
+    LintReport,
+    Severity,
+    all_rules,
+    render_json,
+    render_text,
+    run_lint,
+)
 from repro.analysis.stats import (
     MessageStatistics,
     VariableProfile,
@@ -12,12 +30,21 @@ from repro.analysis.stats import (
 )
 
 __all__ = [
+    "AnalysisError",
+    "Finding",
+    "LintConfig",
+    "LintReport",
     "MessageStatistics",
+    "Severity",
     "VariableProfile",
+    "all_rules",
     "causal_density",
     "concurrency_width",
     "count_runs",
     "message_statistics",
+    "render_json",
+    "render_text",
+    "run_lint",
     "summarize",
     "variable_profile",
 ]

@@ -1,0 +1,59 @@
+"""AST-based static analysis: determinism lint, protocol race detection,
+instrumentation conformance.
+
+Rule families (catalog and rationale in ``docs/ANALYSIS.md``):
+
+* ``DET1xx`` — nondeterminism hazards (global RNG, wall clocks, set
+  iteration order, ``id()`` keys, hash-order dicts);
+* ``PROT2xx`` — :class:`~repro.simulation.process.ProcessProgram`
+  races and fault-tolerance bugs;
+* ``OBS3xx`` — instrumentation conformance against the canonical key
+  tables in ``docs/ALGORITHMS.md`` / ``docs/OBSERVABILITY.md``;
+* ``GEN001`` — unparseable file.
+
+Entry points: :func:`run_lint` (library), ``repro lint`` (CLI),
+``make lint`` / the CI ``lint`` job (enforcement).
+"""
+
+from repro.analysis.lint.core import (
+    AnalysisError,
+    Finding,
+    LintConfig,
+    Rule,
+    Severity,
+    all_rules,
+    register_rule,
+    resolve_rule_ids,
+)
+from repro.analysis.lint.engine import (
+    LintReport,
+    collect_files,
+    discover_docs,
+    run_lint,
+)
+from repro.analysis.lint.keys import (
+    CanonicalKeys,
+    KeyPattern,
+    load_canonical_keys,
+)
+from repro.analysis.lint.report import render_json, render_text
+
+__all__ = [
+    "AnalysisError",
+    "CanonicalKeys",
+    "Finding",
+    "KeyPattern",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "collect_files",
+    "discover_docs",
+    "load_canonical_keys",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "resolve_rule_ids",
+    "run_lint",
+]

@@ -1,0 +1,214 @@
+"""Core objects of the static-analysis framework.
+
+A *rule* inspects one parsed file (:class:`FileContext`) and yields
+:class:`Finding` objects.  Rules are registered in a module-level
+registry keyed by a short machine code (``DET101``) and a human slug
+(``unseeded-random``); both forms work in ``--select``/``--ignore``
+and in suppression pragmas.
+
+Suppression::
+
+    risky_call()  # repro: lint-ignore[DET101]
+    risky_call()  # repro: lint-ignore[unseeded-random, DET102]
+
+    # repro: lint-ignore-file[OBS302]     (anywhere in the file)
+
+The rule catalog lives in ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+__all__ = [
+    "AnalysisError",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "register_rule",
+    "resolve_rule_ids",
+]
+
+
+class AnalysisError(Exception):
+    """Usage or internal error of the lint subsystem (CLI exit code 6)."""
+
+
+class Severity(str, Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str  #: machine id, e.g. ``DET101``
+    name: str  #: slug, e.g. ``unseeded-random``
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "name": self.name,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintConfig:
+    """Knobs of one lint run (defaults match ``repro lint``)."""
+
+    #: Rule codes/slugs to run exclusively (empty = all registered rules).
+    select: Sequence[str] = ()
+    #: Rule codes/slugs to skip.
+    ignore: Sequence[str] = ()
+    #: Paths of the canonical-key documents (``docs/ALGORITHMS.md``,
+    #: ``docs/OBSERVABILITY.md``).  None = discover a ``docs/`` directory
+    #: next to (or above) the linted paths; conformance rules that need
+    #: the docs are skipped when discovery fails, unless ``require_docs``.
+    docs_paths: Optional[Sequence[str]] = None
+    require_docs: bool = False
+
+
+@dataclass
+class FileContext:
+    """One parsed source file handed to every rule."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    #: Shared per-run environment (canonical keys, config); see engine.py.
+    env: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def posix_parts(self) -> Sequence[str]:
+        return Path(self.path).parts
+
+
+class Rule:
+    """Base class: subclasses set the metadata and implement :meth:`check`."""
+
+    code: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            code=self.code,
+            name=self.name,
+            severity=self.severity,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    rule = cls()
+    if not rule.code or not rule.name:
+        raise AnalysisError(f"rule {cls.__name__} lacks a code or name")
+    if rule.code in _REGISTRY:
+        raise AnalysisError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def resolve_rule_ids(ids: Iterable[str]) -> Set[str]:
+    """Map codes/slugs (case-insensitive) to canonical rule codes.
+
+    Raises:
+        AnalysisError: For an id matching no registered rule.
+    """
+    by_key = {}
+    for rule in all_rules():
+        by_key[rule.code.lower()] = rule.code
+        by_key[rule.name.lower()] = rule.code
+    resolved = set()
+    for raw in ids:
+        code = by_key.get(raw.strip().lower())
+        if code is None:
+            raise AnalysisError(
+                f"unknown rule {raw.strip()!r}; known rules: "
+                + ", ".join(r.code for r in all_rules())
+            )
+        resolved.add(code)
+    return resolved
+
+
+# ----------------------------------------------------------------------
+# Suppression pragmas
+# ----------------------------------------------------------------------
+_PRAGMA = re.compile(
+    r"#\s*repro:\s*lint-ignore(?P<scope>-file)?\[(?P<ids>[^\]]*)\]"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed ``lint-ignore`` pragmas of one file."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+
+    def covers(self, finding: Finding) -> bool:
+        for key in (finding.code.lower(), finding.name.lower(), "*"):
+            if key in self.file_wide:
+                return True
+            if key in self.by_line.get(finding.line, ()):
+                return True
+        return False
+
+
+def parse_suppressions(lines: Sequence[str]) -> Suppressions:
+    sup = Suppressions()
+    for lineno, text in enumerate(lines, start=1):
+        for match in _PRAGMA.finditer(text):
+            ids = {
+                part.strip().lower()
+                for part in match.group("ids").split(",")
+                if part.strip()
+            }
+            if not ids:
+                continue
+            if match.group("scope"):
+                sup.file_wide |= ids
+            else:
+                sup.by_line.setdefault(lineno, set()).update(ids)
+    return sup

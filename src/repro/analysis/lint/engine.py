@@ -1,0 +1,215 @@
+"""Lint driver: collect files, run rules, apply suppressions.
+
+:func:`run_lint` is the programmatic entrypoint behind ``repro lint``::
+
+    from repro.analysis import LintConfig, run_lint
+
+    report = run_lint(["src/repro", "examples"], LintConfig())
+    for finding in report.findings:
+        print(finding.location(), finding.message)
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.lint.core import (
+    AnalysisError,
+    FileContext,
+    Finding,
+    LintConfig,
+    Rule,
+    Severity,
+    all_rules,
+    parse_suppressions,
+    register_rule,
+    resolve_rule_ids,
+)
+from repro.analysis.lint.keys import CanonicalKeys, load_canonical_keys
+
+# Import for side effect: rule registration.
+from repro.analysis.lint import conformance as _conformance  # noqa: F401
+from repro.analysis.lint import determinism as _determinism  # noqa: F401
+from repro.analysis.lint import protocol as _protocol  # noqa: F401
+
+__all__ = ["LintReport", "collect_files", "discover_docs", "run_lint"]
+
+#: The two canonical-key documents, relative to a repo root.
+DOC_FILES = ("docs/ALGORITHMS.md", "docs/OBSERVABILITY.md")
+
+
+@register_rule
+class ParseErrorRule(Rule):
+    """Placeholder rule for unparseable files (reported by the driver)."""
+
+    code = "GEN001"
+    name = "parse-error"
+    severity = Severity.ERROR
+    description = "file could not be parsed as Python"
+
+    def check(self, ctx: FileContext):
+        return iter(())
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    rules_run: Sequence[str] = ()
+    #: True when the conformance rules were skipped (docs not found).
+    docs_skipped: bool = False
+    docs_paths: Sequence[str] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "rules_run": list(self.rules_run),
+            "docs_skipped": self.docs_skipped,
+            "docs_paths": list(self.docs_paths),
+        }
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {raw}")
+    unique = sorted({str(p) for p in files})
+    if not unique:
+        raise AnalysisError(f"no Python files found under {list(paths)}")
+    return [Path(p) for p in unique]
+
+
+def discover_docs(paths: Sequence[str]) -> Optional[List[str]]:
+    """Locate the canonical-key docs near the linted paths.
+
+    Walks upward from each path (and the current directory) until a
+    directory containing every file in :data:`DOC_FILES` is found.
+    """
+    candidates: List[Path] = [Path.cwd()]
+    for raw in paths:
+        path = Path(raw).resolve()
+        candidates.append(path if path.is_dir() else path.parent)
+    for start in candidates:
+        for root in (start, *start.parents):
+            docs = [root / rel for rel in DOC_FILES]
+            if all(doc.is_file() for doc in docs):
+                return [str(doc) for doc in docs]
+    return None
+
+
+def _selected_rules(config: LintConfig) -> List[Rule]:
+    rules = all_rules()
+    if config.select:
+        chosen = resolve_rule_ids(config.select)
+        rules = [r for r in rules if r.code in chosen]
+    if config.ignore:
+        dropped = resolve_rule_ids(config.ignore)
+        rules = [r for r in rules if r.code not in dropped]
+    if not rules:
+        raise AnalysisError("rule selection left nothing to run")
+    return rules
+
+
+def run_lint(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> LintReport:
+    """Run every selected rule over the given paths.
+
+    Raises:
+        AnalysisError: On usage errors — unknown paths, unknown rule ids,
+            unreadable docs, or (with ``require_docs``) missing docs.
+    """
+    config = config or LintConfig()
+    rules = _selected_rules(config)
+    files = collect_files(paths)
+
+    canonical: Optional[CanonicalKeys] = None
+    docs_paths: Sequence[str] = ()
+    if config.docs_paths is not None:
+        docs_paths = [str(p) for p in config.docs_paths]
+        missing = [p for p in docs_paths if not Path(p).is_file()]
+        if missing:
+            raise AnalysisError(f"canonical-key docs not found: {missing}")
+    else:
+        discovered = discover_docs(paths)
+        if discovered is not None:
+            docs_paths = discovered
+        elif config.require_docs:
+            raise AnalysisError(
+                "cannot locate docs/ALGORITHMS.md + docs/OBSERVABILITY.md "
+                "for the conformance rules; pass --docs-root"
+            )
+    if docs_paths:
+        try:
+            canonical = load_canonical_keys(docs_paths)
+        except OSError as exc:
+            raise AnalysisError(f"cannot read canonical-key docs: {exc}")
+
+    env: Dict[str, Any] = {"config": config}
+    if canonical is not None:
+        env["canonical_keys"] = canonical
+
+    report = LintReport(
+        rules_run=[r.code for r in rules],
+        docs_skipped=canonical is None,
+        docs_paths=docs_paths,
+    )
+    parse_rule = next(r for r in all_rules() if r.code == "GEN001")
+    run_parse_rule = any(r.code == "GEN001" for r in rules)
+
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {path}: {exc}")
+        lines = source.splitlines()
+        suppressions = parse_suppressions(lines)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            if run_parse_rule:
+                report.findings.append(
+                    Finding(
+                        code=parse_rule.code,
+                        name=parse_rule.name,
+                        severity=parse_rule.severity,
+                        path=str(path),
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        message=f"syntax error: {exc.msg}",
+                    )
+                )
+            report.files_checked += 1
+            continue
+        ctx = FileContext(
+            path=str(path), source=source, tree=tree, lines=lines, env=env
+        )
+        for rule in rules:
+            for finding in rule.check(ctx):
+                if suppressions.covers(finding):
+                    report.suppressed += 1
+                else:
+                    report.findings.append(finding)
+        report.files_checked += 1
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return report

@@ -1,0 +1,241 @@
+"""Canonical metric/span key registry, parsed from the docs tables.
+
+``docs/ALGORITHMS.md`` ("Canonical stat keys") and
+``docs/OBSERVABILITY.md`` (the metric tables and the instrumented-surfaces
+table) are the contract for every metric, stat, and span name the code
+emits.  This module parses those markdown tables into :class:`KeyPattern`
+objects so the conformance checker can prove that code and docs agree —
+the docs are the single source of truth, and drift fails the lint.
+
+Pattern syntax (as written in the docs):
+
+* literal dotted names — ``monitor.observations``;
+* ``<placeholder>`` segments match exactly one segment —
+  ``engine.<name>.<stat>``, ``sim.steps.<kind>``;
+* ``{a,b}`` alternation — ``perf.clause_cache.{hits,misses}``;
+* a trailing ``*`` segment matches one or more segments — ``perf.*``.
+
+Code-side keys extracted from the AST may contain *holes* (f-string
+interpolations); a hole matches one or more canonical segments, so
+``f"sim.steps.{kind}"`` conforms to ``sim.steps.<kind>`` and
+``f"perf.{key}"`` conforms to any ``perf.…`` entry.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CanonicalKeys",
+    "HOLE",
+    "KeyPattern",
+    "key_from_ast",
+    "load_canonical_keys",
+]
+
+#: Marker for an f-string interpolation inside a code-side key.
+HOLE = "\x00"
+
+_WILD = re.compile(r"^<[^>]*>$")
+_ALT = re.compile(r"^\{([^}]*)\}$")
+
+
+@dataclass(frozen=True)
+class KeyPattern:
+    """One canonical key pattern plus where the docs declare it."""
+
+    raw: str
+    segments: Tuple[str, ...]
+    source: str  #: ``<file>:<line>`` of the docs table row
+
+    def matches(self, key_segments: Sequence[str]) -> bool:
+        return _match(tuple(key_segments), self.segments)
+
+
+def _segment_matches(code_seg: str, pat_seg: str) -> bool:
+    if pat_seg == "*" or _WILD.match(pat_seg):
+        return True
+    alt = _ALT.match(pat_seg)
+    if alt:
+        options = {part.strip() for part in alt.group(1).split(",")}
+        return code_seg in options
+    return code_seg == pat_seg
+
+
+def _match(code: Tuple[str, ...], pattern: Tuple[str, ...]) -> bool:
+    if not code:
+        return not pattern
+    if not pattern:
+        return False
+    head, rest = code[0], code[1:]
+    if head == HOLE:
+        # A hole absorbs one or more pattern segments.
+        return any(
+            _match(rest, pattern[consumed:])
+            for consumed in range(1, len(pattern) + 1)
+        )
+    if pattern[0] == "*":
+        # A trailing docs wildcard absorbs the remaining code segments.
+        return len(pattern) == 1
+    if not _segment_matches(head, pattern[0]):
+        return False
+    return _match(rest, pattern[1:])
+
+
+@dataclass
+class CanonicalKeys:
+    """The parsed registry: metric-name and span-name patterns."""
+
+    metrics: List[KeyPattern] = field(default_factory=list)
+    spans: List[KeyPattern] = field(default_factory=list)
+    sources: Tuple[str, ...] = ()
+
+    def match_metric(self, segments: Sequence[str]) -> Optional[KeyPattern]:
+        for pattern in self.metrics:
+            if pattern.matches(segments):
+                return pattern
+        return None
+
+    def match_span(self, segments: Sequence[str]) -> Optional[KeyPattern]:
+        for pattern in self.spans:
+            if pattern.matches(segments):
+                return pattern
+        return None
+
+
+# ----------------------------------------------------------------------
+# Markdown table parsing
+# ----------------------------------------------------------------------
+_BACKTICK = re.compile(r"`([^`]+)`")
+_SEPARATOR = re.compile(r"^[\s|:-]+$")
+
+
+def _split_row(line: str) -> List[str]:
+    return [cell.strip() for cell in line.strip().strip("|").split("|")]
+
+
+def _iter_tables(text: str):
+    """Yield ``(header_cells, [(lineno, row_cells), ...])`` per table."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if line.lstrip().startswith("|"):
+            header = _split_row(line)
+            rows: List[Tuple[int, List[str]]] = []
+            j = i + 1
+            while j < len(lines) and lines[j].lstrip().startswith("|"):
+                if not _SEPARATOR.match(lines[j]):
+                    rows.append((j + 1, _split_row(lines[j])))
+                j += 1
+            yield header, rows
+            i = j
+        else:
+            i += 1
+
+
+def _pattern(raw: str, source: str) -> Optional[KeyPattern]:
+    raw = raw.strip()
+    if not raw or "." not in raw and raw != "*":
+        return None
+    return KeyPattern(raw=raw, segments=tuple(raw.split(".")), source=source)
+
+
+def _cell_keys(cell: str, source: str) -> List[KeyPattern]:
+    patterns = []
+    for token in _BACKTICK.findall(cell):
+        # ``perf.*`` style wildcard rows; plain prose tokens are skipped.
+        pattern = _pattern(token, source)
+        if pattern is not None:
+            patterns.append(pattern)
+    return patterns
+
+
+def load_canonical_keys(docs_paths: Sequence[str]) -> CanonicalKeys:
+    """Parse the key tables of every given markdown file.
+
+    Recognized tables:
+
+    * header contains a ``metric`` column → first column holds metric keys;
+    * header is ``layer | spans | metrics`` (the instrumented-surfaces
+      table) → columns two and three hold span and metric keys;
+    * header contains ``engine`` and ``key`` columns (the canonical stat
+      keys table) → rows combine to ``engine.<engine>.<key>`` metrics.
+    """
+    registry = CanonicalKeys(sources=tuple(str(p) for p in docs_paths))
+    for path in docs_paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        for header, rows in _iter_tables(text):
+            lowered = [cell.lower() for cell in header]
+            if "spans" in lowered and "metrics" in lowered:
+                span_col = lowered.index("spans")
+                metric_col = lowered.index("metrics")
+                for lineno, cells in rows:
+                    source = f"{path}:{lineno}"
+                    if span_col < len(cells):
+                        registry.spans.extend(
+                            _cell_keys(cells[span_col], source)
+                        )
+                    if metric_col < len(cells):
+                        registry.metrics.extend(
+                            _cell_keys(cells[metric_col], source)
+                        )
+            elif lowered and lowered[0].startswith("metric"):
+                for lineno, cells in rows:
+                    registry.metrics.extend(
+                        _cell_keys(cells[0], f"{path}:{lineno}")
+                    )
+            elif any(c.startswith("engine") for c in lowered) and any(
+                c == "key" for c in lowered
+            ):
+                engine_col = next(
+                    i for i, c in enumerate(lowered) if c.startswith("engine")
+                )
+                key_col = lowered.index("key")
+                for lineno, cells in rows:
+                    if key_col >= len(cells):
+                        continue
+                    source = f"{path}:{lineno}"
+                    engines = _BACKTICK.findall(cells[engine_col])
+                    keys = _BACKTICK.findall(cells[key_col])
+                    for engine in engines:
+                        for key in keys:
+                            pattern = _pattern(
+                                f"engine.{engine}.{key}", source
+                            )
+                            if pattern is not None:
+                                registry.metrics.append(pattern)
+    return registry
+
+
+# ----------------------------------------------------------------------
+# Code-side key extraction
+# ----------------------------------------------------------------------
+def key_from_ast(node: ast.expr) -> Optional[List[str]]:
+    """Dotted segments of a string literal or f-string, holes included.
+
+    Returns None for expressions that are not (f-)string literals, or for
+    keys with no literal content at all (nothing to check).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value
+    elif isinstance(node, ast.JoinedStr):
+        parts = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                parts.append(value.value)
+            else:
+                parts.append(HOLE)
+        text = "".join(parts)
+        if text.replace(HOLE, "").replace(".", "") == "":
+            return None
+    else:
+        return None
+    segments = [seg for seg in text.split(".") if seg != ""]
+    return segments or None

@@ -1,0 +1,324 @@
+"""Protocol-program lint rules (PROT2xx).
+
+Online detection trusts user-written :class:`ProcessProgram` subclasses to
+behave like isolated distributed processes: no state shared across
+instances, no channels other than ``ctx.send``, and crash-restart hooks
+that actually wipe volatile state.  These rules inspect every
+``ProcessProgram`` subclass (direct, or transitively within a file) for
+the simulated-process races and fault-tolerance bugs that the fault
+injector would otherwise only expose dynamically.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.lint.core import (
+    FileContext,
+    Finding,
+    Rule,
+    Severity,
+    register_rule,
+)
+from repro.analysis.lint.determinism import MUTABLE_FACTORIES, clock_call
+
+#: Callback names the simulator invokes; state they mutate is volatile.
+HANDLER_METHODS = ("on_start", "on_message", "on_timer")
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "insert", "pop", "popitem", "popleft", "remove", "reverse",
+        "rotate", "setdefault", "sort", "update",
+    }
+)
+
+
+def _base_names(class_def: ast.ClassDef) -> List[str]:
+    names = []
+    for base in class_def.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def process_program_classes(tree: ast.Module) -> List[ast.ClassDef]:
+    """Every class subclassing ProcessProgram, directly or via a class
+    defined earlier in the same file."""
+    subclasses: Set[str] = {"ProcessProgram"}
+    found: List[ast.ClassDef] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if any(base in subclasses for base in _base_names(node)):
+            subclasses.add(node.name)
+            found.append(node)
+    return found
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``x`` for ``self.x`` (possibly behind subscripts), else None."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@dataclass
+class _MethodFacts:
+    """Per-method: attributes written and self-methods called."""
+
+    mutated: Set[str] = field(default_factory=set)
+    calls: Set[str] = field(default_factory=set)
+    first_mutation_line: Dict[str, int] = field(default_factory=dict)
+
+
+def _method_facts(method: ast.FunctionDef) -> _MethodFacts:
+    facts = _MethodFacts()
+
+    def note(attr: Optional[str], line: int) -> None:
+        if attr is None:
+            return
+        facts.mutated.add(attr)
+        facts.first_mutation_line.setdefault(attr, line)
+
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                note(_self_attr(target), node.lineno)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            note(_self_attr(node.target), node.lineno)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in MUTATING_METHODS:
+                    note(_self_attr(func.value), node.lineno)
+                elif (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                ):
+                    facts.calls.add(func.attr)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                note(_self_attr(target), node.lineno)
+    return facts
+
+
+def _closure(
+    start: List[str], facts: Dict[str, _MethodFacts]
+) -> Dict[str, int]:
+    """Attr -> first mutation line, reachable from ``start`` methods."""
+    mutated: Dict[str, int] = {}
+    seen: Set[str] = set()
+    queue = list(start)
+    while queue:
+        name = queue.pop()
+        if name in seen or name not in facts:
+            continue
+        seen.add(name)
+        for attr in facts[name].mutated:
+            line = facts[name].first_mutation_line[attr]
+            if attr not in mutated or line < mutated[attr]:
+                mutated[attr] = line
+        queue.extend(sorted(facts[name].calls))
+    return mutated
+
+
+@register_rule
+class MutableClassAttrRule(Rule):
+    code = "PROT201"
+    name = "mutable-class-attr"
+    severity = Severity.ERROR
+    description = (
+        "mutable class-level attribute on a ProcessProgram subclass is "
+        "shared by every simulated process instance — hidden cross-"
+        "process channel; initialize per-instance state in __init__"
+    )
+
+    @staticmethod
+    def _is_mutable_value(node: Optional[ast.expr]) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in MUTABLE_FACTORIES
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for class_def in process_program_classes(ctx.tree):
+            for stmt in class_def.body:
+                value = None
+                target = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    value, target = stmt.value, stmt.targets[0]
+                elif isinstance(stmt, ast.AnnAssign):
+                    value, target = stmt.value, stmt.target
+                if not isinstance(target, ast.Name):
+                    continue
+                if self._is_mutable_value(value):
+                    yield self.finding(
+                        ctx,
+                        stmt,
+                        f"class attribute {class_def.name}.{target.id} is "
+                        "a mutable container shared across all process "
+                        "instances; move it into __init__",
+                    )
+
+
+@register_rule
+class SharedGlobalStateRule(Rule):
+    code = "PROT202"
+    name = "shared-global-state"
+    severity = Severity.ERROR
+    description = (
+        "ProcessProgram handler reads/writes module-level mutable state — "
+        "cross-process communication that bypasses the message channels "
+        "and breaks under crash/restart faults"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        module_names: Set[str] = set()
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        module_names.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                module_names.add(stmt.target.id)
+
+        for class_def in process_program_classes(ctx.tree):
+            for node in ast.walk(class_def):
+                if isinstance(node, ast.Global):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"global statement in {class_def.name} shares "
+                        "state across process instances; use instance "
+                        "attributes and messages",
+                    )
+                elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    base = node.func.value
+                    if (
+                        node.func.attr in MUTATING_METHODS
+                        and isinstance(base, ast.Name)
+                        and base.id in module_names
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"mutating module-level {base.id!r} from "
+                            f"{class_def.name} bypasses the message "
+                            "channels",
+                        )
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        inner = target
+                        while isinstance(inner, ast.Subscript):
+                            inner = inner.value
+                        if (
+                            isinstance(inner, ast.Name)
+                            and isinstance(target, ast.Subscript)
+                            and inner.id in module_names
+                        ):
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"writing module-level {inner.id!r} from "
+                                f"{class_def.name} bypasses the message "
+                                "channels",
+                            )
+
+
+@register_rule
+class RestartMissingResetRule(Rule):
+    code = "PROT203"
+    name = "restart-missing-reset"
+    severity = Severity.ERROR
+    description = (
+        "on_restart override leaves some attribute mutated by the "
+        "on_start/on_message/on_timer handlers untouched — a recovered "
+        "process would resurrect volatile pre-crash state"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for class_def in process_program_classes(ctx.tree):
+            methods = {
+                stmt.name: stmt
+                for stmt in class_def.body
+                if isinstance(stmt, ast.FunctionDef)
+            }
+            if "on_restart" not in methods:
+                continue
+            facts = {
+                name: _method_facts(node) for name, node in methods.items()
+            }
+            handlers = [m for m in HANDLER_METHODS if m in methods]
+            volatile = _closure(handlers, facts)
+            reset = _closure(["on_restart"], facts)
+            missing = sorted(set(volatile) - set(reset))
+            for attr in missing:
+                yield self.finding(
+                    ctx,
+                    methods["on_restart"],
+                    f"{class_def.name}.on_restart does not re-initialize "
+                    f"self.{attr} (mutated at line {volatile[attr]}); a "
+                    "restarted process would keep pre-crash state",
+                )
+
+
+@register_rule
+class ProtocolDirectRandomRule(Rule):
+    code = "PROT204"
+    name = "protocol-direct-random"
+    severity = Severity.ERROR
+    description = (
+        "ProcessProgram method uses the `random` module or a wall clock "
+        "directly; use the simulator-seeded `ctx.random` stream and "
+        "`ctx.now` so runs stay reproducible per seed"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for class_def in process_program_classes(ctx.tree):
+            for node in ast.walk(class_def):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"random.{func.attr}(...) inside "
+                        f"{class_def.name}; simulated processes must "
+                        "draw from ctx.random",
+                    )
+                    continue
+                name = clock_call(node)
+                if name is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{name}() inside {class_def.name}; simulated "
+                        "processes must read ctx.now",
+                    )

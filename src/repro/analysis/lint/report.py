@@ -1,0 +1,46 @@
+"""Reporters: render a :class:`~repro.analysis.lint.engine.LintReport`.
+
+Text goes to humans and CI logs; JSON feeds tooling.  Ordering is fully
+deterministic in both (findings are sorted by the engine).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List
+
+from repro.analysis.lint.engine import LintReport
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(report: LintReport) -> str:
+    """One ``path:line:col CODE(slug) severity: message`` line per finding,
+    plus a summary tail."""
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.location()} {finding.code}({finding.name}) "
+            f"{finding.severity.value}: {finding.message}"
+        )
+    by_code = Counter(f.code for f in report.findings)
+    summary = (
+        f"{len(report.findings)} finding(s) in "
+        f"{report.files_checked} file(s)"
+    )
+    if by_code:
+        detail = ", ".join(
+            f"{code}×{count}" for code, count in sorted(by_code.items())
+        )
+        summary += f" [{detail}]"
+    if report.suppressed:
+        summary += f"; {report.suppressed} suppressed by pragma"
+    if report.docs_skipped:
+        summary += "; conformance rules skipped (canonical-key docs not found)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport, indent: int = 2) -> str:
+    return json.dumps(report.to_dict(), indent=indent, sort_keys=True)

@@ -11,6 +11,9 @@ Commands:
 * ``fuzz`` — differential-fuzz every registered engine against the
   brute-force oracles; shrink and save any disagreement
   (see ``docs/TESTING.md``);
+* ``lint`` — run the static-analysis suite (determinism lint, protocol
+  race detector, instrumentation-conformance checker) over source
+  paths (see ``docs/ANALYSIS.md``);
 * ``info`` — structural summary of a trace (processes, events, messages,
   lattice size if small enough).
 
@@ -30,11 +33,13 @@ Examples::
     python -m repro info random.json
 
 Exit codes: 0 = success (``detect``: predicate holds; ``fuzz``: all
-engines agreed), 1 = ``detect`` ran but the predicate does not hold, or
-``fuzz`` found a disagreement, 2 = usage or predicate-syntax error,
+engines agreed; ``lint``: no findings), 1 = ``detect`` ran but the
+predicate does not hold, ``fuzz`` found a disagreement, or ``lint``
+reported findings, 2 = usage or predicate-syntax error,
 3 = unreadable/malformed trace, 4 = simulation or fault-plan error,
-5 = monitor error.  Every error prints a one-line ``repro: <message>``
-diagnostic to stderr instead of a traceback.
+5 = monitor error, 6 = lint usage/internal error (unknown rule or path,
+unreadable canonical-key docs).  Every error prints a one-line
+``repro: <message>`` diagnostic to stderr instead of a traceback.
 """
 
 from __future__ import annotations
@@ -319,6 +324,36 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import LintConfig, render_json, render_text, run_lint
+
+    docs_paths = None
+    if args.docs_root is not None:
+        from pathlib import Path
+
+        root = Path(args.docs_root)
+        docs_paths = [str(root / "ALGORITHMS.md"), str(root / "OBSERVABILITY.md")]
+    config = LintConfig(
+        select=_split_rule_ids(args.select),
+        ignore=_split_rule_ids(args.ignore),
+        docs_paths=docs_paths,
+        require_docs=args.require_docs,
+    )
+    report = run_lint(args.paths, config)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
+
+
+def _split_rule_ids(values) -> list:
+    ids = []
+    for value in values or []:
+        ids.extend(part for part in value.split(",") if part.strip())
+    return ids
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -485,6 +520,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the static-analysis suite over source paths "
+        "(see docs/ANALYSIS.md)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="files or directories to lint (e.g. src/repro examples)",
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format on stdout (default text)",
+    )
+    p_lint.add_argument(
+        "--select", action="append", metavar="RULES",
+        help="comma-separated rule codes/slugs to run exclusively "
+        "(repeatable), e.g. DET101,unsorted-set-iteration",
+    )
+    p_lint.add_argument(
+        "--ignore", action="append", metavar="RULES",
+        help="comma-separated rule codes/slugs to skip (repeatable)",
+    )
+    p_lint.add_argument(
+        "--docs-root", default=None, metavar="DIR",
+        help="directory holding ALGORITHMS.md and OBSERVABILITY.md "
+        "(default: auto-discover a docs/ directory near the paths)",
+    )
+    p_lint.add_argument(
+        "--require-docs", action="store_true",
+        help="fail (exit 6) when the canonical-key docs cannot be found "
+        "instead of skipping the conformance rules",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
+
     p_sim = sub.add_parser("simulate", help="run a bundled protocol")
     p_sim.add_argument(
         "protocol",
@@ -571,6 +640,7 @@ def _fail(message: str, code: int) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.analysis import AnalysisError
     from repro.computation import ComputationError
     from repro.monitor import MonitorError
     from repro.predicates import PredicateError
@@ -585,6 +655,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _fail(f"bad predicate: {exc}", 2)
     except FaultPlanError as exc:
         return _fail(f"bad fault plan: {exc}", 4)
+    except AnalysisError as exc:
+        return _fail(f"lint failed: {exc}", 6)
     except (TraceFormatError, ComputationError) as exc:
         return _fail(f"bad trace: {exc}", 3)
     except OSError as exc:

@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.computation import Computation, final_cut, iter_consistent_cuts
 from repro.detection.result import DetectionResult
+from repro.obs import span
 from repro.predicates.base import GlobalPredicate
 
 __all__ = ["is_stable", "detect_stable"]
@@ -53,11 +54,13 @@ def detect_stable(
     """
     if verify_stability and not is_stable(computation, predicate):
         raise ValueError("predicate is not stable on this computation")
-    last = final_cut(computation)
-    holds = predicate.evaluate(last)
-    return DetectionResult(
-        holds=holds,
-        witness=last if holds else None,
-        algorithm="stable-final-cut",
-        stats={},
-    )
+    with span("engine.stable-final-cut") as sp:
+        last = final_cut(computation)
+        holds = predicate.evaluate(last)
+        sp.set(holds=holds)
+        return DetectionResult(
+            holds=holds,
+            witness=last if holds else None,
+            algorithm="stable-final-cut",
+            stats={},
+        )

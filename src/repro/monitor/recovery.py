@@ -56,31 +56,39 @@ GROUP_STATE_FORMAT = "repro-monitor-group-state-v1"
 
 
 def checkpoint_monitor(monitor: OnlineConjunctiveMonitor) -> Dict[str, Any]:
-    """Serialize the monitor's full state to a JSON-safe dictionary."""
+    """Serialize the monitor's full state to a JSON-safe dictionary.
+
+    Per-process entries are sorted by process id (and the document is
+    written with ``sort_keys=True`` by :func:`save_monitor`), so two
+    monitors with identical logical state checkpoint to byte-identical
+    JSON regardless of registration or restore order.
+    """
     witness = None
     if monitor._witness is not None:
         witness = [
             [p, index, list(clock)]
-            for p, (index, clock) in monitor._witness.items()
+            for p, (index, clock) in sorted(monitor._witness.items())
         ]
     return {
         "format": MONITOR_STATE_FORMAT,
         "num_processes": monitor._n,
-        "monitored": list(monitor._monitored),
+        "monitored": sorted(monitor._monitored),
         "lossy": monitor._lossy,
-        "last_index": [[p, i] for p, i in monitor._last_index.items()],
-        "finished": [p for p, done in monitor._finished.items() if done],
+        "last_index": [[p, i] for p, i in sorted(monitor._last_index.items())],
+        "finished": sorted(
+            p for p, done in monitor._finished.items() if done
+        ),
         "queues": [
             [p, [[c.index, list(c.clock)] for c in queue]]
-            for p, queue in monitor._queues.items()
+            for p, queue in sorted(monitor._queues.items())
         ],
         "gaps": [
             [p, [list(span) for span in spans]]
-            for p, spans in monitor._gaps.items()
+            for p, spans in sorted(monitor._gaps.items())
         ],
         "quarantined": [
             [p, [[index, list(clock), truth] for index, clock, truth in items]]
-            for p, items in monitor._quarantine.items()
+            for p, items in sorted(monitor._quarantine.items())
         ],
         "witness": witness,
         "witness_gapped": monitor._witness_gapped,
@@ -152,14 +160,18 @@ def restore_monitor(state: Mapping[str, Any]) -> OnlineConjunctiveMonitor:
 
 
 def checkpoint_group(group: MonitorGroup) -> Dict[str, Any]:
-    """Serialize a :class:`MonitorGroup` and all its monitors."""
+    """Serialize a :class:`MonitorGroup` and all its monitors.
+
+    Monitors are sorted by name so the checkpoint bytes do not depend on
+    registration order.
+    """
     return {
         "format": GROUP_STATE_FORMAT,
         "num_processes": group._n,
         "lossy": group._lossy,
         "monitors": [
             [name, checkpoint_monitor(monitor)]
-            for name, monitor in group._monitors.items()
+            for name, monitor in sorted(group._monitors.items())
         ],
     }
 

@@ -24,7 +24,9 @@ _MAX_SIBLINGS = 6
 def _format_attrs(attributes: Dict[str, Any]) -> str:
     if not attributes:
         return ""
-    parts = ", ".join(f"{k}={v!r}" for k, v in attributes.items())
+    # Sorted so renderings are byte-identical run to run, whatever order
+    # the span's attributes were set in.
+    parts = ", ".join(f"{k}={v!r}" for k, v in sorted(attributes.items()))
     return f"  [{parts}]"
 
 
@@ -64,17 +66,19 @@ def format_metrics(snapshot: Dict[str, Any]) -> str:
     counters = snapshot.get("counters", {})
     gauges = snapshot.get("gauges", {})
     histograms = snapshot.get("histograms", {})
+    # Registry snapshots arrive pre-sorted; sort here as well so any
+    # hand-built snapshot renders deterministically too.
     if counters:
         lines.append("counters:")
-        for name, value in counters.items():
+        for name, value in sorted(counters.items()):
             lines.append(f"  {name} = {value}")
     if gauges:
         lines.append("gauges:")
-        for name, value in gauges.items():
+        for name, value in sorted(gauges.items()):
             lines.append(f"  {name} = {value}")
     if histograms:
         lines.append("histograms:")
-        for name, summary in histograms.items():
+        for name, summary in sorted(histograms.items()):
             if summary.get("count", 0) == 0:
                 lines.append(f"  {name}: empty")
                 continue

@@ -267,15 +267,22 @@ class FuzzConfig:
     def family_names(self) -> List[str]:
         if self.families is None:
             return list(FAMILY_NAMES)
-        unknown = set(self.families) - set(FAMILY_NAMES)
-        if unknown:
-            raise ValueError(
-                f"unknown fuzz families {sorted(unknown)}; "
-                f"available: {list(FAMILY_NAMES)}"
-            )
-        # Preserve canonical order so the RNG stream does not depend on
-        # the order the user listed the families in.
-        return [name for name in FAMILY_NAMES if name in set(self.families)]
+        # Validate every requested name (a typo must not silently shrink
+        # the sweep) and keep the caller's order, first occurrence wins —
+        # the order is part of the reproducibility contract: the RNG
+        # indexes into this list, so ``--family a --family b`` replays
+        # bit-for-bit but is a different stream than ``--family b
+        # --family a``, exactly as the config says.
+        ordered: List[str] = []
+        for name in self.families:
+            if name not in FAMILIES:
+                raise ValueError(
+                    f"unknown fuzz family {name!r}; "
+                    f"available: {list(FAMILY_NAMES)}"
+                )
+            if name not in ordered:
+                ordered.append(name)
+        return ordered
 
 
 @dataclass

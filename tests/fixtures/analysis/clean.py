@@ -1,0 +1,16 @@
+"""A file with no violations: the self-test's negative control."""
+
+import random
+
+
+def seeded_stream(seed: int):
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(3)]
+
+
+def stable_ordering(items):
+    return sorted(set(items))
+
+
+def stable_dict(names):
+    return {name: 0 for name in sorted(set(names))}

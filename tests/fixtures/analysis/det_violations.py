@@ -1,0 +1,37 @@
+"""Planted determinism violations — one per DET rule (see the
+line-number map in tests/test_analysis_lint.py)."""
+
+import os
+import random
+import time
+
+
+def unseeded_random():
+    return random.random()  # line 10: DET101
+
+
+def wall_clock():
+    return time.time()  # line 14: DET102
+
+
+def unsorted_set_iteration(items):
+    return list({x for x in items})  # line 18: DET103
+
+
+def listdir_iteration(path):
+    out = []
+    for name in os.listdir(path):  # line 23: DET103
+        out.append(name)
+    return out
+
+
+def id_as_key(objects):
+    return {id(obj): obj for obj in objects}  # line 29: DET104
+
+
+def dict_from_set(names):
+    return {name: 0 for name in set(names)}  # line 33: DET105
+
+
+def sorted_is_clean(items):
+    return sorted(set(items))  # no finding: sorted(...) wrapper

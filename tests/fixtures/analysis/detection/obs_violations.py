@@ -1,0 +1,25 @@
+"""Planted instrumentation-conformance violations (path contains a
+``detection`` segment on purpose, so OBS301 applies)."""
+
+from repro.detection.result import DetectionResult
+from repro.obs import StatCounters, span
+from repro.obs.metrics import registry
+
+
+def detect_unspanned(computation, predicate) -> DetectionResult:
+    # line 9: OBS301 — entrypoint without a span
+    return DetectionResult(holds=False, algorithm="bogus", stats={})
+
+
+def emit_unknown_metric():
+    registry().counter("engine.bogus.unknown_key").inc()  # line 15: OBS302
+
+
+def emit_unknown_stat_key():
+    stats = StatCounters("engine.cpdhb")
+    stats.inc("not_a_documented_stat")  # line 20: OBS302
+
+
+def open_unknown_span() -> None:
+    with span("engine-bogus-span-name"):  # line 24: OBS303
+        pass

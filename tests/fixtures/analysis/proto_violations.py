@@ -1,0 +1,29 @@
+"""Planted ProcessProgram violations — one per PROT rule."""
+
+import random
+import time
+
+from repro.simulation.process import Message, ProcessContext, ProcessProgram
+
+MAILBOXES = {}
+
+
+class RacyProcess(ProcessProgram):
+    peers = []  # line 12: PROT201 mutable class attribute
+
+    def __init__(self) -> None:
+        self.pending = []
+        self.rounds = 0
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        MAILBOXES[ctx.process_id] = []  # line 19: PROT202 global write
+        ctx.set_timer(random.uniform(1.0, 2.0))  # line 20: PROT204 (+DET101)
+
+    def on_message(self, ctx: ProcessContext, message: Message) -> None:
+        self.pending.append(message.payload)
+        self.rounds += 1
+        ctx.set_value("stamp", time.time())  # line 25: PROT204 (+DET102)
+
+    def on_restart(self, ctx: ProcessContext) -> None:
+        # line 27: PROT203 — self.pending and self.rounds not re-initialized
+        ctx.set_value("restarted", True)

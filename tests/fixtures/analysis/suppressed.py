@@ -1,0 +1,18 @@
+"""Every planted violation here carries a suppression pragma, so a lint
+run over this file must report zero findings."""
+# repro: lint-ignore-file[DET102]
+
+import random
+import time
+
+
+def quieted_random():
+    return random.random()  # repro: lint-ignore[DET101]
+
+
+def quieted_by_slug(items):
+    return list(set(items))  # repro: lint-ignore[unsorted-set-iteration]
+
+
+def quieted_clock_by_file_pragma():
+    return time.time()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -251,3 +252,75 @@ class TestErrorExitCodes:
         captured = capsys.readouterr()
         assert code == 4
         assert "process 99" in captured.err
+
+
+class TestLint:
+    REPO = Path(__file__).resolve().parents[1]
+    FIXTURES = REPO / "tests" / "fixtures" / "analysis"
+    DOCS_ROOT = str(FIXTURES / "docs")
+
+    def test_clean_path_exits_zero(self, capsys):
+        code = main(
+            ["lint", str(self.FIXTURES / "clean.py"),
+             "--docs-root", self.DOCS_ROOT]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "0 finding(s) in 1 file(s)" in captured.out
+
+    def test_findings_exit_one(self, capsys):
+        code = main(
+            ["lint", str(self.FIXTURES / "det_violations.py"),
+             "--docs-root", self.DOCS_ROOT]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "DET101(unseeded-random)" in captured.out
+
+    def test_json_format(self, capsys):
+        code = main(
+            ["lint", str(self.FIXTURES / "det_violations.py"),
+             "--format", "json", "--docs-root", self.DOCS_ROOT]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert {f["code"] for f in payload["findings"]} >= {"DET101"}
+        assert payload["files_checked"] == 1
+
+    def test_select_narrows_run(self, capsys):
+        code = main(
+            ["lint", str(self.FIXTURES / "det_violations.py"),
+             "--select", "DET101,DET102", "--format", "json",
+             "--docs-root", self.DOCS_ROOT]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert {f["code"] for f in payload["findings"]} == {
+            "DET101", "DET102"
+        }
+
+    def test_unknown_rule_exits_six(self, capsys):
+        code = main(
+            ["lint", str(self.FIXTURES / "clean.py"),
+             "--select", "DET999", "--docs-root", self.DOCS_ROOT]
+        )
+        captured = capsys.readouterr()
+        assert code == 6
+        assert captured.err.startswith("repro: lint failed:")
+        assert "unknown rule" in captured.err
+
+    def test_missing_path_exits_six(self, tmp_path, capsys):
+        code = main(["lint", str(tmp_path / "nowhere"),
+                     "--docs-root", self.DOCS_ROOT])
+        captured = capsys.readouterr()
+        assert code == 6
+        assert "no such file or directory" in captured.err
+
+    def test_missing_docs_root_exits_six(self, tmp_path, capsys):
+        code = main(
+            ["lint", str(self.FIXTURES / "clean.py"),
+             "--docs-root", str(tmp_path / "nodocs")]
+        )
+        captured = capsys.readouterr()
+        assert code == 6
+        assert "canonical-key docs not found" in captured.err

@@ -268,3 +268,60 @@ class TestCrashRestartDemo:
             fired.extend(group.observe(p, index, clock, truth))
         assert fired == ["mutex(2,3)"]
         assert group.detailed_verdicts() == {"mutex(2,3)": "detected"}
+
+
+class TestCheckpointByteStability:
+    """Checkpoints of equal logical state are byte-identical snapshots."""
+
+    def _stream(self, seed=7):
+        comp = random_computation(
+            3, 6, 0.4, seed=seed, variables=[BoolVar("x", 0.35)]
+        )
+        return observation_stream(comp, range(3))
+
+    def test_checkpoint_restore_checkpoint_is_identity(self):
+        import json
+
+        monitor = feed(
+            OnlineConjunctiveMonitor(3, range(3), lossy=True),
+            self._stream(),
+        )
+        first = recovery.checkpoint_monitor(monitor)
+        second = recovery.checkpoint_monitor(
+            recovery.restore_monitor(first)
+        )
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_registration_order_does_not_change_bytes(self):
+        import json
+
+        forward = OnlineConjunctiveMonitor(3, [0, 1, 2], lossy=True)
+        backward = OnlineConjunctiveMonitor(3, [2, 1, 0], lossy=True)
+        for m in (forward, backward):
+            feed(m, self._stream())
+        dumps = [
+            json.dumps(recovery.checkpoint_monitor(m), sort_keys=True)
+            for m in (forward, backward)
+        ]
+        assert dumps[0] == dumps[1]
+
+    def test_save_monitor_bytes_stable(self, tmp_path):
+        monitor = feed(
+            OnlineConjunctiveMonitor(3, range(3), lossy=True),
+            self._stream(),
+        )
+        a, b = tmp_path / "a.ckpt", tmp_path / "b.ckpt"
+        recovery.save_monitor(monitor, a)
+        recovery.save_monitor(recovery.load_monitor(a), b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_save_group_bytes_stable(self, tmp_path):
+        group = MonitorGroup.all_pairs(3, lossy=True)
+        for p, index, clock, truth in self._stream():
+            group.observe(p, index, clock, truth)
+        a, b = tmp_path / "a.ckpt", tmp_path / "b.ckpt"
+        recovery.save_group(group, a)
+        recovery.save_group(recovery.load_group(a), b)
+        assert a.read_bytes() == b.read_bytes()

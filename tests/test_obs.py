@@ -243,3 +243,33 @@ class TestFormatting:
         assert "counters:" in text and "c = 2" in text
         assert "gauges:" in text and "g = 5" in text
         assert "histograms:" in text and "count=1" in text
+
+
+class TestExportDeterminism:
+    def test_metrics_render_is_insertion_order_independent(self):
+        from repro.obs.export import format_metrics
+
+        forward = {
+            "counters": {"a.one": 1, "b.two": 2},
+            "gauges": {"g.x": 1.0, "g.y": 2.0},
+            "histograms": {},
+        }
+        backward = {
+            "counters": {"b.two": 2, "a.one": 1},
+            "gauges": {"g.y": 2.0, "g.x": 1.0},
+            "histograms": {},
+        }
+        assert format_metrics(forward) == format_metrics(backward)
+
+    def test_span_attrs_render_sorted(self):
+        from repro.obs.export import format_span_tree
+
+        obs.enable()
+        try:
+            with obs.span("t.root") as sp:
+                sp.set(zeta=1, alpha=2)
+            (root,) = take_roots()
+        finally:
+            obs.disable()
+        line = format_span_tree([root]).splitlines()[0]
+        assert "[alpha=2, zeta=1]" in line

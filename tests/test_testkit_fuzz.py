@@ -43,13 +43,36 @@ class TestCleanSweep:
         assert {log.family for log in report.instances} == {"symmetric"}
 
     def test_unknown_family_rejected(self):
-        with pytest.raises(ValueError, match="unknown fuzz families"):
+        with pytest.raises(ValueError, match="unknown fuzz family 'nope'"):
             FuzzConfig(families=["nope"]).family_names()
 
-    def test_family_filter_order_does_not_matter(self):
+    def test_unknown_family_rejected_even_among_valid_names(self):
+        # A typo must fail loudly, never silently shrink the sweep.
+        with pytest.raises(ValueError, match="unknown fuzz family 'symetric'"):
+            FuzzConfig(
+                families=["conjunctive", "symetric"]
+            ).family_names()
+
+    def test_family_filter_preserves_caller_order(self):
         a = FuzzConfig(families=["symmetric", "conjunctive"]).family_names()
         b = FuzzConfig(families=["conjunctive", "symmetric"]).family_names()
-        assert a == b  # canonical order, so the RNG stream is identical
+        assert a == ["symmetric", "conjunctive"]
+        assert b == ["conjunctive", "symmetric"]
+
+    def test_family_filter_dedupes_deterministically(self):
+        names = FuzzConfig(
+            families=["symmetric", "conjunctive", "symmetric"]
+        ).family_names()
+        assert names == ["symmetric", "conjunctive"]
+
+    def test_family_order_is_reproducible(self):
+        # Same requested order => bit-for-bit identical run.
+        config = dict(
+            seed=5, iterations=12, families=["symmetric", "conjunctive"]
+        )
+        first = run_fuzz(FuzzConfig(**config))
+        second = run_fuzz(FuzzConfig(**config))
+        assert first.log_lines() == second.log_lines()
 
 
 class TestDeterminism:
