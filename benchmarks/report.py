@@ -21,6 +21,14 @@ With ``--json`` every experiment runs under the observability layer
 counters, gauges, and histogram summaries the engines emitted — the
 *work done* (CPDHB invocations, eliminations, cuts explored), not just
 wall time.
+
+Unless ``--no-ledger`` is passed (or ``REPRO_RUNS=off``), each report
+run also appends one ``repro-run-v1`` record (``command: "bench"``,
+per-experiment wall times in ``stats``) to the run ledger, so
+``repro runs diff`` can compare benchmark runs across PRs — see
+``docs/RUNS.md``.  The record is assembled after the timed loop from the
+report's own measurements; experiments never run under ledger
+instrumentation.
 """
 
 from __future__ import annotations
@@ -487,6 +495,51 @@ def check_baseline(
     return regressions
 
 
+def append_ledger_record(
+    ledger_flag: "str | None",
+    argv: List[str],
+    wanted: List[str],
+    wall_times: Dict[str, float],
+    regressions: int,
+    exit_code: int,
+    started_at: str,
+    wall_ms: float,
+    cpu_ms: float,
+) -> None:
+    """Record this benchmark run in the run ledger (see docs/RUNS.md)."""
+    from repro.obs import ledger
+
+    path = ledger.resolve_ledger_path(ledger_flag)
+    if path is None:
+        return
+    stats: Dict[str, float] = {
+        "experiments": len(wanted),
+        "regressions": regressions,
+    }
+    for exp_id, ms in wall_times.items():
+        stats[f"wall.{exp_id}"] = round(ms, 3)
+    record = {
+        "command": "bench",
+        "argv": list(argv),
+        "args_fingerprint": ledger.fingerprint_args("bench", argv),
+        "started_at": started_at,
+        "wall_ms": wall_ms,
+        "cpu_ms": cpu_ms,
+        "exit_code": exit_code,
+        "verdict": "regressions" if regressions else "ok",
+        "trace": None,
+        "stats": stats,
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        "spans": [],
+        "extra": {},
+    }
+    try:
+        full = ledger.append_record(path, record)
+        print(f"\nappended run record {full['id']} to {path}")
+    except OSError as exc:
+        print(f"warning: could not append run record: {exc}", file=sys.stderr)
+
+
 def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("experiments", nargs="*", metavar="EXP_ID")
@@ -504,6 +557,15 @@ def main(argv: List[str]) -> int:
         "--max-slowdown", type=float, default=2.0, metavar="RATIO",
         help="regression threshold for --baseline (default 2.0)",
     )
+    parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="run-ledger path (default: $REPRO_RUNS or .repro/runs.jsonl; "
+        "'off' disables)",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not append a run record to the ledger",
+    )
     args = parser.parse_args(argv)
     wanted = args.experiments or list(EXPERIMENTS)
     unknown = [w for w in wanted if w not in EXPERIMENTS]
@@ -511,6 +573,9 @@ def main(argv: List[str]) -> int:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         print(f"known: {list(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    started_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    run_wall_start = time.perf_counter()
+    run_cpu_start = time.process_time()
     print("# Experiment report (regenerated)")
     metrics: Dict[str, Dict] = {}
     wall_times: Dict[str, float] = {}
@@ -534,14 +599,22 @@ def main(argv: List[str]) -> int:
         with open(args.json_path, "w") as handle:
             json.dump({"experiments": metrics}, handle, indent=2)
         print(f"\nwrote metrics snapshots to {args.json_path}")
+    regressions = 0
     if args.baseline is not None:
         regressions = check_baseline(
             args.baseline, wall_times, args.max_slowdown
         )
-        if regressions:
-            print(f"\n{regressions} experiment(s) regressed", file=sys.stderr)
-            return 1
-    return 0
+    code = 1 if regressions else 0
+    if not args.no_ledger:
+        append_ledger_record(
+            args.ledger, argv, wanted, wall_times, regressions, code,
+            started_at,
+            wall_ms=(time.perf_counter() - run_wall_start) * 1000.0,
+            cpu_ms=(time.process_time() - run_cpu_start) * 1000.0,
+        )
+    if regressions:
+        print(f"\n{regressions} experiment(s) regressed", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

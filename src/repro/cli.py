@@ -15,7 +15,17 @@ Commands:
   race detector, instrumentation-conformance checker) over source
   paths (see ``docs/ANALYSIS.md``);
 * ``info`` — structural summary of a trace (processes, events, messages,
-  lattice size if small enough).
+  lattice size if small enough);
+* ``runs`` — inspect the run ledger: every other command appends one
+  ``repro-run-v1`` record to ``.repro/runs.jsonl`` (``--runs-ledger`` /
+  ``REPRO_RUNS`` override the path, ``REPRO_RUNS=off`` or
+  ``--no-runs-ledger`` disable it); ``runs list|show|last|diff``
+  read it back (see ``docs/RUNS.md``).
+
+Long detections can be watched and bounded: ``detect --progress``
+(also ``fuzz --progress``) prints rate-limited ``progress:`` ticks to
+stderr, and ``detect --deadline-ms N`` turns a blown budget into a
+clean ``inconclusive`` verdict with exit code 7 instead of a hang.
 
 Examples::
 
@@ -31,6 +41,9 @@ Examples::
     python -m repro fuzz --seed 7 --iterations 100
     python -m repro fuzz --seed 7 --time-budget 30 --corpus tests/corpus
     python -m repro info random.json
+    python -m repro detect ring.json "cs@1 & cs@3" --progress --deadline-ms 5000
+    python -m repro runs list
+    python -m repro runs diff prev last
 
 Exit codes: 0 = success (``detect``: predicate holds; ``fuzz``: all
 engines agreed; ``lint``: no findings), 1 = ``detect`` ran but the
@@ -38,14 +51,17 @@ predicate does not hold, ``fuzz`` found a disagreement, or ``lint``
 reported findings, 2 = usage or predicate-syntax error,
 3 = unreadable/malformed trace, 4 = simulation or fault-plan error,
 5 = monitor error, 6 = lint usage/internal error (unknown rule or path,
-unreadable canonical-key docs).  Every error prints a one-line
-``repro: <message>`` diagnostic to stderr instead of a traceback.
+unreadable canonical-key docs), 7 = ``--deadline-ms`` expired before a
+verdict (``detect`` prints an ``inconclusive`` payload with partial
+progress).  Every error prints a one-line ``repro: <message>``
+diagnostic to stderr instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -64,27 +80,79 @@ from repro.trace import (
 __all__ = ["main"]
 
 
+def _progress_interval() -> float:
+    """Sink rate limit in seconds (REPRO_PROGRESS_INTERVAL_MS override)."""
+    return float(os.environ.get("REPRO_PROGRESS_INTERVAL_MS", "250")) / 1000.0
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import annotate
+    from repro.obs.progress import (
+        DeadlineExceeded,
+        progress_context,
+        stderr_sink,
+    )
+
     computation = load_computation(args.trace)
+    annotate(trace=args.trace)
     predicate = parse_predicate(
         args.predicate, num_processes=computation.num_processes
     )
     modality = Modality(args.modality)
-    if args.profile:
-        from repro import obs
+    from contextlib import nullcontext
 
-        with obs.Capture() as cap:
-            result = detect(
-                computation, predicate, modality, parallel=args.parallel
-            )
-        print("── span tree ──", file=sys.stderr)
-        print(obs.format_span_tree(cap.roots), file=sys.stderr)
-        print("── metrics ──", file=sys.stderr)
-        print(obs.format_metrics(cap.registry.snapshot()), file=sys.stderr)
-    else:
-        result = detect(
-            computation, predicate, modality, parallel=args.parallel
+    sink = stderr_sink if args.progress else None
+    prog_ctx = (
+        progress_context(
+            sink=sink,
+            deadline_ms=args.deadline_ms,
+            interval_s=_progress_interval(),
         )
+        if sink is not None or args.deadline_ms is not None
+        else nullcontext()
+    )
+    try:
+        if args.profile:
+            from repro import obs
+
+            with prog_ctx, obs.Capture() as cap:
+                result = detect(
+                    computation, predicate, modality, parallel=args.parallel
+                )
+            print("── span tree ──", file=sys.stderr)
+            print(obs.format_span_tree(cap.roots), file=sys.stderr)
+            print("── metrics ──", file=sys.stderr)
+            print(obs.format_metrics(cap.registry.snapshot()), file=sys.stderr)
+            annotate(spans=[root.to_dict() for root in cap.roots])
+        else:
+            with prog_ctx:
+                result = detect(
+                    computation, predicate, modality, parallel=args.parallel
+                )
+    except DeadlineExceeded as exc:
+        payload = {
+            "predicate": predicate.description(),
+            "modality": modality.value,
+            "holds": None,
+            "verdict": "inconclusive",
+            "deadline_ms": exc.deadline_ms,
+            "progress": {
+                "loop": exc.name,
+                "done": exc.done,
+                "total": exc.total,
+                "elapsed_ms": round(exc.elapsed_ms, 3),
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        annotate(
+            verdict="inconclusive",
+            stats={"deadline_loop": exc.name, "deadline_done": exc.done},
+        )
+        return 7
+    annotate(
+        verdict="holds" if result.holds else "not-holds",
+        stats={k: _jsonable(v) for k, v in result.stats.items()},
+    )
     payload = {
         "predicate": predicate.description(),
         "modality": modality.value,
@@ -117,8 +185,10 @@ def _jsonable(value):
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro import obs
+    from repro.obs.ledger import annotate
 
     computation = load_computation(args.trace)
+    annotate(trace=args.trace)
     predicate = parse_predicate(
         args.predicate, num_processes=computation.num_processes
     )
@@ -128,6 +198,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         for _ in range(max(1, args.repeat)):
             result = detect(computation, predicate, modality)
     assert result is not None
+    annotate(
+        verdict="holds" if result.holds else "not-holds",
+        spans=[root.to_dict() for root in cap.roots],
+    )
     if args.spans:
         print("── span tree ──", file=sys.stderr)
         print(obs.format_span_tree(cap.roots), file=sys.stderr)
@@ -172,6 +246,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         variables=variables,
     )
     dump_computation(computation, args.output)
+    from repro.obs.ledger import annotate
+
+    annotate(
+        trace=args.output,
+        stats={
+            "processes": computation.num_processes,
+            "events": computation.total_events(),
+        },
+    )
     print(
         f"wrote {computation.num_processes} processes, "
         f"{computation.total_events()} events, "
@@ -250,6 +333,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     else:
         computation = _run_simulation(args, faults)
     dump_computation(computation, args.output)
+    from repro.obs.ledger import annotate
+
+    annotate(
+        trace=args.output,
+        stats={
+            "processes": computation.num_processes,
+            "events": computation.total_events(),
+            "messages": len(computation.messages),
+        },
+    )
     summary = (
         f"{args.protocol}: {computation.num_processes} processes, "
         f"{computation.total_events()} events, "
@@ -267,6 +360,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import annotate
+    from repro.obs.progress import progress_context, stderr_sink
     from repro.testkit import CorpusCase, FuzzConfig, run_fuzz, save_case
 
     config = FuzzConfig(
@@ -276,15 +371,32 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         families=args.family or None,
         shrink=not args.no_shrink,
     )
-    if args.profile:
-        from repro import obs
+    from contextlib import nullcontext
 
-        with obs.Capture() as cap:
+    sink_ctx = (
+        progress_context(sink=stderr_sink, interval_s=_progress_interval())
+        if args.progress
+        else nullcontext()
+    )
+    with sink_ctx:
+        if args.profile:
+            from repro import obs
+
+            with obs.Capture() as cap:
+                report = run_fuzz(config)
+            print("── metrics ──", file=sys.stderr)
+            print(
+                obs.format_metrics(cap.registry.snapshot()), file=sys.stderr
+            )
+        else:
             report = run_fuzz(config)
-        print("── metrics ──", file=sys.stderr)
-        print(obs.format_metrics(cap.registry.snapshot()), file=sys.stderr)
-    else:
-        report = run_fuzz(config)
+    annotate(
+        verdict="agreed" if report.ok else "disagreed",
+        stats={
+            "iterations_run": report.iterations_run,
+            "findings": len(report.findings),
+        },
+    )
     for line in report.log_lines():
         print(line)
     if args.corpus is not None and report.findings:
@@ -340,6 +452,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         require_docs=args.require_docs,
     )
     report = run_lint(args.paths, config)
+    from repro.obs.ledger import annotate
+
+    annotate(
+        verdict="clean" if report.ok else "findings",
+        stats={
+            "findings": len(report.findings),
+            "files_checked": report.files_checked,
+        },
+    )
     if args.format == "json":
         print(render_json(report))
     else:
@@ -372,6 +493,9 @@ def _cmd_render(args: argparse.Namespace) -> int:
             computation, predicate=predicate, max_cuts=args.max_cuts
         )
     Path(args.output).write_text(dot)
+    from repro.obs.ledger import annotate
+
+    annotate(trace=args.trace)
     print(f"wrote {args.what} DOT to {args.output}")
     return 0
 
@@ -401,7 +525,60 @@ def _cmd_info(args: argparse.Namespace) -> int:
         }
     if computation.total_events() <= args.lattice_limit:
         info["consistent_cuts"] = count_consistent_cuts(computation)
+    from repro.obs.ledger import annotate
+
+    annotate(
+        trace=args.trace,
+        stats={
+            "processes": computation.num_processes,
+            "events": computation.total_events(),
+        },
+    )
     print(json.dumps(info, indent=2))
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs import ledger
+
+    path = ledger.resolve_ledger_path(args.ledger)
+    if path is None:
+        raise ValueError(
+            "run ledger is disabled (REPRO_RUNS=off); pass --ledger PATH"
+        )
+    records = ledger.read_records(path)
+    action = args.action or "list"
+    if action == "list":
+        limit = getattr(args, "n", None)
+        shown = records[-limit:] if limit else records
+        for record in shown:
+            verdict = record.get("verdict") or "-"
+            print(
+                f"{record['id']}  {record['started_at']}  "
+                f"{record['command']:<9} exit={record['exit_code']} "
+                f"verdict={verdict} wall={record['wall_ms']:.1f}ms"
+            )
+        return 0
+    if action in ("show", "last"):
+        ref = "last" if action == "last" else args.ref
+        record = ledger.resolve_ref(records, ref)
+        if getattr(args, "otlp", False):
+            from repro.obs.export import otlp_json, span_from_dict
+
+            roots = [span_from_dict(tree) for tree in record["spans"]]
+            print(otlp_json(roots, seed=record["id"]))
+        else:
+            print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    assert action == "diff"
+    refs = list(args.refs or [])
+    if not refs:
+        refs = ["prev", "last"]
+    if len(refs) != 2:
+        raise ValueError("runs diff takes exactly two run references")
+    record_a = ledger.resolve_ref(records, refs[0])
+    record_b = ledger.resolve_ref(records, refs[1])
+    print(ledger.format_diff(ledger.diff_records(record_a, record_b)))
     return 0
 
 
@@ -410,6 +587,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Global predicate detection in distributed computations "
         "(Mittal & Garg, ICDCS 2001).",
+    )
+    parser.add_argument(
+        "--runs-ledger", default=None, metavar="PATH",
+        help="append this run's repro-run-v1 record to PATH "
+        "(default .repro/runs.jsonl; env REPRO_RUNS overrides, "
+        "REPRO_RUNS=off disables; see docs/RUNS.md)",
+    )
+    parser.add_argument(
+        "--no-runs-ledger", action="store_true",
+        help="do not record this invocation in the run ledger",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -440,6 +627,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel", type=int, default=None, metavar="N",
         help="fan combination-sweep engines across N worker processes "
         "(-1 = one per CPU); verdict and witness are unchanged",
+    )
+    p_detect.add_argument(
+        "--progress", action="store_true",
+        help="print rate-limited progress ticks to stderr while detecting",
+    )
+    p_detect.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="give up after MS milliseconds with a clean 'inconclusive' "
+        "verdict (exit code 7) instead of running to completion",
     )
     p_detect.set_defaults(func=_cmd_detect)
 
@@ -518,7 +714,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print testkit.* metrics to stderr after the run",
     )
+    p_fuzz.add_argument(
+        "--progress", action="store_true",
+        help="print rate-limited progress ticks to stderr while fuzzing",
+    )
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_runs = sub.add_parser(
+        "runs",
+        help="inspect the run ledger of past invocations (see docs/RUNS.md)",
+    )
+    p_runs.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="ledger file to read (default .repro/runs.jsonl or REPRO_RUNS)",
+    )
+    runs_sub = p_runs.add_subparsers(dest="action")
+    r_list = runs_sub.add_parser("list", help="list recorded runs")
+    r_list.add_argument(
+        "-n", type=int, default=20, help="show at most N latest runs"
+    )
+    r_show = runs_sub.add_parser("show", help="print one run record as JSON")
+    r_show.add_argument(
+        "ref", help="run reference: id prefix, 1-based index, -1, prev, last"
+    )
+    r_show.add_argument(
+        "--otlp", action="store_true",
+        help="print the record's span tree as OTLP/JSON instead",
+    )
+    r_last = runs_sub.add_parser("last", help="print the latest run record")
+    r_last.add_argument(
+        "--otlp", action="store_true",
+        help="print the record's span tree as OTLP/JSON instead",
+    )
+    r_diff = runs_sub.add_parser(
+        "diff", help="metric and latency deltas between two runs"
+    )
+    r_diff.add_argument(
+        "refs", nargs="*",
+        help="two run references (default: prev last)",
+    )
+    for action_parser in (r_list, r_show, r_last, r_diff):
+        # Accept --ledger after the action too (`runs diff --ledger P`).
+        # SUPPRESS keeps the subparser from clobbering the value the
+        # parent parser already stored.
+        action_parser.add_argument(
+            "--ledger", default=argparse.SUPPRESS, metavar="PATH",
+            help=argparse.SUPPRESS,
+        )
+    p_runs.set_defaults(func=_cmd_runs, action=None)
 
     p_lint = sub.add_parser(
         "lint",
@@ -639,7 +882,7 @@ def _fail(message: str, code: int) -> int:
     return code
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def _dispatch(args: argparse.Namespace) -> int:
     from repro.analysis import AnalysisError
     from repro.computation import ComputationError
     from repro.monitor import MonitorError
@@ -647,8 +890,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.simulation import FaultPlanError, SimulationError
     from repro.trace import TraceFormatError
 
-    parser = build_parser()
-    args = parser.parse_args(argv)
     try:
         return args.func(args)
     except PredicateError as exc:
@@ -668,6 +909,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         # e.g. an unknown --family name passed to fuzz.
         return _fail(str(exc), 2)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    ledger_path = None
+    if args.command != "runs" and not args.no_runs_ledger:
+        from repro.obs import ledger
+
+        ledger_path = ledger.resolve_ledger_path(args.runs_ledger)
+    if ledger_path is None:
+        return _dispatch(args)
+    from repro.obs import ledger
+
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
+    with ledger.RunRecorder(ledger_path, args.command, raw_argv) as recorder:
+        code = _dispatch(args)
+        recorder.exit_code = code
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -58,12 +58,15 @@ def iter_levels(computation: Computation) -> Iterator[List[Cut]]:
     the computation's memoized causality index; each distinct cut is
     materialized once through the shared interner.
     """
+    from repro.obs.progress import tracker
     from repro.perf.causality import CausalityIndex
 
     index = CausalityIndex.of(computation)
     interner = index.interner
     current: List[Tuple[int, ...]] = [initial_cut(computation).frontier]
+    trk = tracker("lattice.cuts")
     while current:
+        trk.step(len(current))
         yield [interner.get(frontier) for frontier in current]
         next_level: Set[Tuple[int, ...]] = set()
         for frontier in current:
@@ -98,10 +101,14 @@ def reachable_avoiding(
         return True
     if not goal.subset_of(start) and not start.subset_of(goal):
         pass  # incomparable cuts can never reach each other; caught below
+    from repro.obs.progress import tracker
+
     seen: Set[Cut] = {start}
     queue: deque[Cut] = deque([start])
+    trk = tracker("detect.cuts", check_every=64)
     while queue:
         cut = queue.popleft()
+        trk.step()
         for nxt in cut.successors():
             if nxt in seen or avoid(nxt):
                 continue

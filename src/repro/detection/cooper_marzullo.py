@@ -23,6 +23,7 @@ from typing import Optional, Set, Tuple
 from repro.computation import Computation, Cut, final_cut, initial_cut
 from repro.detection.result import DetectionResult
 from repro.obs import StatCounters, span
+from repro.obs.progress import tracker
 from repro.perf.causality import CausalityIndex
 from repro.predicates.base import GlobalPredicate
 
@@ -47,9 +48,11 @@ def possibly_enumerate(
         seen: Set[Tuple[int, ...]] = {start}
         queue: deque[Tuple[int, ...]] = deque([start])
         holds, witness = False, None
+        trk = tracker("detect.cuts", check_every=64)
         while queue:
             frontier = queue.popleft()
             explored += 1
+            trk.step()
             cut = interner.get(frontier)
             if predicate.evaluate(cut):
                 holds, witness = True, cut
@@ -114,8 +117,10 @@ def definitely_enumerate(
         explored = 2  # both endpoints evaluated; count each cut once
         seen: Set[Tuple[int, ...]] = {start.frontier}
         queue: deque[Tuple[int, ...]] = deque([start.frontier])
+        trk = tracker("detect.cuts", check_every=64)
         while queue:
             frontier = queue.popleft()
+            trk.step()
             for nxt in index.successor_frontiers(frontier):
                 if nxt in seen:
                     continue

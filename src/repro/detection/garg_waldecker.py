@@ -29,6 +29,7 @@ from repro.computation import Computation, Cut, least_consistent_cut
 from repro.detection.result import DetectionResult
 from repro.events import EventId
 from repro.obs import StatCounters, span
+from repro.obs.progress import tracker
 from repro.perf.causality import CausalityIndex
 from repro.predicates.conjunctive import ConjunctivePredicate
 from repro.predicates.local import true_events
@@ -93,7 +94,9 @@ class SelectionScan:
         queued = [True] * m
         advances = 0
         comparisons = 0
+        trk = tracker("detect.scan", check_every=512)
         while pending:
+            trk.step()
             i = pending.popleft()
             queued[i] = False
             ep, ei = chains[i][cursor[i]]
@@ -151,7 +154,9 @@ class SelectionScan:
             cursor[i] += 1
             return cursor[i] < len(self._chains[i])
 
+        trk = tracker("detect.scan", check_every=512)
         while pending:
+            trk.step()
             i = pending.popleft()
             queued[i] = False
             e = self._chains[i][cursor[i]]

@@ -41,6 +41,7 @@ from repro.detection.garg_waldecker import SelectionScan
 from repro.detection.result import DetectionResult
 from repro.events import EventId
 from repro.obs import StatCounters, span
+from repro.obs.progress import tracker
 from repro.perf.causality import CausalityIndex
 from repro.perf.parallel import resolve_workers, run_combination_search
 from repro.predicates.boolean import Clause, CNFPredicate
@@ -277,6 +278,7 @@ def _detect_by_combinations(
             # Pool creation failed (restricted sandbox): serial fallback.
             stats.set("workers", 1)
 
+        trk = tracker("detect.combinations", total=total)
         for combo in itertools.product(*per_group_chains):
             stats.inc("invocations")
             with span("scan.cpdhb") as scan_sp:
@@ -284,8 +286,10 @@ def _detect_by_combinations(
                 selection = scan.run()
                 scan_sp.set(advances=scan.advances)
             stats.inc("advances", scan.advances)
+            trk.step()
             if selection is not None:
                 return _finish(True, selection)
+        trk.finish()
         return _finish(False)
 
 

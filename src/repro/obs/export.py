@@ -1,20 +1,59 @@
-"""Human-readable rendering of span trees and metrics snapshots.
+"""Exporters: human-readable rendering, Prometheus text, OTLP-JSON spans.
 
-Used by ``repro detect --profile`` and ``repro profile`` to print to
-stderr; the machine-readable paths are
-:meth:`~repro.obs.metrics.MetricsRegistry.to_json`,
-:meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus`, and
-:meth:`~repro.obs.spans.Span.to_dict`.
+Three audiences:
+
+* people — :func:`format_span_tree` / :func:`format_metrics` back the
+  ``--profile`` stderr reports;
+* scrapers — :func:`format_prometheus` renders a registry snapshot in
+  the Prometheus text exposition format (0.0.4), with metric names
+  sanitized (dots → underscores) and one ``# TYPE`` line per family;
+* trace viewers — :func:`otlp_json` serializes span trees as
+  OTLP/JSON (the OpenTelemetry ``resourceSpans`` shape) and
+  :func:`otlp_to_spans` loads that payload back into
+  :class:`~repro.obs.spans.Span` trees, so exported records round-trip.
+
+OTLP requires 128-bit trace ids, 64-bit span ids and absolute
+nanosecond timestamps; ``repro`` spans have none of those (only
+relative durations, by determinism design).  The exporter therefore
+*derives* them: ids are SHA-256 prefixes of a caller-supplied run seed
+plus the span's tree path, and timestamps lay the tree out on a
+synthetic timeline starting at zero — byte-identical output for a
+fixed seed, no wall-clock entropy.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import re
 from itertools import groupby
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.spans import Span
 
-__all__ = ["format_span_tree", "format_metrics"]
+__all__ = [
+    "format_span_tree",
+    "format_metrics",
+    "format_prometheus",
+    "otlp_json",
+    "otlp_to_spans",
+    "span_from_dict",
+    "spans_to_otlp",
+]
+
+
+def span_from_dict(tree: Dict[str, Any]) -> Span:
+    """Rebuild a :class:`Span` tree from :meth:`Span.to_dict` output.
+
+    Only durations are stored in the dict form, so each rebuilt span
+    starts at t=0 with ``end_time = duration``; that is all the OTLP
+    exporter's synthetic timeline needs.
+    """
+    span = Span(str(tree["name"]), dict(tree.get("attributes", {})))
+    span.start_time = 0.0
+    span.end_time = float(tree.get("duration_ms", 0.0)) / 1000.0
+    span.children = [span_from_dict(c) for c in tree.get("children", [])]
+    return span
 
 # Runs of more than this many same-named sibling spans (e.g. thousands of
 # per-combination CPDHB scans) collapse into an aggregate line.
@@ -90,3 +129,236 @@ def format_metrics(snapshot: Dict[str, Any]) -> str:
                 f" max={summary['max']:.3f}"
             )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted metric key into a Prometheus metric name."""
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def format_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a registry snapshot in Prometheus text format (0.0.4).
+
+    Dotted keys become underscore names with a ``repro_`` prefix; every
+    family gets a ``# TYPE`` line (histograms expose as ``summary`` with
+    p50/p95/p99 quantiles plus ``_sum``/``_count``).
+    """
+    lines: List[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        if summary.get("count", 0):
+            for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                lines.append(
+                    f'{prom}{{quantile="{q}"}} '
+                    f"{_prom_value(summary[key])}"
+                )
+        lines.append(f"{prom}_sum {_prom_value(summary.get('sum', 0.0))}")
+        lines.append(f"{prom}_count {summary.get('count', 0)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# OTLP-JSON span export and loading
+# ----------------------------------------------------------------------
+def _trace_id(seed: str) -> str:
+    digest = hashlib.sha256(f"repro-trace:{seed}".encode("utf-8"))
+    return digest.hexdigest()[:32]
+
+
+def _span_id(seed: str, path: str) -> str:
+    digest = hashlib.sha256(f"repro-span:{seed}:{path}".encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def _attr_to_otlp(key: str, value: Any) -> Dict[str, Any]:
+    if isinstance(value, bool):
+        body: Dict[str, Any] = {"boolValue": value}
+    elif isinstance(value, int):
+        # OTLP/JSON encodes 64-bit integers as decimal strings.
+        body = {"intValue": str(value)}
+    elif isinstance(value, float):
+        body = {"doubleValue": value}
+    else:
+        body = {"stringValue": str(value)}
+    return {"key": key, "value": body}
+
+
+def _attr_from_otlp(entry: Any) -> Tuple[str, Any]:
+    if not isinstance(entry, dict) or "key" not in entry:
+        raise ValueError("OTLP attribute entry missing 'key'")
+    value = entry.get("value", {})
+    if not isinstance(value, dict):
+        raise ValueError("OTLP attribute entry missing 'value' object")
+    if "boolValue" in value:
+        return entry["key"], bool(value["boolValue"])
+    if "intValue" in value:
+        return entry["key"], int(value["intValue"])
+    if "doubleValue" in value:
+        return entry["key"], float(value["doubleValue"])
+    if "stringValue" in value:
+        return entry["key"], str(value["stringValue"])
+    raise ValueError(
+        f"OTLP attribute {entry['key']!r} has no supported value kind"
+    )
+
+
+def _flatten_otlp(
+    span: Span,
+    seed: str,
+    path: str,
+    parent_id: Optional[str],
+    start_ns: int,
+    trace_id: str,
+    out: List[Dict[str, Any]],
+) -> int:
+    """Emit ``span`` and its subtree depth-first; return the span's end."""
+    duration_ns = int(round(span.duration_ms * 1e6))
+    end_ns = start_ns + duration_ns
+    span_id = _span_id(seed, path)
+    record: Dict[str, Any] = {
+        "traceId": trace_id,
+        "spanId": span_id,
+        "name": span.name,
+        "kind": 1,  # SPAN_KIND_INTERNAL
+        "startTimeUnixNano": str(start_ns),
+        "endTimeUnixNano": str(end_ns),
+        "attributes": [
+            _attr_to_otlp(k, v) for k, v in sorted(span.attributes.items())
+        ],
+    }
+    if parent_id is not None:
+        record["parentSpanId"] = parent_id
+    out.append(record)
+    child_start = start_ns
+    for index, child in enumerate(span.children):
+        child_start = _flatten_otlp(
+            child, seed, f"{path}.{index}", span_id, child_start,
+            trace_id, out,
+        )
+    return end_ns
+
+
+def spans_to_otlp(roots: Sequence[Span], seed: str) -> Dict[str, Any]:
+    """OTLP/JSON ``resourceSpans`` payload for the given span trees.
+
+    All identifiers and timestamps are derived from ``seed`` and the
+    trees themselves: trace/span ids are SHA-256 prefixes and the
+    timeline is synthetic (roots laid out back to back from t=0,
+    children from their parent's start), so a fixed seed yields
+    byte-identical output.
+    """
+    trace_id = _trace_id(seed)
+    spans: List[Dict[str, Any]] = []
+    cursor = 0
+    for index, root in enumerate(roots):
+        cursor = _flatten_otlp(
+            root, seed, str(index), None, cursor, trace_id, spans
+        )
+    return {
+        "resourceSpans": [
+            {
+                "resource": {
+                    "attributes": [
+                        _attr_to_otlp("service.name", "repro"),
+                        _attr_to_otlp("repro.seed", seed),
+                    ]
+                },
+                "scopeSpans": [
+                    {
+                        "scope": {"name": "repro.obs", "version": "1"},
+                        "spans": spans,
+                    }
+                ],
+            }
+        ]
+    }
+
+
+def otlp_json(roots: Sequence[Span], seed: str) -> str:
+    """Canonical single-line JSON encoding of :func:`spans_to_otlp`."""
+    return json.dumps(
+        spans_to_otlp(roots, seed), sort_keys=True, separators=(",", ":")
+    )
+
+
+def otlp_to_spans(payload: Any) -> List[Span]:
+    """Load an OTLP/JSON payload (dict or JSON string) back into trees.
+
+    The inverse of :func:`spans_to_otlp`: rebuilds parent/child links
+    from ``parentSpanId`` and orders siblings by start timestamp, so an
+    exported tree round-trips structurally and byte-identically when
+    re-exported with the same seed.
+
+    Raises:
+        ValueError: On malformed payloads (bad JSON, missing fields,
+            dangling parent ids).
+    """
+    if isinstance(payload, str):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid OTLP JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError("OTLP payload must be a JSON object")
+    flat: List[Dict[str, Any]] = []
+    for resource in payload.get("resourceSpans", []):
+        for scope in resource.get("scopeSpans", []):
+            flat.extend(scope.get("spans", []))
+    by_id: Dict[str, Span] = {}
+    meta: List[Tuple[Dict[str, Any], Span]] = []
+    for record in flat:
+        if not isinstance(record, dict):
+            raise ValueError("OTLP span entry must be an object")
+        for field in ("spanId", "name", "startTimeUnixNano",
+                      "endTimeUnixNano"):
+            if field not in record:
+                raise ValueError(f"OTLP span missing field {field!r}")
+        attributes = dict(
+            _attr_from_otlp(entry) for entry in record.get("attributes", [])
+        )
+        span = Span(record["name"], attributes)
+        span.start_time = int(record["startTimeUnixNano"]) / 1e9
+        span.end_time = int(record["endTimeUnixNano"]) / 1e9
+        span_id = record["spanId"]
+        if span_id in by_id:
+            raise ValueError(f"duplicate OTLP span id {span_id!r}")
+        by_id[span_id] = span
+        meta.append((record, span))
+    roots: List[Span] = []
+    for record, span in meta:
+        parent_id = record.get("parentSpanId")
+        if parent_id is None:
+            roots.append(span)
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            raise ValueError(
+                f"OTLP span {record['spanId']!r} references unknown "
+                f"parent {parent_id!r}"
+            )
+        parent.children.append(span)
+    # The flat list is depth-first, so insertion order already reflects
+    # sibling order; sorting by start time keeps loaders of re-ordered
+    # payloads correct too (Python's sort is stable).
+    for span in by_id.values():
+        span.children.sort(key=lambda s: s.start_time)
+    roots.sort(key=lambda s: s.start_time)
+    return roots

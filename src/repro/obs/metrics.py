@@ -22,7 +22,6 @@ the detection engines.
 from __future__ import annotations
 
 import json
-import re
 from typing import Any, Dict, List, Optional
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "registry"]
@@ -96,10 +95,14 @@ class Histogram:
             self._samples = self._samples[::2]
             self._stride *= 2
 
-    def percentile(self, q: float) -> Optional[float]:
-        """Exact percentile of the retained samples (q in [0, 100])."""
+    def percentile(self, q: float) -> float:
+        """Exact percentile of the retained samples (q in [0, 100]).
+
+        An empty reservoir yields 0.0 — queries on untouched histograms
+        normalize to zeros rather than None/ZeroDivisionError.
+        """
         if not self._samples:
-            return None
+            return 0.0
         ordered = sorted(self._samples)
         rank = (q / 100.0) * (len(ordered) - 1)
         lo = int(rank)
@@ -108,8 +111,18 @@ class Histogram:
         return ordered[lo] * (1 - frac) + ordered[hi] * frac
 
     def summary(self) -> Dict[str, Any]:
+        """Full stats dict; an untouched histogram is all zeros."""
         if self.count == 0:
-            return {"count": 0}
+            return {
+                "count": 0,
+                "sum": 0.0,
+                "mean": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+            }
         return {
             "count": self.count,
             "sum": self.total,
@@ -121,15 +134,27 @@ class Histogram:
             "p99": self.percentile(99),
         }
 
+    def merge_summary(self, summary: Dict[str, Any]) -> None:
+        """Fold another histogram's summary into this one.
 
-def _prom_name(name: str) -> str:
-    return "repro_" + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
-
-
-def _prom_value(value: float) -> str:
-    if isinstance(value, float) and value == int(value):
-        return str(int(value))
-    return repr(value)
+        Count, sum and the min/max envelope merge exactly; the sample
+        reservoir is left untouched, so percentiles keep describing the
+        locally recorded observations only.  Used to aggregate worker
+        snapshots from the parallel sweep back into the parent registry.
+        """
+        other_count = int(summary.get("count", 0))
+        if other_count <= 0:
+            return
+        self.count += other_count
+        self.total += float(summary.get("sum", 0.0))
+        for bound, better in (("min", min), ("max", max)):
+            value = summary.get(bound)
+            if value is None:
+                continue
+            ours = getattr(self, bound)
+            setattr(
+                self, bound, value if ours is None else better(ours, value)
+            )
 
 
 class MetricsRegistry:
@@ -167,6 +192,21 @@ class MetricsRegistry:
         self._gauges.clear()
         self._histograms.clear()
 
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` dict from another registry into this one.
+
+        Counters add, gauges take the incoming value (last write wins),
+        histograms merge via :meth:`Histogram.merge_summary`.  This is the
+        parent side of parallel-sweep metric aggregation: workers snapshot
+        their process-local registries and the driver merges them here.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_summary(summary)
+
     # ------------------------------------------------------------------
     # Exporters
     # ------------------------------------------------------------------
@@ -190,25 +230,11 @@ class MetricsRegistry:
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (0.0.4)."""
-        lines: List[str] = []
-        for name, c in sorted(self._counters.items()):
-            prom = _prom_name(name)
-            lines.append(f"# TYPE {prom} counter")
-            lines.append(f"{prom} {_prom_value(c.value)}")
-        for name, g in sorted(self._gauges.items()):
-            prom = _prom_name(name)
-            lines.append(f"# TYPE {prom} gauge")
-            lines.append(f"{prom} {_prom_value(g.value)}")
-        for name, h in sorted(self._histograms.items()):
-            prom = _prom_name(name)
-            lines.append(f"# TYPE {prom} summary")
-            for q in (0.5, 0.95, 0.99):
-                value = h.percentile(q * 100)
-                if value is not None:
-                    lines.append(f'{prom}{{quantile="{q}"}} {_prom_value(value)}')
-            lines.append(f"{prom}_sum {_prom_value(h.total)}")
-            lines.append(f"{prom}_count {h.count}")
-        return "\n".join(lines) + ("\n" if lines else "")
+        # Imported lazily: export renders spans too, and spans import the
+        # registry from this module.
+        from repro.obs.export import format_prometheus
+
+        return format_prometheus(self.snapshot())
 
 
 _GLOBAL = MetricsRegistry()

@@ -176,4 +176,8 @@ class Capture:
     def __exit__(self, *exc: object) -> bool:
         STATE.enabled = self._prev_enabled
         self.roots = take_roots()
+        # An exception inside the capture can leave open spans on the
+        # thread-local stack; drop them so consecutive captures in one
+        # process never inherit residual frames.
+        _stack().clear()
         return False

@@ -42,6 +42,8 @@ from typing import List, Optional, Sequence, Tuple
 from repro.events import EventId
 from repro.obs.config import STATE
 from repro.obs.metrics import registry
+from repro.obs.progress import PROGRESS, tracker
+from repro.obs.spans import span, take_roots
 from repro.perf.causality import CausalityIndex
 
 __all__ = [
@@ -107,6 +109,10 @@ def _init_worker(computation, per_group_chains) -> None:
     """Pool initializer: pin the shared inputs and prebuild the index."""
     global _WORKER_STATE
     _WORKER_STATE = (computation, per_group_chains)
+    # Progress pacing and deadline enforcement belong to the driving
+    # process; a forked worker must not tick the parent's sink or raise
+    # DeadlineExceeded where nobody catches it.
+    PROGRESS.active = None
     CausalityIndex.of(computation)
 
 
@@ -114,25 +120,48 @@ def _scan_chunk(bounds: Tuple[int, int]):
     """Scan ranks ``[start, stop)``; stop at the chunk's first success.
 
     Returns ``(winning_rank_or_None, selection_or_None, invocations,
-    advances)``.
+    advances, metrics_snapshot_or_None)``.
+
+    When observability is enabled the worker registry is reset at chunk
+    start and snapshotted at chunk end, so the driver can merge each
+    chunk's counter/histogram deltas into the parent registry — without
+    this, instrument updates made inside fork-pool workers would die with
+    the worker.  Span trees stay worker-local (only their histogram
+    aggregates cross the process boundary).
     """
     from repro.detection.garg_waldecker import SelectionScan
 
     assert _WORKER_STATE is not None, "worker used before initialization"
     computation, per_group_chains = _WORKER_STATE
     start, stop = bounds
+    collect = STATE.enabled
+    if collect:
+        registry().reset()
+        take_roots()
+    index = CausalityIndex.of(computation)
     invocations = 0
     advances = 0
+    winning_rank: Optional[int] = None
+    selection = None
     for rank in range(start, stop):
-        scan = SelectionScan(
-            computation, combination_at(per_group_chains, rank)
-        )
-        selection = scan.run()
+        with span("scan.cpdhb") as scan_sp:
+            scan = SelectionScan(
+                computation, combination_at(per_group_chains, rank),
+                index=index,
+            )
+            selection = scan.run()
+            scan_sp.set(advances=scan.advances)
         invocations += 1
         advances += scan.advances
         if selection is not None:
-            return rank, selection, invocations, advances
-    return None, None, invocations, advances
+            winning_rank = rank
+            break
+    snapshot = None
+    if collect:
+        index.maybe_flush_metrics()
+        take_roots()
+        snapshot = registry().snapshot()
+    return winning_rank, selection, invocations, advances, snapshot
 
 
 # ----------------------------------------------------------------------
@@ -184,13 +213,17 @@ def run_combination_search(
     advances = 0
     consumed = 0
     outcome: Optional[ParallelOutcome] = None
+    trk = tracker("detect.combinations", total=total)
     try:
-        for rank, selection, chunk_inv, chunk_adv in pool.imap(
+        for rank, selection, chunk_inv, chunk_adv, chunk_metrics in pool.imap(
             _scan_chunk, bounds
         ):
             consumed += 1
             invocations += chunk_inv
             advances += chunk_adv
+            if chunk_metrics is not None and STATE.enabled:
+                registry().merge_snapshot(chunk_metrics)
+            trk.step(chunk_inv)
             if selection is not None:
                 outcome = ParallelOutcome(
                     selection=[tuple(eid) for eid in selection],
@@ -204,6 +237,7 @@ def run_combination_search(
     finally:
         pool.terminate()
         pool.join()
+    trk.finish()
     if outcome is None:
         outcome = ParallelOutcome(
             None, None, invocations, advances, workers, consumed

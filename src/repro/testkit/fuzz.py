@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.computation import Computation
 from repro.obs import STATE, registry as obs_registry, span
+from repro.obs.progress import tracker
 from repro.predicates import (
     CNFPredicate,
     Clause,
@@ -463,6 +464,7 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
     report = FuzzReport(seed=config.seed)
     started = time.monotonic()
     with span("testkit.fuzz", seed=config.seed, families=len(families)):
+        trk = tracker("fuzz.iterations", total=config.iterations)
         for iteration in range(config.iterations):
             if (
                 config.time_budget is not None
@@ -496,6 +498,7 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
             )
             report.instances.append(log)
             report.iterations_run += 1
+            trk.step()
             if STATE.enabled:
                 obs_registry().counter("testkit.instances").inc()
                 obs_registry().counter("testkit.engine_runs").inc(

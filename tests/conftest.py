@@ -7,6 +7,16 @@ import pytest
 from repro.computation import Computation, ComputationBuilder
 
 
+@pytest.fixture(autouse=True)
+def _no_run_ledger(monkeypatch):
+    """Keep test invocations of the CLI out of any real run ledger.
+
+    Tests that exercise the ledger opt back in with an explicit
+    ``--runs-ledger`` flag (the flag outranks the environment).
+    """
+    monkeypatch.setenv("REPRO_RUNS", "off")
+
+
 @pytest.fixture
 def figure2() -> Computation:
     """The paper's Figure 2: four processes, one message, labelled events.

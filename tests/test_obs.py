@@ -61,10 +61,15 @@ class TestMetricsRegistry:
         # Percentiles stay representative of the full range.
         assert h.percentile(50) == pytest.approx(5000, rel=0.1)
 
-    def test_empty_histogram(self):
+    def test_empty_histogram_normalizes_to_zeros(self):
         h = Histogram("h")
-        assert h.summary() == {"count": 0}
-        assert h.percentile(50) is None
+        summary = h.summary()
+        assert summary["count"] == 0
+        # Every stat is a plain zero — no None, no ZeroDivisionError.
+        for key in ("sum", "mean", "min", "max", "p50", "p95", "p99"):
+            assert summary[key] == 0.0
+        assert h.percentile(50) == 0.0
+        assert h.percentile(99) == 0.0
 
     def test_snapshot_and_json(self):
         reg = MetricsRegistry()
@@ -219,6 +224,34 @@ class TestCapture:
         with obs.Capture() as cap:
             pass
         assert "stale" not in cap.registry.snapshot()["counters"]
+
+    def test_exception_mid_span_leaves_no_residual_stack(self):
+        # A span abandoned open (its __exit__ never ran) must not leak
+        # into the next capture as a phantom parent frame.
+        with pytest.raises(RuntimeError):
+            with obs.Capture():
+                with obs.span("outer"):
+                    obs.span("dangling").__enter__()
+                    raise RuntimeError("boom")
+        assert obs.current_span() is obs.NOOP
+        with obs.Capture() as cap:
+            with obs.span("fresh"):
+                pass
+        assert [r.name for r in cap.roots] == ["fresh"]
+        assert cap.roots[0].children == []
+
+    def test_consecutive_captures_are_isolated(self):
+        with obs.Capture() as first:
+            with obs.span("a"):
+                pass
+            obs.registry().counter("k").inc()
+        with obs.Capture() as second:
+            with obs.span("b"):
+                pass
+        assert [r.name for r in first.roots] == ["a"]
+        assert [r.name for r in second.roots] == ["b"]
+        assert second.registry.snapshot()["counters"].get("k") is None
+        assert take_roots() == []  # nothing left behind globally
 
 
 class TestFormatting:

@@ -44,3 +44,44 @@ def test_parallel2_and_indexed_serial_match_oracle(seed, ordering):
         f"seed={seed} ordering={ordering}: "
         f"serial={serial} parallel2={fanned} oracle={oracle}"
     )
+
+
+class TestParallelMetricsParity:
+    """The parallel sweep must report the same work the serial sweep does.
+
+    Worker processes snapshot their registries per chunk and the driver
+    merges them, so counters and the `scan.cpdhb` span histogram agree
+    with a serial scan of the same instance (chunks are consumed in
+    rank order, so on a miss both sides scan every combination).
+    """
+
+    def _instance(self):
+        # Seed chosen so every group has true events (the sweep really
+        # scans) but no consistent combination exists (a full miss).
+        return grouped_computation(
+            2,
+            2,
+            4,
+            message_density=0.7,
+            seed=83,
+            variables=[BoolVar("x", 0.15)],
+        )
+
+    def test_parallel2_matches_serial_scan_counters(self):
+        from repro import obs
+
+        comp = self._instance()
+        CausalityIndex.of(comp)
+        with obs.Capture() as cap:
+            serial = detect_singular(comp, PRED, "chain-choice")
+        serial_snap = cap.registry.snapshot()
+        with obs.Capture() as cap2:
+            fanned = detect_singular(comp, PRED, "chain-choice", parallel=2)
+        par_snap = cap2.registry.snapshot()
+        assert serial.holds is False, "parity needs a full (miss) sweep"
+        assert fanned.holds is False
+        assert serial.stats["invocations"] == fanned.stats["invocations"]
+        assert serial.stats["advances"] == fanned.stats["advances"]
+        serial_scans = serial_snap["histograms"]["span.scan.cpdhb.ms"]["count"]
+        par_scans = par_snap["histograms"]["span.scan.cpdhb.ms"]["count"]
+        assert serial_scans == par_scans == serial.stats["invocations"]
