@@ -1,0 +1,186 @@
+"""Load benchmark: N concurrent sessions hammering the service.
+
+Boots a :class:`~repro.service.supervisor.MonitorService`, waits for
+readiness (a protocol ``ping`` through the same ``handle_request`` path
+``repro serve`` uses), then drives ``sessions`` concurrent feeder
+threads, each streaming its own random computation through the
+``degrade`` backpressure policy with a deliberately tiny queue.
+
+Reported:
+
+* sustained throughput (observations applied / wall second),
+* time-to-detection percentiles (p50/p95 across detecting sessions),
+* the max queue high-water mark — the bounded-memory claim: it must
+  never exceed the configured capacity (+2 control entries).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py --sessions 32
+
+or through the experiment table as ``T-service``
+(``benchmarks/report.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+from time import perf_counter
+from typing import Any, Dict, List
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    k = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[k]
+
+
+def run_load(
+    sessions: int = 32,
+    events_per_process: int = 24,
+    processes: int = 4,
+    workers: int = 4,
+    queue_capacity: int = 16,
+    policy: str = "degrade",
+    seed: int = 7,
+    block_timeout_s: float = 30.0,
+) -> Dict[str, Any]:
+    """Run the load scenario; returns the measured summary."""
+    from repro.service import LocalTransport, MonitorService, Submitter
+    from repro.service.session import observation_stream
+    from repro.trace import BoolVar, random_computation
+
+    # Phase 1: generate the workload up front (not part of the timing).
+    streams: List[List[Any]] = []
+    for i in range(sessions):
+        comp = random_computation(
+            num_processes=processes,
+            events_per_process=events_per_process,
+            message_density=0.3,
+            seed=seed * 101 + i,
+            variables=[BoolVar("x", density=0.4)],
+        )
+        streams.append(observation_stream(comp, range(processes)))
+
+    service = MonitorService(
+        workers=workers,
+        default_policy=policy,
+        default_queue_capacity=queue_capacity,
+        block_timeout_s=block_timeout_s,
+    )
+    try:
+        # Phase 2: boot + readiness wait (the ping round-trips the same
+        # request path a remote client uses).
+        boot_submitter = Submitter(LocalTransport(service), seed=seed)
+        started_boot = perf_counter()
+        assert boot_submitter.ping()["ok"]
+        boot_ms = (perf_counter() - started_boot) * 1000.0
+
+        queries = [(f"pair({a},{a + 1})", [a, a + 1])
+                   for a in range(processes - 1)]
+        for i in range(sessions):
+            boot_submitter.open_session(
+                f"load-{i:03d}", processes, queries, lossy=True
+            )
+
+        # Phase 3: hammer — one feeder thread per session.
+        errors: List[BaseException] = []
+
+        def feeder(index: int) -> None:
+            submitter = Submitter(
+                LocalTransport(service), seed=seed + index, retries=8,
+                backoff_s=0.005,
+            )
+            sid = f"load-{index:03d}"
+            stream = streams[index]
+            try:
+                for lo in range(0, len(stream), 8):
+                    submitter.submit(sid, stream[lo:lo + 8])
+            except BaseException as exc:  # noqa: BLE001 - report, don't hang
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=feeder, args=(i,), daemon=True)
+            for i in range(sessions)
+        ]
+        started = perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120.0)
+        if any(thread.is_alive() for thread in threads):
+            raise RuntimeError("load feeder deadlocked")
+        if errors:
+            raise errors[0]
+
+        reports = [
+            service.close_session(f"load-{i:03d}", timeout_s=60.0)
+            for i in range(sessions)
+        ]
+        wall_s = perf_counter() - started
+
+        applied = sum(r["counts"]["applied"] for r in reports)
+        shed = sum(r["counts"]["shed"] for r in reports)
+        high_water = max(r["queue_high_water"] for r in reports)
+        ttds = sorted(
+            r["ttd_ms"] for r in reports if r["ttd_ms"] is not None
+        )
+        degraded = sum(1 for r in reports if r["degraded"])
+        detected = sum(
+            1 for r in reports if any(r["detected"].values())
+        )
+        return {
+            "sessions": sessions,
+            "workers": workers,
+            "policy": policy,
+            "queue_capacity": queue_capacity,
+            "boot_ms": boot_ms,
+            "wall_s": wall_s,
+            "observations": sum(len(s) for s in streams),
+            "applied": applied,
+            "shed": shed,
+            "degraded_sessions": degraded,
+            "detected_sessions": detected,
+            "throughput_obs_per_s": applied / max(wall_s, 1e-9),
+            "ttd_p50_ms": _percentile(ttds, 0.50),
+            "ttd_p95_ms": _percentile(ttds, 0.95),
+            "max_queue_high_water": high_water,
+            # +2: the degrade and finish control entries bypass the cap.
+            "queue_bound_ok": high_water <= queue_capacity + 2,
+        }
+    finally:
+        service.shutdown(timeout_s=10.0)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=32)
+    parser.add_argument("--events", type=int, default=24)
+    parser.add_argument("--processes", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--queue-capacity", type=int, default=16)
+    parser.add_argument(
+        "--policy", default="degrade",
+        choices=["block", "reject", "degrade"],
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    summary = run_load(
+        sessions=args.sessions,
+        events_per_process=args.events,
+        processes=args.processes,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        seed=args.seed,
+    )
+    import json
+
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0 if summary["queue_bound_ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

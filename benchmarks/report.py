@@ -433,6 +433,37 @@ def t_online() -> None:
             f"{len(stream) / max(ms, 0.001):.0f}")
 
 
+def t_service() -> None:
+    header("T-service", "multi-session monitoring service under load")
+    from bench_service_load import run_load
+
+    row("sessions", "workers", "applied", "shed", "obs/s",
+        "ttd_p50_ms", "ttd_p95_ms", "queue_hw")
+    for sessions, workers in ((8, 2), (16, 4), (32, 4)):
+        summary = run_load(
+            sessions=sessions,
+            workers=workers,
+            events_per_process=16,
+            queue_capacity=16,
+            policy="degrade",
+            seed=7,
+        )
+        assert summary["queue_bound_ok"], (
+            "queue memory bound violated: high water "
+            f"{summary['max_queue_high_water']} > capacity + controls"
+        )
+        row(
+            sessions,
+            workers,
+            summary["applied"],
+            summary["shed"],
+            f"{summary['throughput_obs_per_s']:.0f}",
+            f"{summary['ttd_p50_ms']:.1f}",
+            f"{summary['ttd_p95_ms']:.1f}",
+            summary["max_queue_high_water"],
+        )
+
+
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "F1-conj": f1_conj,
     "F1-sing-special": f1_sing_special,
@@ -449,6 +480,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "T-slice": t_slice,
     "T-definitely": t_definitely,
     "T-online": t_online,
+    "T-service": t_service,
 }
 
 

@@ -14,6 +14,13 @@ Commands:
 * ``lint`` — run the static-analysis suite (determinism lint, protocol
   race detector, instrumentation-conformance checker) over source
   paths (see ``docs/ANALYSIS.md``);
+* ``serve`` — host the resilient multi-session monitoring service:
+  supervised workers, bounded ingest queues with backpressure,
+  checkpoint-based crash restart, graceful drain on SIGTERM
+  (see ``docs/SERVICE.md``);
+* ``feed`` — stream a trace's observations to a running ``serve`` over
+  the line-JSON protocol, with retry/backoff/jitter and an optional
+  per-call deadline;
 * ``info`` — structural summary of a trace (processes, events, messages,
   lattice size if small enough);
 * ``runs`` — inspect the run ledger: every other command appends one
@@ -44,6 +51,9 @@ Examples::
     python -m repro detect ring.json "cs@1 & cs@3" --progress --deadline-ms 5000
     python -m repro runs list
     python -m repro runs diff prev last
+    python -m repro serve --port 0 --workers 4 --checkpoint-dir .repro/ckpt
+    python -m repro feed mx.json --port 7007 --query "lock=2,3" \
+        --variable holds_lock --deadline-ms 5000
 
 Exit codes: 0 = success (``detect``: predicate holds; ``fuzz``: all
 engines agreed; ``lint``: no findings), 1 = ``detect`` ran but the
@@ -52,9 +62,11 @@ reported findings, 2 = usage or predicate-syntax error,
 3 = unreadable/malformed trace, 4 = simulation or fault-plan error,
 5 = monitor error, 6 = lint usage/internal error (unknown rule or path,
 unreadable canonical-key docs), 7 = ``--deadline-ms`` expired before a
-verdict (``detect`` prints an ``inconclusive`` payload with partial
-progress).  Every error prints a one-line ``repro: <message>``
-diagnostic to stderr instead of a traceback.
+verdict (``detect`` and ``feed`` print an ``inconclusive`` payload with
+partial progress), 8 = monitoring-service error (``serve``/``feed``:
+unreachable server, rejected session, drain refused the request).
+Every error prints a one-line ``repro: <message>`` diagnostic to stderr
+instead of a traceback.
 """
 
 from __future__ import annotations
@@ -582,6 +594,163 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.obs.progress import progress_context, stderr_sink
+    from repro.service import MonitorService, ServiceServer
+
+    ledger_path = None
+    if not args.no_runs_ledger:
+        from repro.obs import ledger
+
+        ledger_path = ledger.resolve_ledger_path(args.runs_ledger)
+    from contextlib import nullcontext
+
+    prog_ctx = (
+        progress_context(sink=stderr_sink, interval_s=_progress_interval())
+        if args.progress
+        else nullcontext()
+    )
+    with prog_ctx:
+        service = MonitorService(
+            workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            default_policy=args.policy,
+            default_queue_capacity=args.queue_capacity,
+            ledger_path=ledger_path,
+        )
+        server = ServiceServer(service, host=args.host, port=args.port)
+        server.start()
+        stop = threading.Event()
+
+        def _on_signal(signum, frame):  # noqa: ARG001
+            stop.set()
+
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+        ready = f"repro-serve: ready host={server.host} port={server.port}"
+        print(ready, flush=True)
+        if args.ready_file:
+            with open(args.ready_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{server.host} {server.port}\n")
+        while not stop.is_set():
+            if server.shutdown_requested.wait(0.2):
+                break
+        print("repro-serve: draining", file=sys.stderr, flush=True)
+        summary = service.drain(timeout_s=args.drain_timeout_s)
+        server.stop()
+        service.shutdown(timeout_s=1.0)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+def _parse_queries(args: argparse.Namespace, num_processes: int):
+    """The ``(name, processes)`` list a ``feed`` run monitors."""
+    import itertools
+
+    queries = []
+    for spec in args.query or []:
+        name, eq, procs = spec.partition("=")
+        if not eq or not name:
+            raise ValueError(
+                f"bad --query {spec!r}: expected NAME=p1,p2[,...]"
+            )
+        try:
+            members = [int(p) for p in procs.split(",") if p.strip() != ""]
+        except ValueError:
+            raise ValueError(
+                f"bad --query {spec!r}: process list must be integers"
+            ) from None
+        if len(members) < 1:
+            raise ValueError(f"bad --query {spec!r}: empty process list")
+        queries.append((name, members))
+    if args.all_pairs:
+        for i, j in itertools.combinations(range(num_processes), 2):
+            queries.append((f"pair({i},{j})", [i, j]))
+    if not queries:
+        raise ValueError("feed needs at least one --query or --all-pairs")
+    return queries
+
+
+def _cmd_feed(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.ledger import annotate
+    from repro.service import SocketTransport, SubmitDeadline, Submitter
+    from repro.service.session import observation_stream, session_id_ok
+
+    computation = load_computation(args.trace)
+    annotate(trace=args.trace)
+    queries = _parse_queries(args, computation.num_processes)
+    monitored = sorted({p for _, procs in queries for p in procs})
+    stream = observation_stream(
+        computation, monitored, variable=args.variable
+    )
+    session_id = args.session or Path(args.trace).stem
+    if not session_id_ok(session_id):
+        session_id = "feed"
+    submitter = Submitter(
+        SocketTransport(
+            host=args.host, port=args.port, timeout_s=args.timeout_s
+        ),
+        retries=args.retries,
+        backoff_s=args.backoff_ms / 1000.0,
+        jitter=args.jitter,
+        seed=args.seed,
+        deadline_s=(
+            args.deadline_ms / 1000.0
+            if args.deadline_ms is not None
+            else None
+        ),
+    )
+    try:
+        submitter.open_session(
+            session_id,
+            computation.num_processes,
+            queries,
+            lossy=not args.strict,
+            policy=args.policy,
+            queue_capacity=args.queue_capacity,
+        )
+        totals = {"accepted": 0, "shed": 0, "dead_lettered": 0}
+        for i in range(0, len(stream), args.batch):
+            outcome = submitter.submit(session_id, stream[i:i + args.batch])
+            for key in totals:
+                totals[key] += outcome[key]
+        report = submitter.close_session(session_id)["report"]
+    except SubmitDeadline as exc:
+        payload = {
+            "session": session_id,
+            "verdict": "inconclusive",
+            "deadline_ms": exc.deadline_ms,
+            "elapsed_ms": round(exc.elapsed_ms, 3),
+            "attempts": exc.attempts,
+            "last_error": exc.last_error,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        annotate(verdict="inconclusive")
+        return 7
+    payload = {
+        "session": session_id,
+        "submitted": totals,
+        "verdicts": report["verdicts"],
+        "witnesses": report["witnesses"],
+        "gaps": report["gaps"],
+        "dead_letters": report["dead_letters"],
+        "counts": report["counts"],
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    detected = any(report["detected"].values())
+    annotate(
+        verdict="detected" if detected else "none-detected",
+        stats={"queries": len(queries), "accepted": totals["accepted"]},
+    )
+    return 0 if detected else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -861,6 +1030,120 @@ def build_parser() -> argparse.ArgumentParser:
     p_render.add_argument("-o", "--output", required=True)
     p_render.set_defaults(func=_cmd_render)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the resilient multi-session monitoring service "
+        "(docs/SERVICE.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = ephemeral; the bound port is printed on the "
+        "ready line)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="supervised worker threads sessions are sharded across",
+    )
+    p_serve.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist per-session checkpoints as DIR/<session>.ckpt.json "
+        "(atomic rename)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=64, metavar="N",
+        help="journal entries between periodic checkpoints",
+    )
+    p_serve.add_argument(
+        "--policy", default="block",
+        choices=["block", "reject", "reject-with-retry-after", "degrade"],
+        help="default backpressure policy for sessions that don't pick one",
+    )
+    p_serve.add_argument(
+        "--queue-capacity", type=int, default=256, metavar="N",
+        help="default per-session ingest-queue bound",
+    )
+    p_serve.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write 'host port' to PATH once the service accepts requests",
+    )
+    p_serve.add_argument(
+        "--drain-timeout-s", type=float, default=30.0, metavar="S",
+        help="per-session settle budget during graceful drain",
+    )
+    p_serve.add_argument(
+        "--progress", action="store_true",
+        help="print rate-limited service heartbeats to stderr",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_feed = sub.add_parser(
+        "feed",
+        help="stream a trace's observations to a running 'repro serve'",
+    )
+    p_feed.add_argument("trace", help="path to a repro-trace-v1 JSON file")
+    p_feed.add_argument("--host", default="127.0.0.1")
+    p_feed.add_argument("--port", type=int, required=True)
+    p_feed.add_argument(
+        "--session", default=None,
+        help="session id (default: the trace filename stem)",
+    )
+    p_feed.add_argument(
+        "--query", action="append", metavar="NAME=P1,P2[,...]",
+        help="a named conjunctive query over the listed processes "
+        "(repeatable)",
+    )
+    p_feed.add_argument(
+        "--all-pairs", action="store_true",
+        help="add one pair(i,j) query per unordered process pair",
+    )
+    p_feed.add_argument(
+        "--variable", default="x",
+        help="boolean variable whose per-process truth feeds the monitors",
+    )
+    p_feed.add_argument(
+        "--batch", type=int, default=16,
+        help="observations per protocol request",
+    )
+    p_feed.add_argument(
+        "--strict", action="store_true",
+        help="open the session with strict (non-lossy) monitors",
+    )
+    p_feed.add_argument(
+        "--policy", default=None,
+        choices=["block", "reject", "reject-with-retry-after", "degrade"],
+        help="backpressure policy for this session (default: the server's)",
+    )
+    p_feed.add_argument(
+        "--queue-capacity", type=int, default=None, metavar="N",
+        help="ingest-queue bound for this session (default: the server's)",
+    )
+    p_feed.add_argument(
+        "--retries", type=int, default=5,
+        help="max attempts per request (transient failures + rejects)",
+    )
+    p_feed.add_argument(
+        "--backoff-ms", type=float, default=50.0, metavar="MS",
+        help="initial retry backoff (doubles per attempt, capped at 2s)",
+    )
+    p_feed.add_argument(
+        "--jitter", type=float, default=0.5,
+        help="fraction of the backoff randomized (seeded; 0 disables)",
+    )
+    p_feed.add_argument(
+        "--seed", type=int, default=0, help="jitter seed (reproducible runs)",
+    )
+    p_feed.add_argument(
+        "--timeout-s", type=float, default=10.0,
+        help="per-request socket timeout",
+    )
+    p_feed.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="give up after MS milliseconds with a clean 'inconclusive' "
+        "payload (exit code 7) instead of retrying forever",
+    )
+    p_feed.set_defaults(func=_cmd_feed)
+
     p_info = sub.add_parser("info", help="summarize a trace")
     p_info.add_argument("trace")
     p_info.add_argument(
@@ -887,6 +1170,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     from repro.computation import ComputationError
     from repro.monitor import MonitorError
     from repro.predicates import PredicateError
+    from repro.service import ServiceError
     from repro.simulation import FaultPlanError, SimulationError
     from repro.trace import TraceFormatError
 
@@ -906,6 +1190,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _fail(f"simulation failed: {exc}", 4)
     except MonitorError as exc:
         return _fail(f"monitor failed: {exc}", 5)
+    except ServiceError as exc:
+        return _fail(f"service failed: {exc}", 8)
     except ValueError as exc:
         # e.g. an unknown --family name passed to fuzz.
         return _fail(str(exc), 2)

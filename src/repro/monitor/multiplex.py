@@ -109,6 +109,16 @@ class MonitorGroup:
             if not monitor.detected:
                 monitor.finish_all()
 
+    def degrade_to_lossy(self) -> None:
+        """Flip the group (and every member monitor) to lossy-stream mode.
+
+        See :meth:`OnlineConjunctiveMonitor.degrade_to_lossy`; the flip
+        is irreversible and applies to monitors added later too.
+        """
+        self._lossy = True
+        for monitor in self._monitors.values():
+            monitor.degrade_to_lossy()
+
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
@@ -125,6 +135,17 @@ class MonitorGroup:
         return {
             name: monitor.detected
             for name, monitor in self._monitors.items()
+        }
+
+    def witnesses(
+        self,
+    ) -> Dict[str, Dict[int, Tuple[int, VectorClock]]]:
+        """Name -> witness (per-process event index + clock) for every
+        monitor that found one."""
+        return {
+            name: monitor.witness
+            for name, monitor in self._monitors.items()
+            if monitor.detected
         }
 
     def detailed_verdicts(self) -> Dict[str, str]:

@@ -281,6 +281,18 @@ class OnlineConjunctiveMonitor:
                 )
         return self.detected
 
+    def degrade_to_lossy(self) -> None:
+        """Switch a strict monitor to lossy-stream mode, in place.
+
+        Used by overload control (the service's ``degrade`` backpressure
+        policy): once observations are being shed on purpose, the stream
+        is lossy by construction, so gaps must be recorded rather than
+        raised.  A no-op on monitors already in lossy mode; irreversible
+        — verdicts after the flip carry lossy semantics
+        (``detected_despite_gaps`` / ``inconclusive``).
+        """
+        self._lossy = True
+
     def finish(self, process: int) -> None:
         """Declare that a monitored process will report no more events."""
         if process not in self._finished:

@@ -30,6 +30,7 @@ with :func:`checkpoint_group` / :func:`restore_group`.
 from __future__ import annotations
 
 import json
+import os
 from collections import deque
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Union
@@ -49,6 +50,7 @@ __all__ = [
     "restore_monitor",
     "save_group",
     "save_monitor",
+    "write_checkpoint_text",
 ]
 
 MONITOR_STATE_FORMAT = "repro-monitor-state-v1"
@@ -207,12 +209,39 @@ def restore_group(state: Mapping[str, Any]) -> MonitorGroup:
 # ----------------------------------------------------------------------
 # File helpers
 # ----------------------------------------------------------------------
+def write_checkpoint_text(path: Union[str, Path], text: str) -> None:
+    """Crash-safe file write: temp file in the same directory + rename.
+
+    A checkpoint exists to survive the very crash that may interrupt
+    writing it, so the bytes are staged in a sibling temp file, flushed
+    and fsynced, and only then atomically renamed over ``path`` — a
+    reader (or a restart) sees either the previous complete checkpoint
+    or the new complete one, never a torn prefix.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        # On any failure past creation (including a failed rename) the
+        # target is untouched; just drop the stale temp file.
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
 def save_monitor(
     monitor: OnlineConjunctiveMonitor, path: Union[str, Path]
 ) -> None:
-    """Write the monitor's checkpoint as JSON to ``path``."""
-    Path(path).write_text(
-        json.dumps(checkpoint_monitor(monitor), indent=2, sort_keys=True)
+    """Atomically write the monitor's checkpoint as JSON to ``path``."""
+    write_checkpoint_text(
+        path, json.dumps(checkpoint_monitor(monitor), indent=2, sort_keys=True)
     )
 
 
@@ -222,9 +251,9 @@ def load_monitor(path: Union[str, Path]) -> OnlineConjunctiveMonitor:
 
 
 def save_group(group: MonitorGroup, path: Union[str, Path]) -> None:
-    """Write the group's checkpoint as JSON to ``path``."""
-    Path(path).write_text(
-        json.dumps(checkpoint_group(group), indent=2, sort_keys=True)
+    """Atomically write the group's checkpoint as JSON to ``path``."""
+    write_checkpoint_text(
+        path, json.dumps(checkpoint_group(group), indent=2, sort_keys=True)
     )
 
 

@@ -122,8 +122,49 @@ def _jsonable(value: Any) -> Any:
 # ----------------------------------------------------------------------
 # Append / read / validate
 # ----------------------------------------------------------------------
+#: Transient-failure retry budget for one ledger append.
+_APPEND_ATTEMPTS = 3
+
+
+def _append_line(path: str, line: str) -> None:
+    """Write one record as a single ``O_APPEND`` ``write(2)`` call.
+
+    Concurrent appenders (service workers sharing one ledger) each issue
+    one atomic append, so records from different threads or processes
+    interleave whole-line, never byte-wise.  Transient ``OSError``\\ s
+    (EINTR, momentary EAGAIN on shared filesystems) are retried a
+    bounded number of times; the last failure propagates so callers keep
+    their ``runs.write_errors`` semantics.
+    """
+    data = (line + "\n").encode("utf-8")
+    for attempt in range(_APPEND_ATTEMPTS):
+        fd = None
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o666)
+            written = os.write(fd, data)
+            if written != len(data):
+                raise OSError(
+                    f"short write to {path}: {written}/{len(data)} bytes"
+                )
+            return
+        except OSError:
+            if attempt == _APPEND_ATTEMPTS - 1:
+                raise
+        finally:
+            if fd is not None:
+                os.close(fd)
+
+
 def append_record(path: str, record: Dict[str, Any]) -> Dict[str, Any]:
-    """Assign schema + id, append one JSON line, return the full record."""
+    """Assign schema + id, append one JSON line, return the full record.
+
+    The line itself is written with a single atomic append (see
+    :func:`_append_line`), so many workers may share one ledger file.
+    The 1-based sequence prefix of the ``id`` is advisory under
+    concurrency — two simultaneous appenders may count the same length —
+    but the fingerprint suffix keeps ids distinguishable and every line
+    stays a complete, valid record.
+    """
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
@@ -135,8 +176,7 @@ def append_record(path: str, record: Dict[str, Any]) -> Dict[str, Any]:
     full["schema"] = RUN_SCHEMA
     full["id"] = f"{seq + 1:06d}-{full['args_fingerprint'][:8]}"
     line = json.dumps(_jsonable(full), sort_keys=True, separators=(",", ":"))
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(line + "\n")
+    _append_line(path, line)
     return full
 
 

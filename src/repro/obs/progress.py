@@ -150,7 +150,10 @@ class Tracker:
         self.done = 0
         self._check_every = max(1, check_every)
         self._countdown = self._check_every
-        self._last_emit = 0.0
+        # Rate-limit epoch starts *now*: perf_counter() is an arbitrary
+        # origin (host uptime on Linux), so seeding with 0.0 would make
+        # the first tick bypass the interval on any long-lived host.
+        self._last_emit = perf_counter()
 
     def step(self, n: int = 1) -> None:
         """Advance by ``n`` units; may emit a tick or raise at a deadline.

@@ -1,0 +1,62 @@
+"""The resilient multi-session monitoring service (``docs/SERVICE.md``).
+
+Layers, bottom-up:
+
+* :mod:`repro.service.backpressure` — bounded ingest queues + policies.
+* :mod:`repro.service.session` — per-session state: config, journal,
+  checkpoint, dead letters.
+* :mod:`repro.service.worker` — supervised apply threads with epoch
+  fencing and write-ahead journaling.
+* :mod:`repro.service.supervisor` — :class:`MonitorService`: sharding,
+  crash restart, graceful drain.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  line-JSON wire protocol (``repro serve`` / ``repro feed``).
+* :mod:`repro.service.chaos` — fault-injection harness with
+  verdict-and-witness parity oracles.
+"""
+
+from repro.service.backpressure import POLICIES, BoundedQueue, validate_policy
+from repro.service.chaos import ChaosPlan, ChaosReport, run_chaos
+from repro.service.client import LocalTransport, SocketTransport, Submitter
+from repro.service.errors import (
+    ServiceDraining,
+    ServiceError,
+    SessionRejected,
+    SubmitDeadline,
+    UnknownSession,
+)
+from repro.service.server import ServiceServer, handle_request
+from repro.service.session import (
+    SERVICE_SESSION_STATE_FORMAT,
+    Session,
+    SessionConfig,
+    observation_stream,
+)
+from repro.service.supervisor import MonitorService
+from repro.service.worker import Worker, WorkerKilled
+
+__all__ = [
+    "BoundedQueue",
+    "ChaosPlan",
+    "ChaosReport",
+    "LocalTransport",
+    "MonitorService",
+    "POLICIES",
+    "SERVICE_SESSION_STATE_FORMAT",
+    "ServiceDraining",
+    "ServiceError",
+    "ServiceServer",
+    "Session",
+    "SessionConfig",
+    "SessionRejected",
+    "SocketTransport",
+    "SubmitDeadline",
+    "Submitter",
+    "UnknownSession",
+    "Worker",
+    "WorkerKilled",
+    "handle_request",
+    "observation_stream",
+    "run_chaos",
+    "validate_policy",
+]

@@ -1,0 +1,132 @@
+"""Bounded per-session ingest queues and the backpressure policies.
+
+Each session owns one :class:`BoundedQueue` of pending journal entries.
+The supervisor enqueues (applying the session's policy), exactly one
+worker incarnation dequeues, so memory per session is capped at
+``capacity`` data entries (control entries — ``finish``/``degrade``
+markers — bypass the cap; there are at most two per session lifetime).
+
+Policies (``docs/SERVICE.md``):
+
+* ``block`` — the submitter blocks until the queue has room (bounded by
+  the service's block timeout, after which the submit fails).
+* ``reject`` — a full queue rejects the batch with a ``retry_after_s``
+  hint (the wire protocol calls this ``reject-with-retry-after``); the
+  client-side submitter backs off and retries.
+* ``degrade`` — a full queue sheds the observation and flips the session
+  to lossy mode, so the shed observations surface as *recorded gaps* in
+  the monitors instead of stalling the producer.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import perf_counter
+from typing import Any, Callable, Deque, Optional, Tuple
+
+__all__ = ["BoundedQueue", "POLICIES", "validate_policy"]
+
+#: The recognized backpressure policies.
+POLICIES = ("block", "reject", "degrade")
+
+
+def validate_policy(policy: str) -> str:
+    """Normalize and validate a policy name (accepting the wire alias)."""
+    name = str(policy).strip().lower()
+    if name == "reject-with-retry-after":
+        name = "reject"
+    if name not in POLICIES:
+        raise ValueError(
+            f"unknown backpressure policy {policy!r}; "
+            f"expected one of {', '.join(POLICIES)}"
+        )
+    return name
+
+
+class BoundedQueue:
+    """A capacity-bounded FIFO with blocking put and non-blocking pop.
+
+    Thread-safe for many producers and many consumers; the service
+    guarantees a single *logical* consumer per session via epoch
+    fencing, the queue itself does not care.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        wakeup: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._wakeup = wakeup
+        #: Deepest the queue has ever been (control entries included);
+        #: bounded-memory proof obligation for the load benchmark.
+        self.high_water = 0
+
+    def set_wakeup(self, wakeup: Callable[[], None]) -> None:
+        """Install the consumer-side wakeup called after every put."""
+        self._wakeup = wakeup
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def _record_depth_locked(self) -> None:
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+
+    def try_put(self, item: Any) -> bool:
+        """Enqueue if there is room; False when the queue is full."""
+        with self._lock:
+            if len(self._items) >= self.capacity:
+                return False
+            self._items.append(item)
+            self._record_depth_locked()
+        if self._wakeup is not None:
+            self._wakeup()
+        return True
+
+    def put_control(self, item: Any) -> None:
+        """Enqueue a control entry, bypassing the capacity bound."""
+        with self._lock:
+            self._items.append(item)
+            self._record_depth_locked()
+        if self._wakeup is not None:
+            self._wakeup()
+
+    def put_blocking(self, item: Any, timeout_s: float) -> Tuple[bool, bool]:
+        """Enqueue, waiting up to ``timeout_s`` for room.
+
+        Returns ``(enqueued, waited)`` — ``waited`` reports whether
+        backpressure actually stalled the producer (for metrics).
+        """
+        waited = False
+        deadline = None
+        with self._not_full:
+            while len(self._items) >= self.capacity:
+                waited = True
+                if deadline is None:
+                    deadline = perf_counter() + timeout_s
+                remaining = deadline - perf_counter()
+                if remaining <= 0:
+                    return False, waited
+                self._not_full.wait(remaining)
+            self._items.append(item)
+            self._record_depth_locked()
+        if self._wakeup is not None:
+            self._wakeup()
+        return True, waited
+
+    def pop(self) -> Optional[Any]:
+        """Dequeue the oldest entry, or None when empty."""
+        with self._not_full:
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item

@@ -1,0 +1,338 @@
+"""Chaos harness: fault-injected multi-session runs checked against oracles.
+
+A :class:`ChaosPlan` drives an in-process :class:`MonitorService`
+through the protocol path (``LocalTransport`` → ``handle_request``)
+while injecting service-level faults:
+
+* **worker kills** mid-stream (the supervisor must restart from
+  checkpoint + journal behind the client's back),
+* **duplicate** observations (redelivery),
+* **reorders** across processes (network skew; per-process order is
+  preserved, which is all the monitors assume),
+* **corrupt** observations of both kinds — *semantically* corrupt clocks
+  that lossy monitors quarantine, and *structurally* invalid payloads
+  (poison) the service dead-letters before they reach a monitor,
+* **queue saturation** via small capacities under the ``block`` policy.
+
+The parity oracle: an uninterrupted :class:`MonitorGroup` fed the same
+mutated observation stream directly (minus the structural poison, which
+a direct caller could not even type).  Kills, backpressure and poison
+are service-exclusive faults, so every session must end with verdicts
+*and witnesses* identical to its oracle — that is the restart
+correctness claim of ``docs/SERVICE.md``, made executable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.events import VectorClock
+from repro.monitor import MonitorGroup
+from repro.service.client import LocalTransport, Submitter
+from repro.service.session import observation_stream
+from repro.service.supervisor import MonitorService
+
+__all__ = ["ChaosPlan", "ChaosReport", "run_chaos"]
+
+#: A structurally invalid payload per poison "shape".
+_POISON_SHAPES = (
+    ["not-an-int", 0, [1, 1, 1, 1], True],
+    [0, -3, [1, 1, 1, 1], True],
+    [0, 1, [1, 1], True],
+    [0, 1, None, True],
+    [0, 1, [1, 1, 1, 1], "yes"],
+    [0, 1],
+)
+
+
+class ChaosPlan:
+    """Configuration of one chaos run.
+
+    Args:
+        seed: Master seed; every random choice derives from it.
+        num_sessions: Hosted sessions (distinct computations).
+        workers: Worker slots of the service under test.
+        kills: ``(progress, slot)`` pairs — kill the worker of ``slot``
+            once the stream of session 0 has delivered ``progress``
+            (a fraction in (0, 1)) of its observations.
+        duplicate_p: Per-observation probability of immediate redelivery.
+        reorder_p: Per-observation probability of swapping with the next
+            stream entry when they belong to different processes.
+        corrupt_p: Per-observation probability of injecting a
+            semantically-corrupt extra observation after it.
+        poison_every: Inject one structurally invalid payload every this
+            many observations (0 disables).
+        queue_capacity: Per-session ingest bound (small = saturation).
+        checkpoint_every: Journal entries between checkpoints (small =
+            restarts exercise both checkpoint and journal paths).
+        events_per_process: Size of each generated computation.
+        processes: Process count of each generated computation.
+    """
+
+    def __init__(
+        self,
+        seed: int = 7,
+        num_sessions: int = 6,
+        workers: int = 3,
+        kills: Sequence[Tuple[float, int]] = ((0.3, 0), (0.6, 1)),
+        duplicate_p: float = 0.08,
+        reorder_p: float = 0.08,
+        corrupt_p: float = 0.04,
+        poison_every: int = 25,
+        queue_capacity: int = 8,
+        checkpoint_every: int = 5,
+        events_per_process: int = 12,
+        processes: int = 4,
+    ) -> None:
+        self.seed = seed
+        self.num_sessions = num_sessions
+        self.workers = workers
+        self.kills = tuple(kills)
+        self.duplicate_p = duplicate_p
+        self.reorder_p = reorder_p
+        self.corrupt_p = corrupt_p
+        self.poison_every = poison_every
+        self.queue_capacity = queue_capacity
+        self.checkpoint_every = checkpoint_every
+        self.events_per_process = events_per_process
+        self.processes = processes
+
+
+class ChaosReport:
+    """Outcome of one chaos run (see :func:`run_chaos`)."""
+
+    def __init__(self) -> None:
+        self.sessions: List[Dict[str, Any]] = []
+        self.kills_delivered = 0
+        self.poison_injected = 0
+        self.stats: Dict[str, Any] = {}
+
+    @property
+    def all_match(self) -> bool:
+        """Did every session match its uninterrupted oracle?"""
+        return all(s["parity"] for s in self.sessions)
+
+    def mismatches(self) -> List[Dict[str, Any]]:
+        return [s for s in self.sessions if not s["parity"]]
+
+
+def _mutate_stream(
+    stream: List[List[Any]], rng: random.Random, plan: ChaosPlan
+) -> List[List[Any]]:
+    """Apply duplicate / reorder / corrupt faults to a wire stream.
+
+    Reorders only swap adjacent entries of *different* processes, so
+    per-process FIFO order — the only delivery assumption the monitors
+    make — is preserved and the oracle stays well-defined.
+    """
+    mutated: List[List[Any]] = []
+    for obs in stream:
+        mutated.append(list(obs))
+        if rng.random() < plan.duplicate_p:
+            mutated.append(list(obs))
+        if rng.random() < plan.corrupt_p:
+            # A corrupt reporter: the self component of the clock
+            # overshoots, so ``clock[p] != index + 1`` and a lossy
+            # monitor quarantines the observation.
+            process, index, clock, truth = obs
+            bad_clock = list(clock)
+            bad_clock[process] += 3
+            mutated.append([process, index, bad_clock, truth])
+    i = 0
+    while i < len(mutated) - 1:
+        if (
+            mutated[i][0] != mutated[i + 1][0]
+            and rng.random() < plan.reorder_p
+        ):
+            mutated[i], mutated[i + 1] = mutated[i + 1], mutated[i]
+            i += 2
+        else:
+            i += 1
+    return mutated
+
+
+def _oracle_outcome(
+    num_processes: int,
+    queries: Sequence[Tuple[str, Sequence[int]]],
+    stream: Sequence[Sequence[Any]],
+) -> Tuple[Dict[str, str], Dict[str, Any]]:
+    """Verdicts + witnesses of an uninterrupted lossy group on the stream."""
+    group = MonitorGroup(num_processes, lossy=True)
+    for name, procs in sorted((n, tuple(p)) for n, p in queries):
+        group.add(name, list(procs))
+    for process, index, clock, truth in stream:
+        group.observe(process, index, VectorClock(clock), truth)
+    group.finish_all()
+    witnesses = {
+        name: {
+            str(p): [index, [int(c) for c in clock.components]]
+            for p, (index, clock) in sorted(witness.items())
+        }
+        for name, witness in group.witnesses().items()
+    }
+    return group.detailed_verdicts(), witnesses
+
+
+def _build_session_inputs(
+    plan: ChaosPlan,
+) -> List[Dict[str, Any]]:
+    """Generate the per-session computations, queries and streams."""
+    from repro.simulation.protocols import build_crash_restart_lock_scenario
+    from repro.trace import BoolVar, random_computation
+
+    sessions: List[Dict[str, Any]] = []
+    for i in range(plan.num_sessions):
+        rng = random.Random(plan.seed * 1000 + i)
+        if i % 3 == 0:
+            # A known-violation scenario: the fault-injected lock server.
+            comp = build_crash_restart_lock_scenario(seed=plan.seed + i)
+            monitored = [2, 3]
+            variable = "holds_lock"
+            n = comp.num_processes
+            queries = [("lock(2,3)", (2, 3))]
+        else:
+            n = plan.processes
+            comp = random_computation(
+                num_processes=n,
+                events_per_process=plan.events_per_process,
+                variables=[BoolVar("x", density=0.45)],
+                seed=plan.seed * 31 + i,
+                message_density=0.35,
+            )
+            monitored = list(range(n))
+            variable = "x"
+            pairs = [(a, a + 1) for a in range(n - 1)]
+            queries = [
+                (f"pair({a},{b})", (a, b))
+                for a, b in rng.sample(pairs, min(2, len(pairs)))
+            ]
+        stream = observation_stream(comp, monitored, variable=variable)
+        sessions.append(
+            {
+                "id": f"chaos-{i}",
+                "num_processes": n,
+                "queries": queries,
+                "stream": _mutate_stream(stream, rng, plan),
+            }
+        )
+    return sessions
+
+
+def run_chaos(plan: ChaosPlan) -> ChaosReport:
+    """Execute a chaos plan; returns the parity report.
+
+    The service hosts every session concurrently (interleaved batch
+    submission round-robin across sessions), workers are killed at the
+    planned progress points, and poison payloads are injected through
+    the protocol path.  After drain, each session's verdicts and
+    witnesses are compared against its uninterrupted oracle.
+    """
+    report = ChaosReport()
+    inputs = _build_session_inputs(plan)
+    service = MonitorService(
+        workers=plan.workers,
+        checkpoint_every=plan.checkpoint_every,
+        default_policy="block",
+        default_queue_capacity=plan.queue_capacity,
+        block_timeout_s=30.0,
+    )
+    submitter = Submitter(
+        LocalTransport(service), retries=8, backoff_s=0.01, seed=plan.seed
+    )
+    try:
+        for spec in inputs:
+            submitter.open_session(
+                spec["id"],
+                spec["num_processes"],
+                spec["queries"],
+                lossy=True,
+            )
+        # Interleave delivery: cursor per session, batches of 3, with
+        # kills keyed to the progress of session 0's stream.
+        cursors = {spec["id"]: 0 for spec in inputs}
+        kill_queue = sorted(plan.kills)
+        poison_countdown = plan.poison_every
+        total0 = max(1, len(inputs[0]["stream"]))
+        while any(
+            cursors[spec["id"]] < len(spec["stream"]) for spec in inputs
+        ):
+            for spec in inputs:
+                sid = spec["id"]
+                cursor = cursors[sid]
+                if cursor >= len(spec["stream"]):
+                    continue
+                batch = spec["stream"][cursor:cursor + 3]
+                cursors[sid] = cursor + len(batch)
+                if plan.poison_every:
+                    poison_countdown -= len(batch)
+                    if poison_countdown <= 0:
+                        poison_countdown = plan.poison_every
+                        poison = list(
+                            _POISON_SHAPES[
+                                report.poison_injected
+                                % len(_POISON_SHAPES)
+                            ]
+                        )
+                        batch = batch + [poison]
+                        report.poison_injected += 1
+                        spec.setdefault("poison_sent", 0)
+                        spec["poison_sent"] += 1
+                submitter.submit(sid, batch)
+            progress = cursors[inputs[0]["id"]] / total0
+            while kill_queue and progress >= kill_queue[0][0]:
+                _, slot = kill_queue.pop(0)
+                service.kill_worker(slot % plan.workers)
+                report.kills_delivered += 1
+                # Give the supervisor a beat to restart before more load.
+                _spin_until_alive(service, slot % plan.workers)
+        drain_summary = service.drain(timeout_s=60.0)
+        report.stats = service.stats()
+        report.stats["drain"] = drain_summary
+        for spec in inputs:
+            outcome = service.session_report(spec["id"])
+            oracle_verdicts, oracle_witnesses = _oracle_outcome(
+                spec["num_processes"], spec["queries"], spec["stream"]
+            )
+            poison_sent = spec.get("poison_sent", 0)
+            validate_dead = [
+                d
+                for d in outcome["dead_letters"]
+                if d["stage"] == "validate"
+            ]
+            parity = (
+                outcome["verdicts"] == oracle_verdicts
+                and outcome["witnesses"] == oracle_witnesses
+                and len(validate_dead) == poison_sent
+            )
+            report.sessions.append(
+                {
+                    "session": spec["id"],
+                    "parity": parity,
+                    "verdicts": outcome["verdicts"],
+                    "oracle_verdicts": oracle_verdicts,
+                    "witnesses": outcome["witnesses"],
+                    "oracle_witnesses": oracle_witnesses,
+                    "poison_sent": poison_sent,
+                    "dead_letters": len(outcome["dead_letters"]),
+                    "dead_letter_detail": outcome["dead_letters"],
+                    "restarts": outcome["counts"]["restarts"],
+                    "counts": outcome["counts"],
+                }
+            )
+    finally:
+        service.shutdown(timeout_s=10.0)
+    return report
+
+
+def _spin_until_alive(
+    service: MonitorService, slot: int, timeout_s: float = 5.0
+) -> None:
+    from time import perf_counter, sleep
+
+    deadline = perf_counter() + timeout_s
+    while perf_counter() < deadline:
+        stats = service.stats()
+        if stats["slots"][slot]["alive"]:
+            return
+        sleep(0.01)

@@ -1,0 +1,314 @@
+"""Client side of the monitoring service: transports and the submitter.
+
+The wire protocol is newline-delimited JSON request/response (see
+``docs/SERVICE.md``).  Two transports speak it:
+
+* :class:`SocketTransport` — TCP to a ``repro serve`` process, with lazy
+  connect and reconnect-on-error (each retry gets a fresh connection).
+* :class:`LocalTransport` — calls
+  :func:`repro.service.server.handle_request` on an in-process
+  :class:`~repro.service.supervisor.MonitorService`; the chaos harness
+  and tests use it to exercise the exact protocol path without sockets.
+
+:class:`Submitter` wraps a transport with the resilience policy clients
+are expected to implement: bounded retries, exponential backoff with
+seeded jitter, honoring ``retry_after_s`` hints from the ``reject``
+policy, and an optional per-call deadline that resolves to a clean
+:class:`~repro.service.errors.SubmitDeadline` (CLI exit code 7,
+mirroring ``detect --deadline-ms``) instead of hanging forever.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+from time import perf_counter, sleep
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.service.errors import (
+    ServiceError,
+    SessionRejected,
+    SubmitDeadline,
+)
+
+__all__ = ["LocalTransport", "SocketTransport", "Submitter"]
+
+#: Error codes the submitter treats as transient (worth retrying with
+#: the same payload).  ``rejected`` is deliberately NOT here: a reject
+#: may have accepted a prefix of the batch, so only :meth:`Submitter.submit`
+#: retries it — with the unaccepted tail.
+_RETRYABLE_CODES = frozenset({"unavailable"})
+
+
+class TransportError(ServiceError):
+    """The transport could not complete a request (connection-level)."""
+
+
+class LocalTransport:
+    """In-process transport: the protocol without the socket."""
+
+    def __init__(self, service: Any) -> None:
+        self._service = service
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.service.server import handle_request
+
+        return handle_request(self._service, payload)
+
+    def close(self) -> None:  # symmetry with SocketTransport
+        pass
+
+
+class SocketTransport:
+    """One lazily-connected TCP line-JSON channel to a ``repro serve``."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout_s: float = 10.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+
+    def _connect(self) -> None:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self._timeout_s
+        )
+        sock.settimeout(self._timeout_s)
+        self._sock = sock
+        self._reader = sock.makefile("r", encoding="utf-8", newline="\n")
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            if self._sock is None:
+                self._connect()
+            assert self._sock is not None and self._reader is not None
+            line = json.dumps(payload, sort_keys=True) + "\n"
+            self._sock.sendall(line.encode("utf-8"))
+            response = self._reader.readline()
+            if not response:
+                raise TransportError("server closed the connection")
+            return json.loads(response)
+        except (OSError, ValueError) as exc:
+            # Drop the channel so the next attempt reconnects cleanly.
+            self.close()
+            if isinstance(exc, TransportError):
+                raise
+            raise TransportError(f"transport failure: {exc}") from exc
+
+    def close(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+
+class Submitter:
+    """Retrying client: backoff + jitter + deadline over a transport.
+
+    Args:
+        transport: A :class:`LocalTransport` or :class:`SocketTransport`.
+        retries: Max attempts per request (first try included).
+        backoff_s: Initial backoff between attempts.
+        backoff_cap_s: Exponential backoff ceiling.
+        jitter: Fraction of the backoff randomized (0 disables; jitter
+            uses a seeded :class:`random.Random` so runs are
+            reproducible).
+        seed: Jitter seed.
+        deadline_s: Optional per-call budget; when it expires the call
+            raises :class:`SubmitDeadline` (the CLI maps it to the
+            ``inconclusive`` exit code 7).
+    """
+
+    def __init__(
+        self,
+        transport: Any,
+        retries: int = 5,
+        backoff_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+        deadline_s: Optional[float] = None,
+    ) -> None:
+        if retries < 1:
+            raise ValueError("retries must be >= 1")
+        self._transport = transport
+        self._retries = retries
+        self._backoff_s = backoff_s
+        self._backoff_cap_s = backoff_cap_s
+        self._jitter = jitter
+        self._rng = random.Random(seed)
+        self._deadline_s = deadline_s
+
+    # ------------------------------------------------------------------
+    # Core request loop
+    # ------------------------------------------------------------------
+    def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Issue one op, retrying transient failures within the budget."""
+        payload = {"op": op}
+        payload.update(fields)
+        started = perf_counter()
+        deadline = (
+            started + self._deadline_s
+            if self._deadline_s is not None
+            else None
+        )
+        attempts = 0
+        last_error: Optional[str] = None
+        while True:
+            if deadline is not None and perf_counter() >= deadline:
+                raise SubmitDeadline(
+                    op,
+                    elapsed_ms=(perf_counter() - started) * 1000.0,
+                    deadline_ms=self._deadline_s * 1000.0,
+                    attempts=attempts,
+                    last_error=last_error,
+                )
+            attempts += 1
+            try:
+                response = self._transport.request(payload)
+            except TransportError as exc:
+                last_error = str(exc)
+                response = {"ok": False, "code": "unavailable",
+                            "error": str(exc)}
+            if response.get("ok"):
+                return response
+            code = response.get("code", "error")
+            error = response.get("error", "request failed")
+            if code not in _RETRYABLE_CODES or attempts >= self._retries:
+                if code == "rejected":
+                    raise SessionRejected(
+                        str(fields.get("session", "?")),
+                        retry_after_s=float(
+                            response.get("retry_after_s", 0.0)
+                        ),
+                        accepted=int(response.get("accepted", 0)),
+                    )
+                raise ServiceError(f"{op} failed ({code}): {error}")
+            last_error = f"{code}: {error}"
+            self._sleep_before_retry(attempts, response, deadline)
+
+    def _sleep_before_retry(
+        self,
+        attempt: int,
+        response: Dict[str, Any],
+        deadline: Optional[float],
+    ) -> None:
+        delay = min(
+            self._backoff_s * (2 ** (attempt - 1)), self._backoff_cap_s
+        )
+        hint = response.get("retry_after_s")
+        if hint is not None:
+            delay = max(delay, float(hint))
+        if self._jitter:
+            delay *= 1.0 + self._jitter * self._rng.random()
+        if deadline is not None:
+            delay = min(delay, max(0.0, deadline - perf_counter()))
+        if delay > 0:
+            sleep(delay)
+
+    # ------------------------------------------------------------------
+    # Protocol helpers
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.call("ping")
+
+    def open_session(
+        self,
+        session_id: str,
+        num_processes: int,
+        queries: Sequence[Any],
+        lossy: bool = True,
+        policy: Optional[str] = None,
+        queue_capacity: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {
+            "session": session_id,
+            "num_processes": num_processes,
+            "queries": [
+                [name, list(procs)] for name, procs in queries
+            ],
+            "lossy": lossy,
+        }
+        if policy is not None:
+            fields["policy"] = policy
+        if queue_capacity is not None:
+            fields["queue_capacity"] = queue_capacity
+        if checkpoint_every is not None:
+            fields["checkpoint_every"] = checkpoint_every
+        return self.call("open", **fields)
+
+    def submit(
+        self, session_id: str, observations: Sequence[Any]
+    ) -> Dict[str, Any]:
+        """Submit a batch, resuming after partial ``reject`` accepts."""
+        remaining: List[Any] = [list(obs) for obs in observations]
+        totals = {"accepted": 0, "shed": 0, "dead_lettered": 0}
+        attempt = 0
+        started = perf_counter()
+        while remaining:
+            try:
+                response = self.call(
+                    "observe", session=session_id, observations=remaining
+                )
+            except SessionRejected as exc:
+                # Partial accept: drop what got in, retry the tail.
+                if exc.accepted:
+                    totals["accepted"] += exc.accepted
+                    remaining = remaining[exc.accepted:]
+                    attempt = 0
+                    continue
+                attempt += 1
+                if attempt >= self._retries:
+                    raise
+                if (
+                    self._deadline_s is not None
+                    and perf_counter() - started >= self._deadline_s
+                ):
+                    raise SubmitDeadline(
+                        "observe",
+                        elapsed_ms=(perf_counter() - started) * 1000.0,
+                        deadline_ms=self._deadline_s * 1000.0,
+                        attempts=attempt,
+                        last_error=str(exc),
+                    ) from exc
+                self._sleep_before_retry(
+                    attempt,
+                    {"retry_after_s": exc.retry_after_s},
+                    started + self._deadline_s
+                    if self._deadline_s is not None
+                    else None,
+                )
+                continue
+            for key in totals:
+                totals[key] += int(response.get(key, 0))
+            remaining = []
+        return totals
+
+    def finish(self, session_id: str) -> Dict[str, Any]:
+        return self.call("finish", session=session_id)
+
+    def status(self, session_id: str) -> Dict[str, Any]:
+        return self.call("status", session=session_id)
+
+    def close_session(
+        self, session_id: str, timeout_s: float = 30.0
+    ) -> Dict[str, Any]:
+        return self.call("close", session=session_id, timeout_s=timeout_s)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call("stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.call("shutdown")

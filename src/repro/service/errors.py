@@ -1,0 +1,102 @@
+"""Error taxonomy of the monitoring service.
+
+Every service-layer failure derives from :class:`ServiceError`, which the
+CLI maps to exit code 8 (see ``docs/CLI.md``).  Subclasses distinguish
+the conditions a *client* is expected to handle differently:
+
+* :class:`SessionRejected` — the ``reject`` backpressure policy refused
+  an observation batch; carries a ``retry_after_s`` hint and how many
+  observations of the batch were accepted before the queue filled.
+* :class:`ServiceDraining` — the service is shutting down and no longer
+  accepts new sessions or observations.
+* :class:`UnknownSession` — the session id is not (or no longer) open.
+* :class:`SubmitDeadline` — a client-side per-call deadline expired; the
+  submitter resolves this to a clean ``inconclusive`` outcome (exit
+  code 7, mirroring ``detect --deadline-ms``) rather than hanging.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ServiceDraining",
+    "ServiceError",
+    "SessionRejected",
+    "SubmitDeadline",
+    "UnknownSession",
+]
+
+
+class ServiceError(Exception):
+    """A monitoring-service failure (CLI exit code 8)."""
+
+
+class SessionRejected(ServiceError):
+    """Backpressure: the session's bounded queue is full (policy ``reject``).
+
+    Attributes:
+        session_id: The rejecting session.
+        retry_after_s: Suggested client wait before retrying.
+        accepted: Observations of the submitted batch that *were*
+            enqueued before the queue filled.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        retry_after_s: float,
+        accepted: int = 0,
+    ) -> None:
+        super().__init__(
+            f"session {session_id!r}: ingest queue full; "
+            f"retry after {retry_after_s:.3f}s"
+        )
+        self.session_id = session_id
+        self.retry_after_s = retry_after_s
+        self.accepted = accepted
+
+
+class ServiceDraining(ServiceError):
+    """The service is draining: intake is closed."""
+
+    def __init__(self, what: str = "request") -> None:
+        super().__init__(f"service is draining; {what} refused")
+
+
+class UnknownSession(ServiceError):
+    """The referenced session id is not open."""
+
+    def __init__(self, session_id: str) -> None:
+        super().__init__(f"unknown session {session_id!r}")
+        self.session_id = session_id
+
+
+class SubmitDeadline(ServiceError):
+    """A client-side submit deadline expired (resolves to inconclusive).
+
+    Attributes:
+        op: The operation that ran out of budget.
+        elapsed_ms: Time spent before giving up.
+        deadline_ms: The configured budget.
+        attempts: Transport attempts made.
+    """
+
+    def __init__(
+        self,
+        op: str,
+        elapsed_ms: float,
+        deadline_ms: float,
+        attempts: int,
+        last_error: Optional[str] = None,
+    ) -> None:
+        detail = f"; last error: {last_error}" if last_error else ""
+        super().__init__(
+            f"deadline of {deadline_ms:.0f}ms expired after "
+            f"{elapsed_ms:.0f}ms ({attempts} attempt(s)) in {op!r}{detail}"
+        )
+        self.op = op
+        self.elapsed_ms = elapsed_ms
+        self.deadline_ms = deadline_ms
+        self.attempts = attempts
+        self.last_error = last_error

@@ -1,0 +1,200 @@
+"""Server side of the monitoring service wire protocol.
+
+Requests and responses are single JSON objects, one per line.  A request
+carries ``{"op": ..., ...}``; a response is ``{"ok": true, ...}`` or
+``{"ok": false, "code": ..., "error": ...}``.  The full op table lives
+in ``docs/SERVICE.md``.
+
+:func:`handle_request` is the transport-independent dispatcher — the
+TCP server and :class:`~repro.service.client.LocalTransport` both call
+it, so the in-process chaos harness exercises exactly the protocol
+surface a remote ``repro feed`` does.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import Any, Dict, Optional
+
+from repro.service.errors import (
+    ServiceDraining,
+    ServiceError,
+    SessionRejected,
+    UnknownSession,
+)
+from repro.service.supervisor import MonitorService
+
+__all__ = ["ServiceServer", "handle_request"]
+
+#: Protocol revision reported by ``ping``.
+PROTOCOL = "repro-service-proto-v1"
+
+
+def _error(code: str, message: str, **extra: Any) -> Dict[str, Any]:
+    response: Dict[str, Any] = {
+        "ok": False,
+        "code": code,
+        "error": message,
+    }
+    response.update(extra)
+    return response
+
+
+def handle_request(
+    service: MonitorService, payload: Any
+) -> Dict[str, Any]:
+    """Dispatch one decoded request against the service.
+
+    Never raises for protocol-level failures — every
+    :class:`ServiceError` subclass maps to an ``ok: false`` response the
+    client-side submitter knows how to interpret.
+    """
+    if not isinstance(payload, dict):
+        return _error("bad-request", "request must be a JSON object")
+    op = payload.get("op")
+    try:
+        if op == "ping":
+            return {
+                "ok": True,
+                "protocol": PROTOCOL,
+                "draining": service.draining,
+            }
+        if op == "open":
+            queries = payload.get("queries")
+            if not isinstance(queries, list):
+                return _error(
+                    "bad-request",
+                    "open needs queries: [[name, [p, ...]], ...]",
+                )
+            info = service.open_session(
+                session_id=str(payload.get("session", "")),
+                num_processes=int(payload.get("num_processes", 0)),
+                queries=[(q[0], q[1]) for q in queries],
+                lossy=bool(payload.get("lossy", True)),
+                policy=payload.get("policy"),
+                queue_capacity=payload.get("queue_capacity"),
+                checkpoint_every=payload.get("checkpoint_every"),
+            )
+            info["ok"] = True
+            return info
+        if op == "observe":
+            observations = payload.get("observations")
+            if not isinstance(observations, list):
+                return _error(
+                    "bad-request", "observe needs an observations list"
+                )
+            result = service.submit(
+                str(payload.get("session", "")), observations
+            )
+            return {"ok": True, **result}
+        if op == "finish":
+            service.finish_session(str(payload.get("session", "")))
+            return {"ok": True}
+        if op == "status":
+            report = service.session_report(
+                str(payload.get("session", ""))
+            )
+            return {"ok": True, "report": report}
+        if op == "close":
+            report = service.close_session(
+                str(payload.get("session", "")),
+                timeout_s=float(payload.get("timeout_s", 30.0)),
+            )
+            return {"ok": True, "report": report}
+        if op == "stats":
+            return {"ok": True, "stats": service.stats()}
+        if op == "shutdown":
+            return {"ok": True, "shutdown": True}
+        return _error("bad-request", f"unknown op {op!r}")
+    except SessionRejected as exc:
+        return _error(
+            "rejected",
+            str(exc),
+            retry_after_s=exc.retry_after_s,
+            accepted=exc.accepted,
+        )
+    except ServiceDraining as exc:
+        return _error("draining", str(exc))
+    except UnknownSession as exc:
+        return _error("unknown-session", str(exc))
+    except (ServiceError, ValueError, TypeError, KeyError, IndexError) as exc:
+        return _error("error", str(exc))
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        server: "_TCPServer" = self.server  # type: ignore[assignment]
+        for raw in self.rfile:
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                response = _error("bad-request", "request is not JSON")
+            else:
+                response = handle_request(server.service, payload)
+            line = json.dumps(response, sort_keys=True) + "\n"
+            try:
+                self.wfile.write(line.encode("utf-8"))
+                self.wfile.flush()
+            except OSError:
+                return
+            if response.get("shutdown"):
+                server.shutdown_requested.set()
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, service: MonitorService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.shutdown_requested = threading.Event()
+
+
+class ServiceServer:
+    """The TCP front end of a :class:`MonitorService`.
+
+    Binds on construction (``port=0`` picks an ephemeral port, exposed
+    via :attr:`port`), serves on a daemon thread after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        service: MonitorService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._server = _TCPServer((host, port), service)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def shutdown_requested(self) -> threading.Event:
+        """Set when a client issued the ``shutdown`` op."""
+        return self._server.shutdown_requested
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-service-accept",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None

@@ -1,0 +1,203 @@
+"""Supervised worker threads: dequeue, journal, apply, checkpoint.
+
+One :class:`Worker` incarnation serves the sessions sharded onto its
+slot.  Its lifecycle:
+
+1. **Restore** — for each assigned session, rebuild the live
+   :class:`~repro.monitor.multiplex.MonitorGroup` from the last
+   checkpoint plus a deterministic journal replay (see
+   :mod:`repro.service.session`).
+2. **Serve** — round-robin over the sessions (sorted by id, so the
+   schedule is deterministic given queue contents), popping bounded
+   batches, journaling each entry *before* applying it, and cutting a
+   checkpoint every ``checkpoint_every`` journaled entries.
+3. **Crash** — any exception (including an injected
+   :class:`WorkerKilled` from the chaos harness) reports to the
+   supervisor's ``on_crash`` callback, which bumps the epoch and starts
+   a replacement incarnation.  The **epoch fence** inside the apply loop
+   guarantees a lingering thread of a dead incarnation can never touch a
+   session again.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs import STATE, registry
+from repro.obs.progress import tracker
+from repro.service.session import Session
+
+__all__ = ["Worker", "WorkerKilled"]
+
+
+class WorkerKilled(RuntimeError):
+    """Injected crash (chaos harness / tests)."""
+
+
+class Worker:
+    """One worker incarnation (a daemon thread) for one slot.
+
+    Args:
+        slot: The shard index this incarnation serves.
+        epoch: Incarnation number; sessions only accept applies from
+            their current epoch.
+        sessions_provider: Returns the sessions currently sharded onto
+            the slot (the supervisor snapshots its routing table under
+            its own lock) — read every scheduling round, so sessions
+            opened after the incarnation started are adopted lazily.
+        on_crash: ``callback(worker, exc)`` invoked from the dying
+            thread; the supervisor restarts the slot from checkpoints.
+        checkpoint_sink: Optional ``callback(session, doc)`` invoked
+            (outside the hot loop, inside the session lock) after each
+            periodic checkpoint — the supervisor persists it to disk.
+        batch: Max entries applied per session per scheduling round.
+    """
+
+    def __init__(
+        self,
+        slot: int,
+        epoch: int,
+        sessions_provider: Callable[[], List[Session]],
+        on_crash: Callable[["Worker", BaseException], None],
+        checkpoint_sink: Optional[Callable[[Session, Dict[str, Any]], None]] = None,
+        batch: int = 32,
+    ) -> None:
+        self.slot = slot
+        self.epoch = epoch
+        self._sessions_provider = sessions_provider
+        self._on_crash = on_crash
+        self._checkpoint_sink = checkpoint_sink
+        self._batch = batch
+        self._killed = False
+        self._stopping = False
+        self._wake = threading.Condition()
+        self.ready = threading.Event()
+        self.crashed: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"repro-service-w{slot}e{epoch}",
+            daemon=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle (supervisor-facing)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for session in self._my_sessions():
+            session.queue.set_wakeup(self.wake)
+        self._thread.start()
+
+    def wake(self) -> None:
+        with self._wake:
+            self._wake.notify_all()
+
+    def kill(self) -> None:
+        """Inject a crash: the thread dies at the next loop boundary."""
+        self._killed = True
+        self.wake()
+
+    def stop(self) -> None:
+        """Graceful stop: exit once requested (drain is supervisor-led)."""
+        self._stopping = True
+        self.wake()
+
+    def join(self, timeout_s: float = 5.0) -> None:
+        self._thread.join(timeout_s)
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # Thread body
+    # ------------------------------------------------------------------
+    def _my_sessions(self) -> List[Session]:
+        """Deterministic serving order over the slot's current sessions."""
+        return sorted(
+            self._sessions_provider(), key=lambda s: s.config.session_id
+        )
+
+    def _run(self) -> None:
+        try:
+            for session in self._my_sessions():
+                self._restore(session)
+            self.ready.set()
+            heartbeat = tracker("service.apply", total=None, check_every=64)
+            while not self._stopping:
+                if self._killed:
+                    raise WorkerKilled(f"worker slot {self.slot} killed")
+                applied = 0
+                for session in self._my_sessions():
+                    applied += self._apply_batch(session)
+                    if self._killed:
+                        raise WorkerKilled(
+                            f"worker slot {self.slot} killed"
+                        )
+                if applied:
+                    heartbeat.step(applied)
+                else:
+                    with self._wake:
+                        if not (self._stopping or self._killed):
+                            self._wake.wait(0.05)
+        except BaseException as exc:  # noqa: BLE001 - supervised boundary
+            self.crashed = exc
+            self.ready.set()
+            self._on_crash(self, exc)
+
+    def _restore(self, session: Session) -> None:
+        with session.lock:
+            if session.epoch != self.epoch:
+                return
+            replayed = session.restore_live_group()
+            if replayed and STATE.enabled:
+                registry().counter(
+                    "monitor.service.journal_replayed"
+                ).inc(replayed)
+
+    def _apply_batch(self, session: Session) -> int:
+        """Apply up to ``batch`` entries; returns how many were applied."""
+        applied = 0
+        while applied < self._batch:
+            if self._killed:
+                break
+            with session.lock:
+                if session.group is None and session.epoch == self.epoch:
+                    # Adopted after start (or fenced and re-assigned to
+                    # this epoch): rebuild before serving.
+                    self._restore(session)
+                if session.epoch != self.epoch:
+                    # Fenced: this incarnation was declared dead while
+                    # we were scheduled.  Drop the in-flight work.
+                    session.counts["stale_epoch_drops"] += 1
+                    if STATE.enabled:
+                        registry().counter(
+                            "monitor.service.stale_epoch_drops"
+                        ).inc()
+                    break
+                entry = session.queue.pop()
+                if entry is None:
+                    session.settled.notify_all()
+                    break
+                # Write-ahead: journal before apply, so a crash between
+                # the two replays the entry instead of losing it.
+                session.seq += 1
+                session.journal.append(entry)
+                session.apply_entry(entry, seq=session.seq, replay=False)
+                applied += 1
+                if STATE.enabled:
+                    registry().counter("monitor.service.applied").inc()
+                if (
+                    session.seq - session.checkpoint_seq
+                    >= session.config.checkpoint_every
+                    or entry["kind"] == "finish"
+                ):
+                    doc = session.take_checkpoint()
+                    if STATE.enabled:
+                        registry().counter(
+                            "monitor.service.checkpoints"
+                        ).inc()
+                    if self._checkpoint_sink is not None:
+                        self._checkpoint_sink(session, doc)
+                if len(session.queue) == 0:
+                    session.settled.notify_all()
+        return applied

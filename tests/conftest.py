@@ -7,6 +7,18 @@ import pytest
 from repro.computation import Computation, ComputationBuilder
 
 
+def pytest_configure(config):
+    # The service tests carry timeout markers so a wedged queue or a
+    # deadlocked drain fails fast instead of hanging the suite; the
+    # marker is enforced by pytest-timeout (installed in CI) and is an
+    # inert annotation when that plugin is absent locally.
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test after this many seconds "
+        "(enforced when pytest-timeout is installed)",
+    )
+
+
 @pytest.fixture(autouse=True)
 def _no_run_ledger(monkeypatch):
     """Keep test invocations of the CLI out of any real run ledger.

@@ -1,0 +1,113 @@
+"""Concurrent-appender safety for the run ledger.
+
+Service workers (and parallel CLI invocations) share one
+`.repro/runs.jsonl`; `repro.obs.ledger` therefore writes each record as
+a single `O_APPEND` `write(2)` call so lines from different threads or
+processes interleave whole-line, never byte-wise.  These tests hammer
+one ledger file from many threads and assert every line parses as a
+complete, valid `repro-run-v1` record with nothing lost.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import ledger
+
+
+def _record(thread, i):
+    return {
+        "command": "session",
+        "argv": ["--thread", str(thread), "--i", str(i)],
+        "args_fingerprint": ledger.fingerprint_args(
+            "session", ["--thread", str(thread), "--i", str(i)]
+        ),
+        "verdict": "detected",
+        "exit_code": 0,
+        "started_at": "2026-01-01T00:00:00Z",
+        "wall_ms": 1,
+        "cpu_ms": 1,
+        "stats": {},
+        "metrics": {},
+        "spans": [],
+        "extra": {"thread": thread, "i": i},
+    }
+
+
+@pytest.mark.timeout(120)
+class TestConcurrentAppenders:
+    def test_threads_hammering_one_ledger(self, tmp_path):
+        path = str(tmp_path / "runs.jsonl")
+        threads, per_thread = 8, 40
+        barrier = threading.Barrier(threads)
+        errors = []
+
+        def hammer(t):
+            try:
+                barrier.wait()
+                for i in range(per_thread):
+                    ledger.append_record(path, _record(t, i))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((t, exc))
+
+        workers = [
+            threading.Thread(target=hammer, args=(t,), daemon=True)
+            for t in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(timeout=60)
+        assert not errors, errors
+
+        with open(path, encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == threads * per_thread
+
+        seen = set()
+        for line in lines:
+            record = json.loads(line)  # every line is complete JSON
+            ledger.validate_record(record, source="hammer")
+            seen.add((record["extra"]["thread"], record["extra"]["i"]))
+        # No append was lost or duplicated.
+        assert seen == {
+            (t, i) for t in range(threads) for i in range(per_thread)
+        }
+
+        # read_records applies the same validation end to end.
+        assert len(ledger.read_records(path)) == threads * per_thread
+
+    def test_transient_write_errors_are_retried(self, tmp_path, monkeypatch):
+        import os
+
+        path = str(tmp_path / "runs.jsonl")
+        real_write = os.write
+        failures = {"left": 2}
+
+        def flaky_write(fd, data):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise OSError("simulated EINTR")
+            return real_write(fd, data)
+
+        monkeypatch.setattr(os, "write", flaky_write)
+        ledger.append_record(path, _record(0, 0))
+        monkeypatch.undo()
+
+        records = ledger.read_records(path)
+        assert len(records) == 1
+        assert records[0]["extra"] == {"thread": 0, "i": 0}
+
+    def test_persistent_write_errors_propagate(self, tmp_path, monkeypatch):
+        import os
+
+        path = str(tmp_path / "runs.jsonl")
+        monkeypatch.setattr(
+            os, "write",
+            lambda fd, data: (_ for _ in ()).throw(OSError("disk gone")),
+        )
+        with pytest.raises(OSError):
+            ledger.append_record(path, _record(0, 0))

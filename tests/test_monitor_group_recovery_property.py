@@ -1,0 +1,164 @@
+"""Property test: checkpoint/restore of a `MonitorGroup` is seamless.
+
+For randomly generated computations — including simulator traces under
+random seeded fault plans (message loss + duplication) — splitting the
+observation stream at a random point, checkpointing, restoring, and
+feeding the suffix must be *observably identical* to the uninterrupted
+run: the same detailed verdicts, the same witnesses, and a final
+checkpoint whose canonical JSON serialization is byte-identical.
+
+This is the invariant the monitoring service's supervised workers lean
+on when they restart a crashed incarnation from checkpoint + journal
+(`docs/SERVICE.md`).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.computation import some_linearization
+from repro.monitor import MonitorGroup, recovery
+from repro.simulation import FaultPlan
+from repro.simulation.protocols import build_token_ring
+from repro.trace import BoolVar, random_computation
+
+
+def observation_stream(comp, monitored, variable="x"):
+    monitored = set(monitored)
+    stream = []
+    for p in sorted(monitored):
+        ev = comp.initial_event(p)
+        stream.append(
+            (p, 0, comp.clock(ev.event_id), bool(ev.value(variable, False)))
+        )
+    for eid in some_linearization(comp):
+        p, index = eid
+        if p not in monitored:
+            continue
+        ev = comp.event(eid)
+        stream.append(
+            (p, index, comp.clock(eid), bool(ev.value(variable, False)))
+        )
+    return stream
+
+
+def _random_instance(rng):
+    """A (computation, variable) pair drawn from two trace families."""
+    if rng.random() < 0.5:
+        n = rng.randint(3, 5)
+        comp = build_token_ring(
+            n,
+            hops=rng.randint(4, 10),
+            seed=rng.randint(0, 10_000),
+            rogue_process=rng.choice([None, rng.randrange(n)]),
+            faults=FaultPlan(
+                seed=rng.randint(0, 10_000),
+                message_loss=rng.choice([0.0, 0.15]),
+                message_duplication=rng.choice([0.0, 0.2]),
+            ),
+        )
+        return comp, "cs"
+    n = rng.randint(3, 5)
+    comp = random_computation(
+        n,
+        rng.randint(4, 9),
+        rng.choice([0.2, 0.4]),
+        seed=rng.randint(0, 10_000),
+        variables=[BoolVar("x", rng.choice([0.25, 0.5]))],
+    )
+    return comp, "x"
+
+
+def _fresh_group(n, rng):
+    group = MonitorGroup.all_pairs(n, lossy=True)
+    # A wider-than-pair query sometimes, to cover k-ary queues.
+    if n >= 3 and rng.random() < 0.5:
+        group.add("triple", [0, 1, 2])
+    return group
+
+
+def _final_state(group):
+    verdicts = group.detailed_verdicts()
+    witnesses = {
+        name: None
+        if witness is None
+        else {
+            p: (index, tuple(clock.components))
+            for p, (index, clock) in witness.items()
+        }
+        for name, witness in group.witnesses().items()
+    }
+    blob = json.dumps(recovery.checkpoint_group(group), sort_keys=True)
+    return verdicts, witnesses, blob
+
+
+@pytest.mark.timeout(300)
+class TestCheckpointSplitProperty:
+    def test_random_split_equals_uninterrupted_run(self):
+        trials, with_gaps = 0, 0
+        for seed in range(40):
+            rng = random.Random(seed)
+            comp, variable = _random_instance(rng)
+            n = comp.num_processes
+            stream = observation_stream(comp, range(n), variable=variable)
+            # Sometimes drop observations so the split also crosses a
+            # gappy (lossy-verdict) stream.
+            if rng.random() < 0.35:
+                stream = [
+                    obs for obs in stream if rng.random() > 0.15
+                ]
+                with_gaps += 1
+            split = rng.randint(0, len(stream))
+
+            oracle = _fresh_group(n, random.Random(seed))
+            resumed = _fresh_group(n, random.Random(seed))
+            for obs in stream:
+                oracle.observe(*obs)
+            for obs in stream[:split]:
+                resumed.observe(*obs)
+            state = recovery.checkpoint_group(resumed)
+            # The checkpoint itself must survive a JSON round trip —
+            # that is what hits the disk.
+            resumed = recovery.restore_group(
+                json.loads(json.dumps(state))
+            )
+            for obs in stream[split:]:
+                resumed.observe(*obs)
+            oracle.finish_all()
+            resumed.finish_all()
+
+            assert _final_state(oracle) == _final_state(resumed), (
+                f"seed {seed}: split at {split}/{len(stream)} diverged"
+            )
+            trials += 1
+        assert trials == 40
+        assert with_gaps >= 5  # the gap regime was actually exercised
+
+    def test_double_split_chain(self):
+        # Crash twice: checkpoint→restore→checkpoint→restore must still
+        # match the straight-through run (the service may restart a
+        # worker more than once per session).
+        rng = random.Random(99)
+        comp, variable = _random_instance(rng)
+        n = comp.num_processes
+        stream = observation_stream(comp, range(n), variable=variable)
+        a, b = sorted(rng.sample(range(len(stream) + 1), 2))
+
+        oracle = _fresh_group(n, random.Random(99))
+        resumed = _fresh_group(n, random.Random(99))
+        for obs in stream:
+            oracle.observe(*obs)
+        for obs in stream[:a]:
+            resumed.observe(*obs)
+        resumed = recovery.restore_group(recovery.checkpoint_group(resumed))
+        for obs in stream[a:b]:
+            resumed.observe(*obs)
+        resumed = recovery.restore_group(recovery.checkpoint_group(resumed))
+        for obs in stream[b:]:
+            resumed.observe(*obs)
+        oracle.finish_all()
+        resumed.finish_all()
+        assert _final_state(oracle) == _final_state(resumed)

@@ -325,3 +325,112 @@ class TestCheckpointByteStability:
         recovery.save_group(group, a)
         recovery.save_group(recovery.load_group(a), b)
         assert a.read_bytes() == b.read_bytes()
+
+
+class TestTornWriteSafety:
+    """A crash mid-save must never tear an existing checkpoint.
+
+    `save_monitor` / `save_group` stage bytes in a sibling temp file and
+    atomically `os.replace` it over the target; these tests simulate the
+    crash at the worst moment (the rename itself) and at write time, and
+    assert the previous complete checkpoint survives byte-for-byte with
+    no temp-file litter left behind.
+    """
+
+    def _monitor(self, seed=7):
+        comp = random_computation(
+            3, 6, 0.4, seed=seed, variables=[BoolVar("x", 0.35)]
+        )
+        return feed(
+            OnlineConjunctiveMonitor(3, range(3), lossy=True),
+            observation_stream(comp, range(3)),
+        )
+
+    def _group(self, seed=7):
+        comp = random_computation(
+            3, 6, 0.4, seed=seed, variables=[BoolVar("x", 0.35)]
+        )
+        group = MonitorGroup.all_pairs(3, lossy=True)
+        for p, index, clock, truth in observation_stream(comp, range(3)):
+            group.observe(p, index, clock, truth)
+        return group
+
+    def test_failed_rename_leaves_monitor_checkpoint_intact(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        path = tmp_path / "monitor.ckpt"
+        recovery.save_monitor(self._monitor(seed=1), path)
+        before = path.read_bytes()
+
+        def torn_replace(src, dst, **kwargs):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(os, "replace", torn_replace)
+        with pytest.raises(OSError):
+            recovery.save_monitor(self._monitor(seed=2), path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["monitor.ckpt"]
+        # The surviving checkpoint is still loadable.
+        recovery.load_monitor(path)
+
+    def test_failed_rename_leaves_group_checkpoint_intact(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        path = tmp_path / "group.ckpt"
+        recovery.save_group(self._group(seed=1), path)
+        before = path.read_bytes()
+
+        monkeypatch.setattr(
+            os, "replace",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("torn")),
+        )
+        with pytest.raises(OSError):
+            recovery.save_group(self._group(seed=2), path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["group.ckpt"]
+        recovery.load_group(path)
+
+    def test_failed_write_cleans_temp_and_preserves_target(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        path = tmp_path / "monitor.ckpt"
+        recovery.save_monitor(self._monitor(seed=1), path)
+        before = path.read_bytes()
+
+        real_fsync = os.fsync
+
+        def torn_fsync(fd):
+            raise OSError("simulated disk-full at flush")
+
+        monkeypatch.setattr(os, "fsync", torn_fsync)
+        with pytest.raises(OSError):
+            recovery.save_monitor(self._monitor(seed=2), path)
+        monkeypatch.setattr(os, "fsync", real_fsync)
+
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["monitor.ckpt"]
+
+    def test_first_save_failure_leaves_no_file_at_all(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        path = tmp_path / "fresh.ckpt"
+        monkeypatch.setattr(
+            os, "replace",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("torn")),
+        )
+        with pytest.raises(OSError):
+            recovery.save_monitor(self._monitor(), path)
+        monkeypatch.undo()
+        assert list(tmp_path.iterdir()) == []

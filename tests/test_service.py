@@ -1,0 +1,498 @@
+"""The resilient monitoring service: queues, policies, supervision, drain.
+
+Covers the robustness contracts of ``docs/SERVICE.md`` in-process:
+bounded queues and the three backpressure policies, epoch fencing,
+checkpoint-based worker restart (verdict/witness parity with an
+uninterrupted oracle), dead-letter isolation between co-tenant
+sessions, the retrying client (backoff, retry-after hints, deadlines),
+graceful drain, and the per-session run-ledger records.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.events import VectorClock
+from repro.monitor import MonitorGroup
+from repro.service import (
+    BoundedQueue,
+    LocalTransport,
+    MonitorService,
+    ServiceDraining,
+    ServiceError,
+    SessionRejected,
+    SubmitDeadline,
+    Submitter,
+    UnknownSession,
+    handle_request,
+    validate_policy,
+)
+from repro.service.session import Session, SessionConfig, observation_stream
+from repro.simulation.protocols import build_crash_restart_lock_scenario
+
+
+def lock_stream():
+    comp = build_crash_restart_lock_scenario(seed=5)
+    return comp, observation_stream(comp, [2, 3], variable="holds_lock")
+
+
+def oracle_group(num_processes, queries, stream, lossy=True):
+    group = MonitorGroup(num_processes, lossy=lossy)
+    for name, procs in sorted(queries):
+        group.add(name, list(procs))
+    for p, index, clock, truth in stream:
+        group.observe(p, index, VectorClock(clock), truth)
+    group.finish_all()
+    return group
+
+
+class TestBoundedQueue:
+    def test_capacity_bound_and_high_water(self):
+        queue = BoundedQueue(2)
+        assert queue.try_put("a") and queue.try_put("b")
+        assert not queue.try_put("c")
+        assert queue.high_water == 2
+        assert queue.pop() == "a"
+        assert queue.try_put("c")
+        assert [queue.pop(), queue.pop(), queue.pop()] == ["b", "c", None]
+
+    def test_control_entries_bypass_capacity(self):
+        queue = BoundedQueue(1)
+        assert queue.try_put("data")
+        queue.put_control("ctl")
+        assert len(queue) == 2
+        assert queue.high_water == 2
+
+    def test_blocking_put_times_out_when_full(self):
+        queue = BoundedQueue(1)
+        queue.try_put("a")
+        enqueued, waited = queue.put_blocking("b", timeout_s=0.05)
+        assert not enqueued and waited
+
+    def test_blocking_put_wakes_on_pop(self):
+        import threading
+
+        queue = BoundedQueue(1)
+        queue.try_put("a")
+
+        def consumer():
+            queue.pop()
+
+        timer = threading.Timer(0.05, consumer)
+        timer.start()
+        try:
+            enqueued, waited = queue.put_blocking("b", timeout_s=5.0)
+        finally:
+            timer.cancel()
+        assert enqueued and waited
+
+    def test_policy_validation(self):
+        assert validate_policy("reject-with-retry-after") == "reject"
+        assert validate_policy("BLOCK") == "block"
+        with pytest.raises(ValueError):
+            validate_policy("drop-everything")
+
+
+class TestSessionConfig:
+    def test_queries_sorted_and_deduplicated(self):
+        config = SessionConfig(
+            "s", 4, [("b", [1, 2]), ("a", [0, 1])]
+        )
+        assert [name for name, _ in config.queries] == ["a", "b"]
+        with pytest.raises(ValueError):
+            SessionConfig("s", 4, [("a", [0]), ("a", [1])])
+
+    def test_bad_session_ids_rejected(self):
+        for bad in ("", ".hidden", "a/b", "x" * 129, "sp ace"):
+            with pytest.raises(ValueError):
+                SessionConfig(bad, 2, [("q", [0, 1])])
+
+    def test_validate_observation_reasons(self):
+        session = Session(SessionConfig("s", 3, [("q", [0, 1])]))
+        ok = [0, 1, [2, 1, 0], True]
+        assert session.validate_observation(ok) is None
+        bad = [
+            ["x", 1, [1, 1, 1], True],
+            [3, 1, [1, 1, 1], True],
+            [0, -1, [1, 1, 1], True],
+            [0, 1, [1, 1], True],
+            [0, 1, [1, -1, 1], True],
+            [0, 1, [1, 1, 1], "yes"],
+            [0, 1],
+            "nonsense",
+            [True, 1, [1, 1, 1], True],
+        ]
+        for obs in bad:
+            assert session.validate_observation(obs) is not None, obs
+
+
+@pytest.mark.timeout(60)
+class TestServiceLifecycle:
+    def test_end_to_end_detection_matches_oracle(self):
+        comp, stream = lock_stream()
+        service = MonitorService(workers=2, checkpoint_every=3)
+        try:
+            service.open_session(
+                "mx", comp.num_processes, [("lock", [2, 3])]
+            )
+            for i in range(0, len(stream), 2):
+                service.submit("mx", stream[i:i + 2])
+            report = service.close_session("mx")
+        finally:
+            service.shutdown(timeout_s=5.0)
+        oracle = oracle_group(
+            comp.num_processes, [("lock", (2, 3))], stream
+        )
+        assert report["verdicts"] == oracle.detailed_verdicts()
+        assert report["verdicts"]["lock"] == "detected"
+        expected_witness = {
+            name: {
+                str(p): [index, list(clock.components)]
+                for p, (index, clock) in sorted(witness.items())
+            }
+            for name, witness in oracle.witnesses().items()
+        }
+        assert report["witnesses"] == expected_witness
+        assert report["counts"]["applied"] == len(stream)
+
+    def test_unknown_session_and_duplicate_open(self):
+        service = MonitorService(workers=1)
+        try:
+            with pytest.raises(UnknownSession):
+                service.submit("ghost", [[0, 0, [1, 1], True]])
+            service.open_session("dup", 2, [("q", [0, 1])])
+            with pytest.raises(ServiceError):
+                service.open_session("dup", 2, [("q", [0, 1])])
+        finally:
+            service.shutdown(timeout_s=5.0)
+
+    def test_submit_after_finish_fails(self):
+        service = MonitorService(workers=1)
+        try:
+            service.open_session("s", 2, [("q", [0, 1])])
+            service.finish_session("s")
+            with pytest.raises(ServiceError):
+                service.submit("s", [[0, 0, [1, 0], True]])
+        finally:
+            service.shutdown(timeout_s=5.0)
+
+    def test_drain_closes_intake_and_settles_sessions(self):
+        comp, stream = lock_stream()
+        service = MonitorService(workers=2)
+        service.open_session("mx", comp.num_processes, [("lock", [2, 3])])
+        service.submit("mx", stream)
+        summary = service.drain(timeout_s=10.0)
+        assert summary["sessions_closed"] == 1
+        assert summary["verdicts"] == {"detected": 1}
+        with pytest.raises(ServiceDraining):
+            service.open_session("late", 2, [("q", [0, 1])])
+        with pytest.raises(ServiceDraining):
+            service.submit("mx", [[2, 0, [0, 0, 1, 0], False]])
+        report = service.session_report("mx")
+        assert report["closed"] and report["finished"]
+
+
+@pytest.mark.timeout(60)
+class TestBackpressurePolicies:
+    def test_reject_policy_raises_with_retry_hint(self):
+        service = MonitorService(workers=1, block_timeout_s=1.0)
+        try:
+            service.open_session(
+                "rj", 2, [("q", [0, 1])], policy="reject",
+                queue_capacity=1,
+            )
+            # Stall the worker's consumption by saturating faster than
+            # it can drain: submit a burst in one call.
+            burst = [[0, i, [i + 1, 0], False] for i in range(50)]
+            with pytest.raises(SessionRejected) as excinfo:
+                service.submit("rj", burst)
+            assert excinfo.value.retry_after_s > 0
+            assert 0 <= excinfo.value.accepted < 50
+        finally:
+            service.shutdown(timeout_s=5.0)
+
+    def test_degrade_policy_sheds_and_records_gaps(self):
+        # A strict (lossy=False) session under degrade: shedding must
+        # flip it lossy so the dropped indices surface as recorded gaps
+        # instead of monitor errors.
+        service = MonitorService(workers=1, block_timeout_s=1.0)
+        try:
+            service.open_session(
+                "dg", 1, [("q", [0])], lossy=False, policy="degrade",
+                queue_capacity=2, checkpoint_every=1000,
+            )
+            stream = [[0, i, [i + 1], False] for i in range(200)]
+            outcome = service.submit("dg", stream)
+            assert outcome["accepted"] + outcome["shed"] == 200
+            if outcome["shed"]:
+                # Shedding may be a contiguous tail; a gap only becomes
+                # visible to the monitor once a *later* observation is
+                # accepted and applied.  Keep offering one until the
+                # worker has drained enough queue room to take it.
+                idx = 200
+                deadline = time.monotonic() + 20.0
+                while time.monotonic() < deadline:
+                    extra = service.submit("dg", [[0, idx, [idx + 1], False]])
+                    if extra["accepted"]:
+                        break
+                    idx += 1
+                    time.sleep(0.01)
+                else:
+                    pytest.fail("worker never drained the degrade queue")
+            report = service.close_session("dg")
+        finally:
+            service.shutdown(timeout_s=5.0)
+        counts = report["counts"]
+        if counts["shed"]:
+            assert report["degraded"] and report["lossy"]
+            monitor_gaps = report["gaps"].get("q", {})
+            assert monitor_gaps, "shed observations must surface as gaps"
+            # Memory stayed bounded: capacity + degrade/finish controls.
+            assert report["queue_high_water"] <= 2 + 2
+        assert counts["applied"] == counts["ingested"]
+
+    def test_block_policy_counts_waits(self):
+        service = MonitorService(workers=1, block_timeout_s=10.0)
+        try:
+            service.open_session(
+                "bl", 1, [("q", [0])], policy="block", queue_capacity=2,
+            )
+            stream = [[0, i, [i + 1], False] for i in range(100)]
+            outcome = service.submit("bl", stream)
+            assert outcome["accepted"] == 100
+            report = service.close_session("bl")
+        finally:
+            service.shutdown(timeout_s=5.0)
+        assert report["counts"]["applied"] == 100
+        assert report["counts"]["shed"] == 0
+
+
+@pytest.mark.timeout(120)
+class TestSupervision:
+    def test_worker_restart_preserves_verdict_and_witness(self):
+        comp, stream = lock_stream()
+        service = MonitorService(workers=1, checkpoint_every=2)
+        try:
+            service.open_session(
+                "mx", comp.num_processes, [("lock", [2, 3])]
+            )
+            mid = len(stream) // 2
+            service.submit("mx", stream[:mid])
+            service.kill_worker(0)
+            service.submit("mx", stream[mid:])
+            report = service.close_session("mx", timeout_s=20.0)
+        finally:
+            service.shutdown(timeout_s=5.0)
+        stats = service.stats()
+        assert stats["counts"]["worker_crashes"] >= 1
+        assert stats["counts"]["worker_restarts"] >= 1
+        assert report["counts"]["restarts"] >= 1
+        oracle = oracle_group(
+            comp.num_processes, [("lock", (2, 3))], stream
+        )
+        assert report["verdicts"] == oracle.detailed_verdicts()
+        expected_witness = {
+            name: {
+                str(p): [index, list(clock.components)]
+                for p, (index, clock) in sorted(witness.items())
+            }
+            for name, witness in oracle.witnesses().items()
+        }
+        assert report["witnesses"] == expected_witness
+
+    def test_epoch_fence_blocks_stale_incarnation(self):
+        # Unit-level: a worker whose epoch is behind the session's must
+        # drop in-flight work, not apply it.
+        from repro.service.worker import Worker
+
+        session = Session(SessionConfig("s", 2, [("q", [0, 1])]))
+        session.queue.try_put(
+            {"kind": "obs", "process": 0, "index": 0,
+             "clock": [1, 0], "truth": True}
+        )
+        crashes = []
+        worker = Worker(
+            slot=0, epoch=0, sessions_provider=lambda: [session],
+            on_crash=lambda w, e: crashes.append(e),
+        )
+        session.epoch = 1  # the supervisor declared epoch 0 dead
+        applied = worker._apply_batch(session)
+        assert applied == 0
+        assert session.counts["stale_epoch_drops"] == 1
+        assert len(session.queue) == 1  # the entry was not consumed
+        assert not crashes
+
+    def test_dead_letters_do_not_leak_across_cotenant_sessions(self):
+        comp, stream = lock_stream()
+        # One worker: both sessions share an incarnation by design.
+        service = MonitorService(workers=1)
+        try:
+            service.open_session(
+                "clean", comp.num_processes, [("lock", [2, 3])]
+            )
+            service.open_session(
+                "dirty", comp.num_processes, [("lock", [2, 3])]
+            )
+            poison = [
+                ["not-an-int", 0, [1, 1, 1, 1], True],
+                [2, 0, [1, 1], True],
+                [2, 0, None, True],
+            ]
+            for i in range(0, len(stream), 2):
+                batch = stream[i:i + 2]
+                service.submit("clean", batch)
+                outcome = service.submit("dirty", batch + [poison[
+                    (i // 2) % len(poison)]])
+                assert outcome["dead_lettered"] == 1
+            clean = service.close_session("clean")
+            dirty = service.close_session("dirty")
+        finally:
+            service.shutdown(timeout_s=5.0)
+        assert clean["dead_letters"] == []
+        assert len(dirty["dead_letters"]) == (len(stream) + 1) // 2
+        assert all(
+            d["stage"] == "validate" for d in dirty["dead_letters"]
+        )
+        # Poison changed neither session's outcome.
+        assert clean["verdicts"]["lock"] == "detected"
+        assert dirty["verdicts"]["lock"] == "detected"
+        assert clean["witnesses"] == dirty["witnesses"]
+
+
+@pytest.mark.timeout(60)
+class TestSubmitterClient:
+    def test_protocol_roundtrip_via_local_transport(self):
+        comp, stream = lock_stream()
+        service = MonitorService(workers=1)
+        try:
+            submitter = Submitter(LocalTransport(service), seed=3)
+            assert submitter.ping()["ok"]
+            submitter.open_session(
+                "mx", comp.num_processes, [("lock", [2, 3])]
+            )
+            totals = submitter.submit("mx", stream)
+            assert totals["accepted"] == len(stream)
+            status = submitter.status("mx")["report"]
+            assert status["session"] == "mx"
+            report = submitter.close_session("mx")["report"]
+            assert report["verdicts"]["lock"] == "detected"
+            stats = submitter.stats()["stats"]
+            assert stats["counts"]["sessions_closed"] == 1
+        finally:
+            service.shutdown(timeout_s=5.0)
+
+    def test_rejected_batches_are_resubmitted_from_the_tail(self):
+        service = MonitorService(workers=1)
+        try:
+            service.open_session(
+                "rj", 1, [("q", [0])], policy="reject", queue_capacity=4,
+            )
+            submitter = Submitter(
+                LocalTransport(service), retries=20, backoff_s=0.005,
+                seed=11,
+            )
+            stream = [[0, i, [i + 1], False] for i in range(120)]
+            totals = submitter.submit("rj", stream)
+            report = submitter.close_session("rj")["report"]
+        finally:
+            service.shutdown(timeout_s=5.0)
+        # Lossless despite rejections: everything was eventually applied,
+        # exactly once, in order.
+        assert totals["accepted"] == 120
+        assert report["counts"]["applied"] == 120
+        assert report["gaps"] == {}
+
+    def test_submit_deadline_resolves_to_clean_error(self):
+        class NeverAvailable:
+            def request(self, payload):
+                return {"ok": False, "code": "unavailable",
+                        "error": "synthetic outage"}
+
+        submitter = Submitter(
+            NeverAvailable(), retries=1000, backoff_s=0.01,
+            deadline_s=0.15, seed=0,
+        )
+        with pytest.raises(SubmitDeadline) as excinfo:
+            submitter.call("ping")
+        exc = excinfo.value
+        assert exc.deadline_ms == pytest.approx(150.0)
+        assert exc.attempts >= 1
+        assert "synthetic outage" in (exc.last_error or "")
+
+    def test_jitter_is_seeded_and_reproducible(self):
+        sleeps_a, sleeps_b = [], []
+
+        def make(recorder):
+            class Flaky:
+                calls = 0
+
+                def request(self, payload):
+                    Flaky.calls += 1
+                    if Flaky.calls < 4:
+                        return {"ok": False, "code": "unavailable",
+                                "error": "flap"}
+                    return {"ok": True}
+
+            return Submitter(
+                Flaky(), retries=10, backoff_s=0.001, seed=42
+            )
+
+        import repro.service.client as client_mod
+
+        original_sleep = client_mod.sleep
+        try:
+            client_mod.sleep = sleeps_a.append
+            make(sleeps_a).call("ping")
+            client_mod.sleep = sleeps_b.append
+            make(sleeps_b).call("ping")
+        finally:
+            client_mod.sleep = original_sleep
+        assert sleeps_a and sleeps_a == sleeps_b
+
+    def test_handle_request_maps_errors_to_codes(self):
+        service = MonitorService(workers=1)
+        try:
+            assert handle_request(service, "junk")["code"] == "bad-request"
+            assert handle_request(service, {"op": "nope"})["code"] == (
+                "bad-request"
+            )
+            response = handle_request(
+                service, {"op": "status", "session": "ghost"}
+            )
+            assert response["code"] == "unknown-session"
+        finally:
+            service.shutdown(timeout_s=5.0)
+
+
+@pytest.mark.timeout(60)
+class TestSessionLedger:
+    def test_one_session_record_per_lifecycle(self, tmp_path):
+        comp, stream = lock_stream()
+        ledger_path = str(tmp_path / "runs.jsonl")
+        service = MonitorService(workers=1, ledger_path=ledger_path)
+        try:
+            service.open_session(
+                "mx", comp.num_processes, [("lock", [2, 3])]
+            )
+            service.submit("mx", stream)
+            service.close_session("mx")
+            # Closing again must not duplicate the record.
+            service.close_session("mx")
+        finally:
+            service.shutdown(timeout_s=5.0)
+        lines = [
+            json.loads(line)
+            for line in open(ledger_path, encoding="utf-8")
+        ]
+        session_records = [
+            r for r in lines if r["command"] == "session"
+        ]
+        assert len(session_records) == 1
+        record = session_records[0]
+        assert record["schema"] == "repro-run-v1"
+        assert record["verdict"] == "detected"
+        assert record["extra"]["session"] == "mx"
+        assert record["stats"]["detected_queries"] == 1

@@ -1,0 +1,234 @@
+"""Wire-protocol and process-level tests for `repro serve` / `repro feed`.
+
+Two layers:
+
+* in-process — a real TCP `ServiceServer` on a loopback ephemeral port,
+  driven through `SocketTransport` + `Submitter`, checking the
+  `repro-service-proto-v1` envelope end to end;
+* subprocess — `python -m repro serve` booted as a child process with a
+  readiness file, fed the crash-restart lock trace by `python -m repro
+  feed`, then drained via SIGTERM; asserts exit codes, the persisted
+  checkpoint, and the session run-ledger record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import (
+    MonitorService,
+    ServiceServer,
+    SocketTransport,
+    Submitter,
+)
+from repro.service.session import observation_stream
+from repro.simulation.protocols import build_crash_restart_lock_scenario
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _child_env(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env["REPRO_RUNS"] = str(tmp_path / "runs.jsonl")
+    return env
+
+
+@pytest.mark.timeout(120)
+class TestSocketRoundTrip:
+    def test_protocol_over_tcp(self):
+        comp = build_crash_restart_lock_scenario(seed=5)
+        stream = list(
+            observation_stream(comp, [2, 3], variable="holds_lock")
+        )
+        service = MonitorService(workers=2)
+        server = ServiceServer(service, host="127.0.0.1", port=0)
+        server.start()
+        transport = SocketTransport(
+            "127.0.0.1", server.port, timeout_s=10.0
+        )
+        client = Submitter(transport, retries=5, backoff_s=0.01, seed=0)
+        try:
+            pong = client.ping()
+            assert pong["ok"] and pong["protocol"] == "repro-service-proto-v1"
+
+            opened = client.open_session(
+                "tcp-lock", 4, [["lock", [2, 3]]], lossy=True
+            )
+            assert opened["ok"] and opened["session"] == "tcp-lock"
+
+            outcome = client.submit("tcp-lock", stream)
+            assert outcome["accepted"] == len(stream)
+
+            report = client.close_session("tcp-lock")
+            assert report["ok"]
+            assert report["report"]["verdicts"]["lock"] == "detected"
+            witness = report["report"]["witnesses"]["lock"]
+            assert set(witness) == {"2", "3"}
+
+            stats = client.stats()
+            assert stats["stats"]["counts"]["sessions_closed"] == 1
+
+            assert not server.shutdown_requested.is_set()
+            client.shutdown()
+            assert server.shutdown_requested.wait(5.0)
+        finally:
+            transport.close()
+            server.stop()
+            service.shutdown(timeout_s=5.0)
+
+    def test_unknown_session_and_bad_request_codes(self):
+        service = MonitorService(workers=1)
+        server = ServiceServer(service, host="127.0.0.1", port=0)
+        server.start()
+        transport = SocketTransport("127.0.0.1", server.port, timeout_s=10.0)
+        try:
+            reply = transport.request({"op": "status", "session": "ghost"})
+            assert not reply["ok"] and reply["code"] == "unknown-session"
+            reply = transport.request({"op": "no-such-op"})
+            assert not reply["ok"] and reply["code"] == "bad-request"
+        finally:
+            transport.close()
+            server.stop()
+            service.shutdown(timeout_s=5.0)
+
+
+def _wait_for_ready_file(path, proc, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out, err = proc.communicate(timeout=10)
+            pytest.fail(f"serve exited early ({proc.returncode}): {err}")
+        if os.path.exists(path):
+            text = open(path, encoding="utf-8").read().split()
+            if len(text) == 2:
+                return text[0], int(text[1])
+        time.sleep(0.05)
+    pytest.fail("serve never wrote its ready file")
+
+
+@pytest.mark.timeout(300)
+class TestServeFeedSubprocess:
+    def test_serve_feed_sigterm_drain(self, tmp_path):
+        env = _child_env(tmp_path)
+        trace = tmp_path / "mx.json"
+        ready = tmp_path / "ready"
+        ckpt_dir = tmp_path / "ckpt"
+
+        gen = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "simulate", "lock-server",
+                "--variant", "crash-restart", "-o", str(trace),
+            ],
+            env=env, cwd=REPO, capture_output=True, text=True, timeout=120,
+        )
+        assert gen.returncode == 0, gen.stderr
+
+        serve = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--host", "127.0.0.1", "--port", "0",
+                "--workers", "2",
+                "--checkpoint-dir", str(ckpt_dir),
+                "--checkpoint-every", "8",
+                "--ready-file", str(ready),
+            ],
+            env=env, cwd=REPO, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            host, port = _wait_for_ready_file(str(ready), serve)
+
+            feed = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "feed", str(trace),
+                    "--host", host, "--port", str(port),
+                    "--session", "mx",
+                    "--query", "lock=2,3",
+                    "--variable", "holds_lock",
+                    "--batch", "8",
+                ],
+                env=env, cwd=REPO, capture_output=True, text=True,
+                timeout=120,
+            )
+            assert feed.returncode == 0, (feed.stdout, feed.stderr)
+            payload = json.loads(feed.stdout)
+            assert payload["verdicts"]["lock"] == "detected"
+            assert set(payload["witnesses"]["lock"]) == {"2", "3"}
+
+            serve.send_signal(signal.SIGTERM)
+            out, err = serve.communicate(timeout=60)
+        finally:
+            if serve.poll() is None:
+                serve.kill()
+                serve.communicate(timeout=10)
+
+        assert serve.returncode == 0, err
+        assert "repro-serve: draining" in err
+        summary = json.loads(out[out.index("{"):])
+        # feed closed its own session before the SIGTERM, so the drain
+        # itself found nothing open — but the lifetime counters must
+        # show the session went through the full lifecycle.
+        assert summary["sessions_closed"] == 0
+        assert summary["counts"]["sessions_opened"] == 1
+        assert summary["counts"]["sessions_closed"] == 1
+        assert summary["counts"]["drains"] == 1
+
+        # The drained session left a durable checkpoint behind.
+        ckpt = ckpt_dir / "mx.ckpt.json"
+        assert ckpt.exists()
+        state = json.loads(ckpt.read_text(encoding="utf-8"))
+        assert state["format"] == "repro-service-session-v1"
+
+        # ... and exactly one session-lifecycle ledger record.
+        ledger = tmp_path / "runs.jsonl"
+        records = [
+            json.loads(line)
+            for line in ledger.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        session_records = [
+            r for r in records if r["command"] == "session"
+        ]
+        assert len(session_records) == 1
+        record = session_records[0]
+        assert record["verdict"] == "detected"
+        assert record["extra"]["session"] == "mx"
+        assert any(r["command"] == "serve" for r in records)
+
+    def test_feed_deadline_is_inconclusive_exit_7(self, tmp_path):
+        # Point feed at a port nothing listens on: every attempt is a
+        # transport error, the deadline expires, and the CLI resolves to
+        # a clean `inconclusive` with exit code 7.
+        env = _child_env(tmp_path)
+        trace = tmp_path / "ring.json"
+        gen = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "generate",
+                "--processes", "2", "--events", "3", "--bool", "x",
+                "-o", str(trace),
+            ],
+            env=env, cwd=REPO, capture_output=True, text=True, timeout=120,
+        )
+        assert gen.returncode == 0, gen.stderr
+
+        feed = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "feed", str(trace),
+                "--host", "127.0.0.1", "--port", "1",
+                "--all-pairs", "--deadline-ms", "400",
+                "--retries", "100", "--backoff-ms", "20",
+                "--timeout-s", "1",
+            ],
+            env=env, cwd=REPO, capture_output=True, text=True, timeout=120,
+        )
+        assert feed.returncode == 7, (feed.stdout, feed.stderr)
+        payload = json.loads(feed.stdout)
+        assert payload["verdict"] == "inconclusive"
