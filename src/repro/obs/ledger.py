@@ -133,8 +133,13 @@ def _append_line(path: str, line: str) -> None:
     one atomic append, so records from different threads or processes
     interleave whole-line, never byte-wise.  Transient ``OSError``\\ s
     (EINTR, momentary EAGAIN on shared filesystems) are retried a
-    bounded number of times; the last failure propagates so callers keep
-    their ``runs.write_errors`` semantics.
+    bounded number of times — but only when nothing reached the file: a
+    raising ``write(2)`` transferred zero bytes, and a zero-length short
+    write appended nothing.  A *non-zero* short write (e.g. ENOSPC
+    mid-record) already left a partial line on disk, so retrying would
+    append a torn prefix followed by a duplicate record; that case fails
+    immediately.  The final failure propagates so callers keep their
+    ``runs.write_errors`` semantics.
     """
     data = (line + "\n").encode("utf-8")
     for attempt in range(_APPEND_ATTEMPTS):
@@ -142,17 +147,26 @@ def _append_line(path: str, line: str) -> None:
         try:
             fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o666)
             written = os.write(fd, data)
-            if written != len(data):
-                raise OSError(
-                    f"short write to {path}: {written}/{len(data)} bytes"
-                )
-            return
         except OSError:
             if attempt == _APPEND_ATTEMPTS - 1:
                 raise
+            continue
         finally:
             if fd is not None:
                 os.close(fd)
+        if written == len(data):
+            return
+        if written == 0:
+            if attempt == _APPEND_ATTEMPTS - 1:
+                raise OSError(
+                    f"could not append to {path}: "
+                    f"wrote 0/{len(data)} bytes"
+                )
+            continue
+        raise OSError(
+            f"short write to {path}: {written}/{len(data)} bytes; "
+            "partial record on disk, not retrying"
+        )
 
 
 def append_record(path: str, record: Dict[str, Any]) -> Dict[str, Any]:

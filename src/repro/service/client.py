@@ -91,7 +91,7 @@ class SocketTransport:
             if not response:
                 raise TransportError("server closed the connection")
             return json.loads(response)
-        except (OSError, ValueError) as exc:
+        except (OSError, ValueError, TransportError) as exc:
             # Drop the channel so the next attempt reconnects cleanly.
             self.close()
             if isinstance(exc, TransportError):
@@ -193,6 +193,9 @@ class Submitter:
                             response.get("retry_after_s", 0.0)
                         ),
                         accepted=int(response.get("accepted", 0)),
+                        dead_lettered=int(
+                            response.get("dead_lettered", 0)
+                        ),
                     )
                 raise ServiceError(f"{op} failed ({code}): {error}")
             last_error = f"{code}: {error}"
@@ -257,38 +260,48 @@ class Submitter:
         totals = {"accepted": 0, "shed": 0, "dead_lettered": 0}
         attempt = 0
         started = perf_counter()
+        deadline = (
+            started + self._deadline_s
+            if self._deadline_s is not None
+            else None
+        )
+        last_error: Optional[str] = None
         while remaining:
+            # The deadline bounds the whole batch, including partial
+            # accepts: a session taking one item per round must still
+            # resolve to a clean SubmitDeadline, never run unbounded.
+            if deadline is not None and perf_counter() >= deadline:
+                raise SubmitDeadline(
+                    "observe",
+                    elapsed_ms=(perf_counter() - started) * 1000.0,
+                    deadline_ms=self._deadline_s * 1000.0,
+                    attempts=attempt,
+                    last_error=last_error,
+                )
             try:
                 response = self.call(
                     "observe", session=session_id, observations=remaining
                 )
             except SessionRejected as exc:
-                # Partial accept: drop what got in, retry the tail.
-                if exc.accepted:
+                last_error = str(exc)
+                # Partial progress: the server consumed a prefix of the
+                # batch — everything it accepted PLUS anything it
+                # dead-lettered — before the queue filled.  Resume from
+                # the consumed offset; resubmitting dead-lettered items
+                # would quarantine duplicates and break exactly-once.
+                if exc.consumed:
                     totals["accepted"] += exc.accepted
-                    remaining = remaining[exc.accepted:]
+                    totals["dead_lettered"] += exc.dead_lettered
+                    remaining = remaining[exc.consumed:]
                     attempt = 0
                     continue
                 attempt += 1
                 if attempt >= self._retries:
                     raise
-                if (
-                    self._deadline_s is not None
-                    and perf_counter() - started >= self._deadline_s
-                ):
-                    raise SubmitDeadline(
-                        "observe",
-                        elapsed_ms=(perf_counter() - started) * 1000.0,
-                        deadline_ms=self._deadline_s * 1000.0,
-                        attempts=attempt,
-                        last_error=str(exc),
-                    ) from exc
                 self._sleep_before_retry(
                     attempt,
                     {"retry_after_s": exc.retry_after_s},
-                    started + self._deadline_s
-                    if self._deadline_s is not None
-                    else None,
+                    deadline,
                 )
                 continue
             for key in totals:

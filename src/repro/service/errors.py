@@ -6,7 +6,8 @@ the conditions a *client* is expected to handle differently:
 
 * :class:`SessionRejected` — the ``reject`` backpressure policy refused
   an observation batch; carries a ``retry_after_s`` hint and how many
-  observations of the batch were accepted before the queue filled.
+  observations of the batch were consumed (accepted or dead-lettered)
+  before the queue filled, so clients resume with the untouched tail.
 * :class:`ServiceDraining` — the service is shutting down and no longer
   accepts new sessions or observations.
 * :class:`UnknownSession` — the session id is not (or no longer) open.
@@ -40,6 +41,10 @@ class SessionRejected(ServiceError):
         retry_after_s: Suggested client wait before retrying.
         accepted: Observations of the submitted batch that *were*
             enqueued before the queue filled.
+        dead_lettered: Observations of the batch the server consumed
+            into the session's dead-letter queue before the queue
+            filled.  They count toward :attr:`consumed` — resubmitting
+            them would quarantine duplicates.
     """
 
     def __init__(
@@ -47,6 +52,7 @@ class SessionRejected(ServiceError):
         session_id: str,
         retry_after_s: float,
         accepted: int = 0,
+        dead_lettered: int = 0,
     ) -> None:
         super().__init__(
             f"session {session_id!r}: ingest queue full; "
@@ -55,6 +61,17 @@ class SessionRejected(ServiceError):
         self.session_id = session_id
         self.retry_after_s = retry_after_s
         self.accepted = accepted
+        self.dead_lettered = dead_lettered
+
+    @property
+    def consumed(self) -> int:
+        """Batch prefix length the server already processed.
+
+        Clients must resume from this offset, not :attr:`accepted`:
+        dead-lettered observations were consumed too, and resubmitting
+        them would enqueue duplicates.
+        """
+        return self.accepted + self.dead_lettered
 
 
 class ServiceDraining(ServiceError):

@@ -114,6 +114,7 @@ def handle_request(
             str(exc),
             retry_after_s=exc.retry_after_s,
             accepted=exc.accepted,
+            dead_lettered=exc.dead_lettered,
         )
     except ServiceDraining as exc:
         return _error("draining", str(exc))

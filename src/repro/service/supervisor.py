@@ -347,6 +347,7 @@ class MonitorService:
                         session_id,
                         retry_after_s=self._retry_after_s(session),
                         accepted=accepted,
+                        dead_lettered=dead,
                     )
             else:  # degrade
                 if not session.queue.try_put(entry):

@@ -101,6 +101,54 @@ class TestConcurrentAppenders:
         assert len(records) == 1
         assert records[0]["extra"] == {"thread": 0, "i": 0}
 
+    def test_zero_length_short_write_is_retried(self, tmp_path, monkeypatch):
+        import os
+
+        path = str(tmp_path / "runs.jsonl")
+        real_write = os.write
+        failures = {"left": 2}
+
+        def stalled_write(fd, data):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                return 0  # nothing reached the file: safe to retry
+            return real_write(fd, data)
+
+        monkeypatch.setattr(os, "write", stalled_write)
+        ledger.append_record(path, _record(0, 0))
+        monkeypatch.undo()
+
+        records = ledger.read_records(path)
+        assert len(records) == 1
+
+    def test_nonzero_short_write_is_fatal_not_duplicated(
+        self, tmp_path, monkeypatch
+    ):
+        # A partial write (e.g. ENOSPC mid-record) leaves torn bytes on
+        # disk; retrying would append that prefix plus a duplicate full
+        # record — exactly the corruption atomic appends exist to
+        # prevent.  It must fail immediately instead.
+        import os
+
+        path = str(tmp_path / "runs.jsonl")
+        real_write = os.write
+        calls = {"n": 0}
+
+        def torn_write(fd, data):
+            calls["n"] += 1
+            return real_write(fd, data[: len(data) // 2])
+
+        monkeypatch.setattr(os, "write", torn_write)
+        with pytest.raises(OSError, match="short write"):
+            ledger.append_record(path, _record(0, 0))
+        monkeypatch.undo()
+
+        assert calls["n"] == 1, "a torn write must not be retried"
+        with open(path, "rb") as handle:
+            data = handle.read()
+        # Only the torn prefix is on disk — no duplicate record after it.
+        assert data and b"\n" not in data
+
     def test_persistent_write_errors_propagate(self, tmp_path, monkeypatch):
         import os
 

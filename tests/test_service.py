@@ -405,6 +405,70 @@ class TestSubmitterClient:
         assert report["counts"]["applied"] == 120
         assert report["gaps"] == {}
 
+    def test_rejected_batches_with_dead_letters_resume_exactly_once(self):
+        # Poison observations interleaved with valid ones: the server
+        # consumes them into the dead-letter queue before a reject, so
+        # the client must resume past accepted + dead-lettered, not just
+        # accepted — resubmitting a consumed prefix quarantines
+        # duplicate dead letters and double-applies valid observations.
+        service = MonitorService(workers=1)
+        try:
+            service.open_session(
+                "rjdl", 1, [("q", [0])], policy="reject",
+                queue_capacity=4,
+            )
+            submitter = Submitter(
+                LocalTransport(service), retries=50, backoff_s=0.005,
+                seed=7,
+            )
+            stream = []
+            valid = invalid = 0
+            for i in range(90):
+                stream.append([0, i, [i + 1], False])
+                valid += 1
+                if i % 3 == 0:
+                    # process 9 is out of range for a 1-process session
+                    stream.append([9, i, [i + 1], False])
+                    invalid += 1
+            totals = submitter.submit("rjdl", stream)
+            report = submitter.close_session("rjdl")["report"]
+        finally:
+            service.shutdown(timeout_s=5.0)
+        assert totals["accepted"] == valid
+        assert totals["dead_lettered"] == invalid
+        counts = report["counts"]
+        # Exactly-once on both paths: every valid observation applied
+        # once, every poison observation quarantined once.
+        assert counts["applied"] == valid
+        assert counts["dead_letters"] == invalid
+        assert len(report["dead_letters"]) == invalid
+        assert report["gaps"] == {}
+
+    def test_submit_deadline_bounds_partial_accept_crawl(self):
+        # A session accepting one observation per round must still hit
+        # the configured deadline instead of crawling through the batch
+        # for arbitrarily long.
+        class TricklingReject:
+            calls = 0
+
+            def request(self, payload):
+                TricklingReject.calls += 1
+                time.sleep(0.005)
+                return {
+                    "ok": False, "code": "rejected",
+                    "error": "ingest queue full", "retry_after_s": 0.0,
+                    "accepted": 1, "dead_lettered": 0,
+                }
+
+        submitter = Submitter(
+            TricklingReject(), retries=5, backoff_s=0.001,
+            deadline_s=0.1, seed=0,
+        )
+        stream = [[0, i, [i + 1], False] for i in range(1000)]
+        with pytest.raises(SubmitDeadline):
+            submitter.submit("slow", stream)
+        assert TricklingReject.calls < 1000
+
     def test_submit_deadline_resolves_to_clean_error(self):
         class NeverAvailable:
             def request(self, payload):

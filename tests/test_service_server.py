@@ -84,6 +84,48 @@ class TestSocketRoundTrip:
             server.stop()
             service.shutdown(timeout_s=5.0)
 
+    def test_transport_drops_channel_when_server_closes_connection(self):
+        # A connection the server closes mid-request must not be reused:
+        # the transport drops the channel so the next request dials a
+        # fresh one instead of failing forever on the half-closed socket.
+        import socket as socket_mod
+        import threading
+
+        from repro.service.client import TransportError
+
+        listener = socket_mod.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(2)
+        port = listener.getsockname()[1]
+
+        def serve():
+            # First connection: read the request, close without a reply.
+            conn, _ = listener.accept()
+            conn.recv(65536)
+            conn.close()
+            # Second connection: answer properly.
+            conn, _ = listener.accept()
+            reader = conn.makefile("r", encoding="utf-8", newline="\n")
+            reader.readline()
+            conn.sendall(b'{"ok": true, "pong": true}\n')
+            reader.close()
+            conn.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        transport = SocketTransport("127.0.0.1", port, timeout_s=5.0)
+        try:
+            with pytest.raises(TransportError):
+                transport.request({"op": "ping"})
+            # The channel was dropped, so this reconnects and succeeds.
+            assert transport._sock is None
+            assert transport.request({"op": "ping"})["ok"]
+        finally:
+            transport.close()
+            listener.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+
     def test_unknown_session_and_bad_request_codes(self):
         service = MonitorService(workers=1)
         server = ServiceServer(service, host="127.0.0.1", port=0)
