@@ -62,3 +62,61 @@ def test_slice_extremes(benchmark):
     least, greatest = benchmark(extremes)
     if least is not None:
         assert least.subset_of(greatest)
+
+
+def definitely_workload(num_processes):
+    comp = random_computation(
+        num_processes, 6, 0.25, seed=41,
+        variables=[BoolVar("x", 0.5)],
+    )
+    pred = conjunctive(*(local(p, "x") for p in range(num_processes)))
+    return comp, pred
+
+
+@pytest.mark.parametrize("num_processes", PROCESSES)
+def test_definitely_unsliced(benchmark, num_processes):
+    from repro.detection import definitely_enumerate
+
+    comp, pred = definitely_workload(num_processes)
+    result = benchmark(definitely_enumerate, comp, pred)
+    benchmark.extra_info["num_processes"] = num_processes
+    benchmark.extra_info["cuts_explored"] = result.stats["cuts_explored"]
+
+
+@pytest.mark.parametrize("num_processes", PROCESSES)
+def test_definitely_sliced(benchmark, num_processes):
+    from repro.detection import definitely_enumerate
+    from repro.slicing import sliced_definitely_enumerate
+
+    comp, pred = definitely_workload(num_processes)
+    result = benchmark(sliced_definitely_enumerate, comp, pred)
+    assert result.holds == definitely_enumerate(comp, pred).holds
+    benchmark.extra_info["num_processes"] = num_processes
+    benchmark.extra_info["cuts_explored"] = result.stats["cuts_explored"]
+    benchmark.extra_info["reduction"] = result.stats.get("reduction", 1.0)
+
+
+@pytest.mark.parametrize("num_processes", PROCESSES)
+def test_levels_unsliced(benchmark, num_processes):
+    from repro.computation import iter_levels
+
+    comp, _ = workload(num_processes)
+    count = benchmark(lambda: sum(len(lv) for lv in iter_levels(comp)))
+    benchmark.extra_info["num_processes"] = num_processes
+    benchmark.extra_info["cuts"] = count
+
+
+@pytest.mark.parametrize("num_processes", PROCESSES)
+def test_levels_sliced(benchmark, num_processes):
+    from repro.computation import iter_levels
+    from repro.slicing.dispatch import slice_info
+
+    comp, pred = workload(num_processes)
+    bounds = slice_info(comp, pred).bounds
+    if bounds is None:
+        pytest.skip("empty slice: nothing to enumerate")
+    count = benchmark(
+        lambda: sum(len(lv) for lv in iter_levels(comp, bounds=bounds))
+    )
+    benchmark.extra_info["num_processes"] = num_processes
+    benchmark.extra_info["cuts"] = count

@@ -382,10 +382,11 @@ def t_definitely() -> None:
     )
     from repro.detection import definitely_conjunctive, definitely_enumerate
     from repro.predicates import conjunctive, local
+    from repro.slicing import sliced_definitely_enumerate
     from repro.trace import BoolVar
 
-    row("processes", "holds", "anchor states", "anchor_ms", "lattice cuts",
-        "lattice_ms")
+    row("processes", "holds", "anchor_ms", "lattice cuts", "lattice_ms",
+        "sliced cuts", "sliced_ms", "reduction")
     for n in (3, 4, 5, 6):
         comp = random_computation(
             n, 6, 0.25, seed=41, variables=[BoolVar("x", 0.5)]
@@ -393,9 +394,12 @@ def t_definitely() -> None:
         pred = conjunctive(*(local(p, "x") for p in range(n)))
         fast, ms_fast = timed(definitely_conjunctive, comp, pred)
         slow, ms_slow = timed(definitely_enumerate, comp, pred)
-        assert fast.holds == slow.holds
-        row(n, fast.holds, fast.stats["states"], f"{ms_fast:.2f}",
-            slow.stats.get("cuts_explored", "-"), f"{ms_slow:.2f}")
+        sliced, ms_sliced = timed(sliced_definitely_enumerate, comp, pred)
+        assert fast.holds == slow.holds == sliced.holds
+        row(n, fast.holds, f"{ms_fast:.2f}",
+            slow.stats.get("cuts_explored", "-"), f"{ms_slow:.2f}",
+            sliced.stats.get("cuts_explored", "-"), f"{ms_sliced:.2f}",
+            f"{sliced.stats.get('reduction', 1.0):.1f}x")
 
 
 def t_online() -> None:

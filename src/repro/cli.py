@@ -129,7 +129,11 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
             with prog_ctx, obs.Capture() as cap:
                 result = detect(
-                    computation, predicate, modality, parallel=args.parallel
+                    computation,
+                    predicate,
+                    modality,
+                    parallel=args.parallel,
+                    slice=not args.no_slice,
                 )
             print("── span tree ──", file=sys.stderr)
             print(obs.format_span_tree(cap.roots), file=sys.stderr)
@@ -139,7 +143,11 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         else:
             with prog_ctx:
                 result = detect(
-                    computation, predicate, modality, parallel=args.parallel
+                    computation,
+                    predicate,
+                    modality,
+                    parallel=args.parallel,
+                    slice=not args.no_slice,
                 )
     except DeadlineExceeded as exc:
         payload = {
@@ -193,6 +201,54 @@ def _jsonable(value):
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
     return str(value)
+
+
+def _cmd_slice(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import annotate
+    from repro.slicing.dispatch import slice_info
+
+    computation = load_computation(args.trace)
+    annotate(trace=args.trace)
+    predicate = parse_predicate(
+        args.predicate, num_processes=computation.num_processes
+    )
+    info = slice_info(computation, predicate)
+    full_volume = 1
+    for p in range(computation.num_processes):
+        full_volume *= len(computation.events_of(p))
+    payload = {
+        "predicate": predicate.description(),
+        "useful": info.useful,
+        "exact": info.exact,
+        "approximation": (
+            info.approximation.description()
+            if info.approximation is not None
+            else None
+        ),
+        "frontier_space": full_volume,
+        "reduction": info.reduction(),
+    }
+    bounds = info.bounds
+    if not info.useful:
+        payload["empty"] = None
+    elif bounds is None:
+        payload["empty"] = True
+    else:
+        least, greatest = bounds
+        box_volume = 1
+        for lo, hi in zip(least, greatest):
+            box_volume *= hi - lo + 1
+        payload.update(
+            empty=False,
+            least_frontier=list(least),
+            greatest_frontier=list(greatest),
+            box_volume=box_volume,
+        )
+        if args.count:
+            payload["slice_cuts"] = info.slice.count()
+    annotate(stats={"reduction": info.reduction()})
+    print(json.dumps(payload, indent=2))
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -806,7 +862,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="give up after MS milliseconds with a clean 'inconclusive' "
         "verdict (exit code 7) instead of running to completion",
     )
+    p_detect.add_argument(
+        "--no-slice", action="store_true",
+        help="disable slice-first pruning of enumeration engines; "
+        "verdict and witness guarantees are unchanged (docs/ALGORITHMS.md)",
+    )
     p_detect.set_defaults(func=_cmd_detect)
+
+    p_slice = sub.add_parser(
+        "slice",
+        help="show a predicate's computation slice (bounds + reduction)",
+    )
+    p_slice.add_argument("trace", help="path to a repro-trace-v1 JSON file")
+    p_slice.add_argument("predicate", help='e.g. "x@0 & sum(v) >= 2"')
+    p_slice.add_argument(
+        "--count", action="store_true",
+        help="also count the cuts of the slice sublattice (may be slow)",
+    )
+    p_slice.set_defaults(func=_cmd_slice)
 
     p_profile = sub.add_parser(
         "profile",

@@ -46,7 +46,10 @@ def iter_consistent_cuts(computation: Computation) -> Iterator[Cut]:
         yield from level
 
 
-def iter_levels(computation: Computation) -> Iterator[List[Cut]]:
+def iter_levels(
+    computation: Computation,
+    bounds: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None,
+) -> Iterator[List[Cut]]:
     """Enumerate the level sets of the lattice.
 
     Level *k* contains the consistent cuts with exactly *k* non-initial
@@ -57,20 +60,34 @@ def iter_levels(computation: Computation) -> Iterator[List[Cut]]:
     Successor expansion and level dedup run on plain frontier tuples via
     the computation's memoized causality index; each distinct cut is
     materialized once through the shared interner.
+
+    With ``bounds`` — a ``(least, greatest)`` frontier pair, typically a
+    slice box from :mod:`repro.slicing.dispatch` — the walk starts at the
+    least frontier and never expands past the greatest, enumerating the
+    levels of the box sublattice only.
     """
     from repro.obs.progress import tracker
     from repro.perf.causality import CausalityIndex
 
     index = CausalityIndex.of(computation)
     interner = index.interner
-    current: List[Tuple[int, ...]] = [initial_cut(computation).frontier]
+    if bounds is None:
+        start, greatest = initial_cut(computation).frontier, None
+    else:
+        start, greatest = bounds
+    current: List[Tuple[int, ...]] = [start]
     trk = tracker("lattice.cuts")
     while current:
         trk.step(len(current))
         yield [interner.get(frontier) for frontier in current]
         next_level: Set[Tuple[int, ...]] = set()
         for frontier in current:
-            next_level.update(index.successor_frontiers(frontier))
+            for nxt in index.successor_frontiers(frontier):
+                if greatest is not None and any(
+                    c > g for c, g in zip(nxt, greatest)
+                ):
+                    continue
+                next_level.add(nxt)
         current = sorted(next_level)
 
 
@@ -84,6 +101,7 @@ def reachable_avoiding(
     avoid: CutPredicate,
     start: Optional[Cut] = None,
     goal: Optional[Cut] = None,
+    bounds: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None,
 ) -> bool:
     """Is ``goal`` reachable from ``start`` through cuts where ``avoid`` is false?
 
@@ -92,6 +110,15 @@ def reachable_avoiding(
     exactly the complement query of ``definitely``: ``definitely(B)`` holds
     iff the final cut is *not* reachable from the initial cut while avoiding
     ``B`` (a run is a lattice path visiting one cut per level).
+
+    ``bounds`` — a ``(least, greatest)`` frontier box that must
+    over-approximate the avoided region (``avoid(C) ⟹ C`` inside the box,
+    e.g. the slice box of :func:`repro.slicing.dispatch.avoidance_bounds`)
+    — lets the search skip evaluating ``avoid`` on cuts below the box and
+    declare success the moment it climbs above the box while staying
+    inside ``[start, goal]``: every cut of the remaining interval
+    dominates the escaped cut, so none of them can be avoided-region
+    members.
     """
     start = start if start is not None else initial_cut(computation)
     goal = goal if goal is not None else final_cut(computation)
@@ -103,6 +130,7 @@ def reachable_avoiding(
         pass  # incomparable cuts can never reach each other; caught below
     from repro.obs.progress import tracker
 
+    least, greatest = bounds if bounds is not None else (None, None)
     seen: Set[Cut] = {start}
     queue: deque[Cut] = deque([start])
     trk = tracker("detect.cuts", check_every=64)
@@ -110,12 +138,25 @@ def reachable_avoiding(
         cut = queue.popleft()
         trk.step()
         for nxt in cut.successors():
-            if nxt in seen or avoid(nxt):
+            if nxt in seen:
                 continue
             if not nxt.subset_of(goal):
                 continue  # moved outside the interval [start, goal]
             if nxt == goal:
                 return True
+            if greatest is not None and any(
+                c > g for c, g in zip(nxt.frontier, greatest)
+            ):
+                # Escaped above the box: every cut of [nxt, goal] keeps
+                # that component above the box and cannot be avoided, so
+                # any completion of the current path reaches the goal.
+                return True
+            if least is not None and any(
+                c < l for c, l in zip(nxt.frontier, least)
+            ):
+                pass  # below the box: avoid() is false for free
+            elif avoid(nxt):
+                continue
             seen.add(nxt)
             queue.append(nxt)
     return False

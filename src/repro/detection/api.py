@@ -14,13 +14,19 @@ CNFPredicate, singular       CPDSC special case when receive-/send-ordered,
 RelationalSumPredicate       min-cut / Theorem 7 / exact engines (Sec. 4)
 SymmetricPredicate           ±1 count algorithm (Section 4.3, polynomial)
 OrPredicate                  distribute possibly over the disjuncts
-anything else                Cooper–Marzullo lattice enumeration
+anything else                slice-bounded Cooper–Marzullo enumeration
 ===========================  =============================================
 
 ``definitely`` uses the Theorem 7(2) decomposition for unit-step sum
 equality and symmetric singletons, and the exact avoidance search
 otherwise.  :func:`detect` returns the full :class:`DetectionResult` with
 the witness cut and algorithm statistics.
+
+Every enumeration-based path is **slice-first** by default: the predicate's
+conjunctive over-approximation (see :mod:`repro.slicing.dispatch`) bounds
+the search to the slice sublattice, falling back to the unsliced engine
+when no useful approximation exists.  Pass ``slice=False`` to opt out —
+verdicts and witness guarantees are identical either way.
 """
 
 from __future__ import annotations
@@ -62,6 +68,7 @@ def detect(
     predicate: GlobalPredicate,
     modality: Modality = Modality.POSSIBLY,
     parallel: Optional[int] = None,
+    slice: bool = True,
 ) -> DetectionResult:
     """Full detection result for the given predicate and modality.
 
@@ -69,6 +76,11 @@ def detect(
     process-/chain-choice drivers) across a worker pool; verdicts and
     witnesses are identical to the serial sweep.  Engines without a
     combination sweep ignore it.
+
+    ``slice`` (default True) lets enumeration-based paths restrict their
+    search to the sublattice of the predicate's conjunctive
+    over-approximation; pass False to force the unsliced engines.
+    Verdicts are identical either way.
 
     When observability is enabled (:mod:`repro.obs`) every query opens a
     root span ``detect.query`` recording the modality, the predicate
@@ -80,9 +92,11 @@ def detect(
         predicate=type(predicate).__name__,
     ) as root:
         if modality is Modality.POSSIBLY:
-            result = _possibly(computation, predicate, parallel=parallel)
+            result = _possibly(
+                computation, predicate, parallel=parallel, use_slice=slice
+            )
         else:
-            result = _definitely(computation, predicate)
+            result = _definitely(computation, predicate, use_slice=slice)
         root.set(engine=result.algorithm, holds=result.holds)
         if STATE.enabled:
             registry().counter("detect.queries").inc()
@@ -90,20 +104,31 @@ def detect(
         return result
 
 
-def possibly(computation: Computation, predicate: GlobalPredicate) -> bool:
+def possibly(
+    computation: Computation,
+    predicate: GlobalPredicate,
+    slice: bool = True,
+) -> bool:
     """Does some consistent cut of the computation satisfy the predicate?"""
-    return detect(computation, predicate, Modality.POSSIBLY).holds
+    return detect(computation, predicate, Modality.POSSIBLY, slice=slice).holds
 
 
-def definitely(computation: Computation, predicate: GlobalPredicate) -> bool:
+def definitely(
+    computation: Computation,
+    predicate: GlobalPredicate,
+    slice: bool = True,
+) -> bool:
     """Does every run of the computation pass through a satisfying cut?"""
-    return detect(computation, predicate, Modality.DEFINITELY).holds
+    return detect(
+        computation, predicate, Modality.DEFINITELY, slice=slice
+    ).holds
 
 
 def _possibly(
     computation: Computation,
     predicate: GlobalPredicate,
     parallel: Optional[int] = None,
+    use_slice: bool = True,
 ) -> DetectionResult:
     if isinstance(predicate, ConjunctivePredicate):
         return detect_conjunctive(computation, predicate)
@@ -125,7 +150,7 @@ def _possibly(
         # sub-problem is a linear scan — far cheaper than the lattice).
         return detect_cnf_by_literal_choice(computation, predicate)
     if isinstance(predicate, RelationalSumPredicate):
-        return possibly_sum(computation, predicate)
+        return possibly_sum(computation, predicate, use_slice=use_slice)
     if isinstance(predicate, SymmetricPredicate):
         return possibly_symmetric(computation, predicate)
     if isinstance(predicate, OrPredicate):
@@ -133,7 +158,9 @@ def _possibly(
         with span("engine.disjunction", parts=len(predicate.parts)):
             explored = 0
             for part in predicate.parts:
-                result = _possibly(computation, part, parallel=parallel)
+                result = _possibly(
+                    computation, part, parallel=parallel, use_slice=use_slice
+                )
                 explored += int(result.stats.get("cuts_explored", 0))
                 if result.holds:
                     return DetectionResult(
@@ -147,22 +174,42 @@ def _possibly(
                 algorithm="disjunction",
                 stats={"cuts_explored": explored},
             )
+    if use_slice:
+        from repro.slicing.dispatch import sliced_possibly_enumerate
+
+        return sliced_possibly_enumerate(computation, predicate)
     return possibly_enumerate(computation, predicate)
 
 
 def _definitely(
-    computation: Computation, predicate: GlobalPredicate
+    computation: Computation,
+    predicate: GlobalPredicate,
+    use_slice: bool = True,
 ) -> DetectionResult:
     if isinstance(predicate, ConjunctivePredicate):
-        return definitely_conjunctive(computation, predicate)
+        return definitely_conjunctive(
+            computation, predicate, use_slice=use_slice
+        )
     if isinstance(predicate, CNFPredicate):
         if predicate.is_conjunctive() and predicate.is_singular():
             return definitely_conjunctive(
-                computation, conjunctive_from_cnf(predicate)
+                computation,
+                conjunctive_from_cnf(predicate),
+                use_slice=use_slice,
             )
+        if use_slice:
+            from repro.slicing.dispatch import sliced_definitely_enumerate
+
+            return sliced_definitely_enumerate(computation, predicate)
         return definitely_enumerate(computation, predicate)
     if isinstance(predicate, RelationalSumPredicate):
-        return definitely_sum(computation, predicate)
+        return definitely_sum(computation, predicate, use_slice=use_slice)
     if isinstance(predicate, SymmetricPredicate):
-        return definitely_symmetric(computation, predicate)
+        return definitely_symmetric(
+            computation, predicate, use_slice=use_slice
+        )
+    if use_slice:
+        from repro.slicing.dispatch import sliced_definitely_enumerate
+
+        return sliced_definitely_enumerate(computation, predicate)
     return definitely_enumerate(computation, predicate)

@@ -13,6 +13,14 @@ against in our benchmarks.
   final cut is unreachable from the initial cut through cuts violating B
   (every run is a lattice path visiting one cut per level, and every lattice
   path is a run).
+
+Both engines accept optional slice ``bounds`` — the ``(least, greatest)``
+frontier box of a conjunctive over-approximation B' of B, computed by
+:mod:`repro.slicing.dispatch`.  Soundness rests on ``B ⟹ B'``: every
+B-satisfying cut lies inside the box, so ``possibly`` may search the box
+alone, and ``definitely`` may treat any cut outside the box as violating B
+without evaluating it — escaping *above* the box even proves an avoiding
+run outright.  Skipped work is reported as the ``cuts_pruned`` stat.
 """
 
 from __future__ import annotations
@@ -29,9 +37,24 @@ from repro.predicates.base import GlobalPredicate
 
 __all__ = ["possibly_enumerate", "definitely_enumerate"]
 
+#: A slice box: (least, greatest) frontier tuples of the over-approximation.
+Bounds = Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+
+def _exceeds(frontier: Tuple[int, ...], greatest: Tuple[int, ...]) -> bool:
+    """Is the cut strictly above the box on some process?"""
+    return any(c > g for c, g in zip(frontier, greatest))
+
+
+def _below(frontier: Tuple[int, ...], least: Tuple[int, ...]) -> bool:
+    """Is the cut strictly below the box on some process?"""
+    return any(c < l for c, l in zip(frontier, least))
+
 
 def possibly_enumerate(
-    computation: Computation, predicate: GlobalPredicate
+    computation: Computation,
+    predicate: GlobalPredicate,
+    bounds: Optional[Bounds] = None,
 ) -> DetectionResult:
     """Decide ``possibly(B)`` by exhaustive lattice search (with early exit).
 
@@ -39,12 +62,27 @@ def possibly_enumerate(
     ``seen``-set membership through the memoized causality index) and
     materializes each consistent cut once, via the computation's interner,
     only to evaluate the predicate on it.
+
+    With ``bounds`` the search starts at the box's least cut and never
+    expands past its greatest cut: every satisfying cut lies in the box,
+    and every box cut is reachable from the least one through box cuts,
+    so the restriction is complete.  The witness is still a minimum-size
+    satisfying cut (the box BFS runs in level order too).
     """
-    with span("engine.cooper-marzullo", modality="possibly") as sp:
+    with span(
+        "engine.cooper-marzullo",
+        modality="possibly",
+        sliced=bounds is not None,
+    ) as sp:
         index = CausalityIndex.of(computation)
         interner = index.interner
-        start = initial_cut(computation).frontier
+        if bounds is None:
+            start = initial_cut(computation).frontier
+            greatest = None
+        else:
+            start, greatest = bounds
         explored = 0
+        pruned = 0
         seen: Set[Tuple[int, ...]] = {start}
         queue: deque[Tuple[int, ...]] = deque([start])
         holds, witness = False, None
@@ -58,11 +96,17 @@ def possibly_enumerate(
                 holds, witness = True, cut
                 break
             for nxt in index.successor_frontiers(frontier):
-                if nxt not in seen:
-                    seen.add(nxt)
-                    queue.append(nxt)
+                if nxt in seen:
+                    continue
+                if greatest is not None and _exceeds(nxt, greatest):
+                    pruned += 1
+                    continue
+                seen.add(nxt)
+                queue.append(nxt)
         stats = StatCounters("engine.cooper-marzullo")
         stats.inc("cuts_explored", explored)
+        if bounds is not None:
+            stats.inc("cuts_pruned", pruned)
         sp.set(cuts_explored=explored, holds=holds)
         index.maybe_flush_metrics()
         return DetectionResult(
@@ -74,7 +118,9 @@ def possibly_enumerate(
 
 
 def definitely_enumerate(
-    computation: Computation, predicate: GlobalPredicate
+    computation: Computation,
+    predicate: GlobalPredicate,
+    bounds: Optional[Bounds] = None,
 ) -> DetectionResult:
     """Decide ``definitely(B)`` by searching for a run that avoids B.
 
@@ -82,18 +128,32 @@ def definitely_enumerate(
     iff the final cut cannot be reached from the initial cut inside that
     sub-lattice (in particular it holds immediately when the initial or the
     final cut satisfies B, since every run contains both).
+
+    With ``bounds`` the search knows every B-satisfying cut lies in the
+    box: cuts below the box are enqueued without evaluating B
+    (``cuts_pruned``), and the first edge climbing *above* the box proves
+    an avoiding run — every extension of that cut stays above the box and
+    hence violates B — so the answer is False on the spot.
     """
-    with span("engine.cooper-marzullo", modality="definitely") as sp:
+    with span(
+        "engine.cooper-marzullo",
+        modality="definitely",
+        sliced=bounds is not None,
+    ) as sp:
         index = CausalityIndex.of(computation)
         interner = index.interner
         start = initial_cut(computation)
         goal_frontier = final_cut(computation).frontier
+        least, greatest = bounds if bounds is not None else (None, None)
+        pruned = 0
 
         def _result(
             holds: bool, explored: int, witness: Optional[Cut] = None
         ) -> DetectionResult:
             stats = StatCounters("engine.cooper-marzullo")
             stats.inc("cuts_explored", explored)
+            if bounds is not None:
+                stats.inc("cuts_pruned", pruned)
             sp.set(cuts_explored=explored, holds=holds)
             index.maybe_flush_metrics()
             return DetectionResult(
@@ -103,18 +163,29 @@ def definitely_enumerate(
                 stats=stats.as_dict(),
             )
 
+        def _known_false(frontier: Tuple[int, ...]) -> bool:
+            """Outside the box ⟹ violates B, no evaluation needed."""
+            if least is None:
+                return False
+            return _below(frontier, least) or _exceeds(frontier, greatest)
+
         # Evaluate each endpoint exactly once; ``cuts_explored`` counts the
         # cuts actually examined (1 when the initial cut short-circuits).
-        if predicate.evaluate(start):
+        if _known_false(start.frontier):
+            pruned += 1
+        elif predicate.evaluate(start):
             return _result(True, 1, start)
         if start.frontier == goal_frontier:
             # The lattice is a single cut that violates B: the unique run
             # avoids B.
             return _result(False, 1)
-        goal = interner.get(goal_frontier)
-        if predicate.evaluate(goal):
-            return _result(True, 2, goal)
-        explored = 2  # both endpoints evaluated; count each cut once
+        if _known_false(goal_frontier):
+            pruned += 1
+        else:
+            goal = interner.get(goal_frontier)
+            if predicate.evaluate(goal):
+                return _result(True, 2, goal)
+        explored = 2  # both endpoints examined; count each cut once
         seen: Set[Tuple[int, ...]] = {start.frontier}
         queue: deque[Tuple[int, ...]] = deque([start.frontier])
         trk = tracker("detect.cuts", check_every=64)
@@ -131,7 +202,17 @@ def definitely_enumerate(
                 if nxt == goal_frontier:
                     # A full run avoiding B exists (goal is known false).
                     return _result(False, explored)
+                if greatest is not None and _exceeds(nxt, greatest):
+                    # Escaped above the box: this cut and every cut of any
+                    # extension stays above it, so all of them violate B —
+                    # the current avoiding path completes into a full run.
+                    pruned += 1
+                    return _result(False, explored)
                 explored += 1
+                if least is not None and _below(nxt, least):
+                    pruned += 1  # below the box: B is false for free
+                    queue.append(nxt)
+                    continue
                 if predicate.evaluate(interner.get(nxt)):
                     continue
                 queue.append(nxt)

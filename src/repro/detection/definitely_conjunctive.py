@@ -130,13 +130,61 @@ class _AnchorFrontiers:
 
 
 def definitely_conjunctive(
-    computation: Computation, predicate: ConjunctivePredicate
+    computation: Computation,
+    predicate: ConjunctivePredicate,
+    use_slice: bool = True,
 ) -> DetectionResult:
-    """Decide ``definitely`` of a conjunctive predicate exactly."""
+    """Decide ``definitely`` of a conjunctive predicate exactly.
+
+    With ``use_slice`` (the default) the slice of the predicate — exact
+    for conjunctive B — is consulted first: an empty slice means no cut
+    satisfies B (every run avoids it, False), a least cut equal to ⊥ or a
+    greatest cut equal to ⊤ means an endpoint of *every* run satisfies B
+    (True).  Each shortcut is a polynomial rounding pass that skips the
+    anchor search entirely, reported via the ``slice_shortcut`` stat.
+    """
     with span(
         "engine.interval-anchor", conjuncts=len(predicate.conjuncts)
     ) as sp:
+        if use_slice:
+            shortcut = _slice_shortcut(computation, predicate, sp)
+            if shortcut is not None:
+                return shortcut
         return _definitely_conjunctive(computation, predicate, sp)
+
+
+def _slice_shortcut(
+    computation: Computation, predicate: ConjunctivePredicate, sp
+) -> Optional[DetectionResult]:
+    """Slice-bounds pre-check; None when the anchor search must run."""
+    from repro.slicing.slice import ConjunctiveSlice
+
+    slc = ConjunctiveSlice(computation, predicate)
+    bounds = slc.bounds_frontiers()
+    holds: Optional[bool] = None
+    witness = None
+    if bounds is None:
+        holds = False  # no cut satisfies B: every run avoids it
+    else:
+        least, greatest = bounds
+        n = computation.num_processes
+        if least == (1,) * n:
+            holds, witness = True, slc.least  # B(⊥): every run starts there
+        elif greatest == tuple(
+            len(computation.events_of(p)) for p in range(n)
+        ):
+            holds, witness = True, slc.greatest  # B(⊤): every run ends there
+    if holds is None:
+        return None
+    stats = StatCounters("engine.interval-anchor")
+    stats.inc("slice_shortcut")
+    sp.set(slice_shortcut=True, holds=holds)
+    return DetectionResult(
+        holds=holds,
+        witness=witness,
+        algorithm="interval-anchor",
+        stats=stats.as_dict(),
+    )
 
 
 def _definitely_conjunctive(

@@ -153,20 +153,27 @@ def possibly_sum_eq_unit(
 
 
 def possibly_sum_eq_exact(
-    computation: Computation, predicate: RelationalSumPredicate
+    computation: Computation,
+    predicate: RelationalSumPredicate,
+    use_slice: bool = True,
 ) -> DetectionResult:
     """Exact ``possibly(sum = k)`` for arbitrary increments.
 
     Message-free computations (the shape of the SUBSET-SUM reduction) use a
     sum-set dynamic program over per-process prefix sums — pseudo-polynomial
     in the value range, exponential in the worst case, as Theorem 2
-    requires.  Computations with messages fall back to lattice enumeration.
+    requires.  Computations with messages fall back to lattice enumeration,
+    bounded by the predicate's slice box unless ``use_slice`` is False.
     """
     variable, k = predicate.variable, predicate.constant
     if predicate.relop is not Relop.EQ:
         raise UnsupportedPredicateError("exact engine handles '=' only")
     if not computation.messages:
         return _possibly_eq_sumset(computation, variable, k)
+    if use_slice:
+        from repro.slicing.dispatch import sliced_possibly_enumerate
+
+        return sliced_possibly_enumerate(computation, predicate)
     return possibly_enumerate(computation, predicate)
 
 
@@ -210,7 +217,9 @@ def _possibly_eq_sumset(
 
 
 def possibly_sum(
-    computation: Computation, predicate: RelationalSumPredicate
+    computation: Computation,
+    predicate: RelationalSumPredicate,
+    use_slice: bool = True,
 ) -> DetectionResult:
     """``possibly`` of a relational sum predicate — dispatching facade.
 
@@ -224,7 +233,7 @@ def possibly_sum(
     if relop is Relop.EQ:
         if predicate.unit_step(computation):
             return possibly_sum_eq_unit(computation, predicate)
-        return possibly_sum_eq_exact(computation, predicate)
+        return possibly_sum_eq_exact(computation, predicate, use_slice)
     # relop is NE: some cut differs from k unless min == max == k.
     variable, k = predicate.variable, predicate.constant
     with span("engine.min-cut", relop="!=", variable=variable) as sp:
@@ -251,18 +260,34 @@ def possibly_sum(
 # definitely
 # ----------------------------------------------------------------------
 def _definitely_by_avoidance(
-    computation: Computation, predicate: RelationalSumPredicate
+    computation: Computation,
+    predicate: RelationalSumPredicate,
+    use_slice: bool = True,
 ) -> DetectionResult:
     """Exact ``definitely``: is there a run avoiding the predicate?
 
     Exponential in the worst case (it explores the complement sub-lattice);
-    exact for every relop.
+    exact for every relop.  With ``use_slice`` the predicate's slice box
+    lets the search skip evaluations outside the box — and when the slice
+    is empty the predicate holds nowhere, so the avoidance is trivial.
     """
     with span("engine.avoidance-search", relop=predicate.relop.value) as sp:
-        avoidable = reachable_avoiding(computation, predicate.evaluate)
+        trivially_avoidable, bounds = False, None
+        if use_slice:
+            from repro.slicing.dispatch import avoidance_bounds
+
+            trivially_avoidable, bounds = avoidance_bounds(
+                computation, predicate
+            )
+        if trivially_avoidable:
+            avoidable = True
+        else:
+            avoidable = reachable_avoiding(
+                computation, predicate.evaluate, bounds=bounds
+            )
         stats = StatCounters("engine.avoidance-search")
         stats.inc("searches")
-        sp.set(holds=not avoidable)
+        sp.set(holds=not avoidable, sliced=bounds is not None)
         return DetectionResult(
             holds=not avoidable,
             algorithm="avoidance-search",
@@ -271,7 +296,9 @@ def _definitely_by_avoidance(
 
 
 def definitely_sum_eq_unit(
-    computation: Computation, predicate: RelationalSumPredicate
+    computation: Computation,
+    predicate: RelationalSumPredicate,
+    use_slice: bool = True,
 ) -> DetectionResult:
     """``definitely(sum = k)`` for ±1 computations (paper, Theorem 7(2)).
 
@@ -284,7 +311,7 @@ def definitely_sum_eq_unit(
     with span("engine.theorem7-unit-step", variable=variable, k=k) as sp:
         le = RelationalSumPredicate(variable, Relop.LE, k)
         ge = RelationalSumPredicate(variable, Relop.GE, k)
-        d_le = _definitely_by_avoidance(computation, le)
+        d_le = _definitely_by_avoidance(computation, le, use_slice)
         if not d_le.holds:
             sp.set(holds=False, failed="definitely(sum <= k)")
             return DetectionResult(
@@ -292,7 +319,7 @@ def definitely_sum_eq_unit(
                 algorithm="theorem7-unit-step",
                 stats={"failed": "definitely(sum <= k)"},
             )
-        d_ge = _definitely_by_avoidance(computation, ge)
+        d_ge = _definitely_by_avoidance(computation, ge, use_slice)
         sp.set(holds=d_ge.holds)
         return DetectionResult(
             holds=d_ge.holds,
@@ -302,12 +329,14 @@ def definitely_sum_eq_unit(
 
 
 def definitely_sum(
-    computation: Computation, predicate: RelationalSumPredicate
+    computation: Computation,
+    predicate: RelationalSumPredicate,
+    use_slice: bool = True,
 ) -> DetectionResult:
     """``definitely`` of a relational sum predicate — dispatching facade."""
     if predicate.relop is Relop.EQ and predicate.unit_step(computation):
-        return definitely_sum_eq_unit(computation, predicate)
-    return _definitely_by_avoidance(computation, predicate)
+        return definitely_sum_eq_unit(computation, predicate, use_slice)
+    return _definitely_by_avoidance(computation, predicate, use_slice)
 
 
 def _require_unit(

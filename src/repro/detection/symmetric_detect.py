@@ -62,17 +62,21 @@ def possibly_symmetric(
 
 
 def definitely_symmetric(
-    computation: Computation, predicate: SymmetricPredicate
+    computation: Computation,
+    predicate: SymmetricPredicate,
+    use_slice: bool = True,
 ) -> DetectionResult:
     """``definitely`` of a symmetric predicate.
 
     Singleton count sets use the Theorem 7(2) decomposition; general count
-    sets are decided exactly by searching for a run avoiding the predicate.
+    sets are decided exactly by searching for a run avoiding the predicate
+    (restricted to the predicate's slice box unless ``use_slice`` is
+    False).
     """
     if len(predicate.counts) == 1:
         (count,) = predicate.counts
         inner = RelationalSumPredicate(predicate.variable, Relop.EQ, count)
-        result = definitely_sum_eq_unit(computation, inner)
+        result = definitely_sum_eq_unit(computation, inner, use_slice)
         return DetectionResult(
             holds=result.holds,
             algorithm="symmetric-" + result.algorithm,
@@ -81,10 +85,22 @@ def definitely_symmetric(
     with span(
         "engine.symmetric-avoidance", counts=sorted(predicate.counts)
     ) as sp:
-        avoidable = reachable_avoiding(computation, predicate.evaluate)
+        trivially_avoidable, bounds = False, None
+        if use_slice:
+            from repro.slicing.dispatch import avoidance_bounds
+
+            trivially_avoidable, bounds = avoidance_bounds(
+                computation, predicate
+            )
+        if trivially_avoidable:
+            avoidable = True
+        else:
+            avoidable = reachable_avoiding(
+                computation, predicate.evaluate, bounds=bounds
+            )
         stats = StatCounters("engine.symmetric-avoidance")
         stats.inc("searches")
-        sp.set(holds=not avoidable)
+        sp.set(holds=not avoidable, sliced=bounds is not None)
         return DetectionResult(
             holds=not avoidable, algorithm="symmetric-avoidance",
             stats=stats.as_dict(),

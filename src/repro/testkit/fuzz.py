@@ -230,6 +230,40 @@ def _gen_protocol_faults(rng: "_random.Random", seed: int) -> Instance:
     return comp, pred, Modality.POSSIBLY
 
 
+def _gen_slice_roundtrip(rng: "_random.Random", seed: int) -> Instance:
+    """CNF with a genuine conjunctive over-approximation: single-process
+    clauses survive the slice's clause projection, the one multi-process
+    clause is dropped (inexact slice), and both modalities are drawn —
+    food for the sliced-vs-unsliced parity engines of the registry."""
+    n = 3
+    comp = random_computation(
+        n,
+        rng.randint(2, 3),
+        rng.choice([0.3, 0.5]),
+        seed=seed,
+        variables=[
+            BoolVar("x", density=rng.choice([0.4, 0.6])),
+            BoolVar("y", density=rng.choice([0.4, 0.6])),
+        ],
+    )
+    pred = CNFPredicate(
+        [
+            Clause([Literal(0, "x", rng.random() < 0.3)]),
+            Clause([Literal(1, "y", rng.random() < 0.3)]),
+            Clause(
+                [
+                    Literal(1, "x", rng.random() < 0.5),
+                    Literal(2, "y", rng.random() < 0.5),
+                ]
+            ),
+        ]
+    )
+    modality = (
+        Modality.DEFINITELY if rng.random() < 0.5 else Modality.POSSIBLY
+    )
+    return comp, pred, modality
+
+
 #: Family name -> generator, in the fixed order the RNG indexes into.
 FAMILIES: Dict[str, Generator] = {
     "conjunctive": _gen_conjunctive,
@@ -241,6 +275,7 @@ FAMILIES: Dict[str, Generator] = {
     "sum-definitely": _gen_sum_definitely,
     "symmetric": _gen_symmetric,
     "protocol-faults": _gen_protocol_faults,
+    "slice-roundtrip": _gen_slice_roundtrip,
 }
 
 FAMILY_NAMES: Tuple[str, ...] = tuple(FAMILIES)

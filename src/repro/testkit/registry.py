@@ -254,7 +254,11 @@ def _build_default() -> OracleRegistry:
         possibly_symmetric,
     )
     from repro.reductions import possibly_via_sat
-    from repro.slicing import ConjunctiveSlice
+    from repro.slicing import (
+        ConjunctiveSlice,
+        sliced_definitely_enumerate,
+        sliced_possibly_enumerate,
+    )
 
     P, D = Modality.POSSIBLY, Modality.DEFINITELY
 
@@ -280,6 +284,52 @@ def _build_default() -> OracleRegistry:
 
     def run_anchors(comp: Computation, pred: GlobalPredicate) -> bool:
         return definitely_conjunctive(comp, as_conjunctive(pred)).holds
+
+    def run_anchors_noslice(
+        comp: Computation, pred: GlobalPredicate
+    ) -> bool:
+        return definitely_conjunctive(
+            comp, as_conjunctive(pred), use_slice=False
+        ).holds
+
+    def run_sliced_possibly(
+        comp: Computation, pred: GlobalPredicate
+    ) -> bool:
+        """Slice-bounded enumeration with full parity checks against the
+        unsliced engine: equal verdicts, and on True a valid witness of
+        the same (minimum) size.  A broken parity raises, which the
+        fuzzer records as a crash finding."""
+        from repro.detection import possibly_enumerate as plain
+
+        sliced = sliced_possibly_enumerate(comp, pred)
+        unsliced = plain(comp, pred)
+        assert sliced.holds == unsliced.holds, (
+            f"verdict mismatch: sliced={sliced.holds} "
+            f"unsliced={unsliced.holds}"
+        )
+        if sliced.holds:
+            assert sliced.witness is not None
+            assert sliced.witness.is_consistent()
+            assert pred.evaluate(sliced.witness), "invalid sliced witness"
+            assert unsliced.witness is not None
+            assert sliced.witness.size() == unsliced.witness.size(), (
+                f"witness size mismatch: sliced={sliced.witness.size()} "
+                f"unsliced={unsliced.witness.size()}"
+            )
+        return sliced.holds
+
+    def run_sliced_definitely(
+        comp: Computation, pred: GlobalPredicate
+    ) -> bool:
+        from repro.detection import definitely_enumerate as plain
+
+        sliced = sliced_definitely_enumerate(comp, pred)
+        unsliced = plain(comp, pred)
+        assert sliced.holds == unsliced.holds, (
+            f"verdict mismatch: sliced={sliced.holds} "
+            f"unsliced={unsliced.holds}"
+        )
+        return sliced.holds
 
     for engine in [
         EngineSpec("cpdhb", P, run_cpdhb),
@@ -330,11 +380,24 @@ def _build_default() -> OracleRegistry:
             is_oracle=True,
             max_events=ORACLE_MAX_EVENTS,
         ),
+        EngineSpec(
+            "slice-enum",
+            P,
+            run_sliced_possibly,
+            max_events=ORACLE_MAX_EVENTS,
+        ),
         EngineSpec("anchors", D, run_anchors),
+        EngineSpec("anchors-noslice", D, run_anchors_noslice),
         EngineSpec(
             "lattice",
             D,
             lambda c, p: definitely_enumerate(c, p).holds,
+            max_events=ORACLE_MAX_EVENTS,
+        ),
+        EngineSpec(
+            "slice-lattice",
+            D,
+            run_sliced_definitely,
             max_events=ORACLE_MAX_EVENTS,
         ),
         EngineSpec(
@@ -400,9 +463,21 @@ def _build_default() -> OracleRegistry:
             max_events=ORACLE_MAX_EVENTS,
         ),
         EngineSpec(
+            "slice-enum",
+            P,
+            run_sliced_possibly,
+            max_events=ORACLE_MAX_EVENTS,
+        ),
+        EngineSpec(
             "lattice",
             D,
             lambda c, p: definitely_enumerate(c, p).holds,
+            max_events=ORACLE_MAX_EVENTS,
+        ),
+        EngineSpec(
+            "slice-lattice",
+            D,
+            run_sliced_definitely,
             max_events=ORACLE_MAX_EVENTS,
         ),
         EngineSpec(
@@ -438,9 +513,34 @@ def _build_default() -> OracleRegistry:
             max_events=ORACLE_MAX_EVENTS,
         ),
         EngineSpec(
+            "slice-enum",
+            P,
+            run_sliced_possibly,
+            max_events=ORACLE_MAX_EVENTS,
+        ),
+        EngineSpec(
             "brute",
             P,
             oracle_possibly,
+            is_oracle=True,
+            max_events=ORACLE_MAX_EVENTS,
+        ),
+        EngineSpec(
+            "lattice",
+            D,
+            lambda c, p: definitely_enumerate(c, p).holds,
+            max_events=ORACLE_MAX_EVENTS,
+        ),
+        EngineSpec(
+            "slice-lattice",
+            D,
+            run_sliced_definitely,
+            max_events=ORACLE_MAX_EVENTS,
+        ),
+        EngineSpec(
+            "brute-runs",
+            D,
+            oracle_definitely,
             is_oracle=True,
             max_events=ORACLE_MAX_EVENTS,
         ),
@@ -476,12 +576,29 @@ def _build_default() -> OracleRegistry:
             max_events=ORACLE_MAX_EVENTS,
         ),
         EngineSpec(
+            "slice-enum",
+            P,
+            run_sliced_possibly,
+            max_events=ORACLE_MAX_EVENTS,
+        ),
+        EngineSpec(
             "sum-definitely", D, lambda c, p: definitely_sum(c, p).holds
+        ),
+        EngineSpec(
+            "sum-definitely-noslice",
+            D,
+            lambda c, p: definitely_sum(c, p, use_slice=False).holds,
         ),
         EngineSpec(
             "lattice",
             D,
             lambda c, p: definitely_enumerate(c, p).holds,
+            max_events=ORACLE_MAX_EVENTS,
+        ),
+        EngineSpec(
+            "slice-lattice",
+            D,
+            run_sliced_definitely,
             max_events=ORACLE_MAX_EVENTS,
         ),
         EngineSpec(
@@ -521,9 +638,22 @@ def _build_default() -> OracleRegistry:
             lambda c, p: definitely_symmetric(c, p).holds,
         ),
         EngineSpec(
+            "count-definitely-noslice",
+            D,
+            lambda c, p: definitely_symmetric(
+                c, p, use_slice=False
+            ).holds,
+        ),
+        EngineSpec(
             "lattice",
             D,
             lambda c, p: definitely_enumerate(c, p).holds,
+            max_events=ORACLE_MAX_EVENTS,
+        ),
+        EngineSpec(
+            "slice-lattice",
+            D,
+            run_sliced_definitely,
             max_events=ORACLE_MAX_EVENTS,
         ),
         EngineSpec(

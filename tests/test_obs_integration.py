@@ -132,8 +132,19 @@ class TestCountersMatchStats:
 
     def test_definitely_counters_equal_result_stats(self, figure2):
         predicate = parse_predicate("x@0 & x@3", num_processes=4)
+        # Every process's last figure2 event sets x, so the slice's
+        # greatest cut is the final cut and the shortcut answers.
         with obs.Capture() as cap:
             result = detect(figure2, predicate, Modality.DEFINITELY)
+        snapshot = cap.registry.snapshot()
+        assert snapshot["counters"][
+            "engine.interval-anchor.slice_shortcut"
+        ] == result.stats["slice_shortcut"] == 1
+        # Forcing the anchor search keeps its stat mirror intact.
+        with obs.Capture() as cap:
+            result = detect(
+                figure2, predicate, Modality.DEFINITELY, slice=False
+            )
         snapshot = cap.registry.snapshot()
         assert snapshot["counters"]["engine.interval-anchor.states"] == \
             result.stats["states"]

@@ -160,9 +160,12 @@ class TestCliProgress:
              "--walk", "x", "--seed", "5", "-o", path]
         ) == 0
         capsys.readouterr()
+        # --no-slice keeps the full-lattice enumeration alive: the slice
+        # proves sum(x) >= 99 unreachable instantly, and this test needs
+        # a long loop to observe heartbeats from.
         code = main(
             ["detect", path, "sum(x) >= 99", "--modality", "definitely",
-             "--progress"]
+             "--progress", "--no-slice"]
         )
         captured = capsys.readouterr()
         assert code == 1
@@ -196,7 +199,7 @@ class TestCliProgress:
         monkeypatch.setenv("REPRO_PROGRESS_INTERVAL_MS", "0")
         code = main(
             ["detect", big_trace, "sum(x) >= 99", "--modality", "definitely",
-             "--progress", "--deadline-ms", "1"]
+             "--progress", "--deadline-ms", "1", "--no-slice"]
         )
         captured = capsys.readouterr()
         assert code == 7
@@ -230,7 +233,7 @@ class TestCliProgress:
         path = str(tmp_path / "runs.jsonl")
         code = main(
             ["--runs-ledger", path, "detect", big_trace, "sum(x) >= 99",
-             "--modality", "definitely", "--deadline-ms", "1"]
+             "--modality", "definitely", "--deadline-ms", "1", "--no-slice"]
         )
         capsys.readouterr()
         assert code == 7

@@ -154,7 +154,13 @@ class TestExactEngine:
 
     def test_enumeration_used_with_messages(self, two_chain):
         result = possibly_sum_eq_exact(two_chain, sum_predicate("v", "==", 2))
-        assert result.algorithm == "cooper-marzullo"
+        # Slice-first by default; the inner engine is still the enumerator.
+        assert result.algorithm in ("cooper-marzullo", "slice:cooper-marzullo")
+        unsliced = possibly_sum_eq_exact(
+            two_chain, sum_predicate("v", "==", 2), use_slice=False
+        )
+        assert unsliced.algorithm == "cooper-marzullo"
+        assert unsliced.holds == result.holds
 
 
 class TestDispatch:
