@@ -134,6 +134,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                     modality,
                     parallel=args.parallel,
                     slice=not args.no_slice,
+                    engine=args.engine,
                 )
             print("── span tree ──", file=sys.stderr)
             print(obs.format_span_tree(cap.roots), file=sys.stderr)
@@ -148,6 +149,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                     modality,
                     parallel=args.parallel,
                     slice=not args.no_slice,
+                    engine=args.engine,
                 )
     except DeadlineExceeded as exc:
         payload = {
@@ -861,6 +863,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline-ms", type=float, default=None, metavar="MS",
         help="give up after MS milliseconds with a clean 'inconclusive' "
         "verdict (exit code 7) instead of running to completion",
+    )
+    p_detect.add_argument(
+        "--engine",
+        choices=["auto", "work-optimal"],
+        default="auto",
+        help="override engine dispatch: 'work-optimal' forces the "
+        "round-based conjunctive engine (possibly only)",
     )
     p_detect.add_argument(
         "--no-slice", action="store_true",

@@ -81,8 +81,8 @@ def iter_levels(
         trk.step(len(current))
         yield [interner.get(frontier) for frontier in current]
         next_level: Set[Tuple[int, ...]] = set()
-        for frontier in current:
-            for nxt in index.successor_frontiers(frontier):
+        for successors in index.successor_frontiers_batch(current):
+            for nxt in successors:
                 if greatest is not None and any(
                     c > g for c, g in zip(nxt, greatest)
                 ):

@@ -69,29 +69,43 @@ def detect(
     modality: Modality = Modality.POSSIBLY,
     parallel: Optional[int] = None,
     slice: bool = True,
+    engine: str = "auto",
 ) -> DetectionResult:
     """Full detection result for the given predicate and modality.
 
     ``parallel`` fans combination-sweep engines (the singular k-CNF
-    process-/chain-choice drivers) across a worker pool; verdicts and
-    witnesses are identical to the serial sweep.  Engines without a
-    combination sweep ignore it.
+    process-/chain-choice drivers) across a worker pool, and sets the
+    thread count of the work-optimal engine's shared-state rounds;
+    verdicts and witnesses are identical to the serial runs.  Engines
+    without internal parallelism ignore it.
 
     ``slice`` (default True) lets enumeration-based paths restrict their
     search to the sublattice of the predicate's conjunctive
     over-approximation; pass False to force the unsliced engines.
     Verdicts are identical either way.
 
+    ``engine`` overrides dispatch: ``"auto"`` (default) picks by
+    predicate structure; ``"work-optimal"`` forces the round-based
+    engine of :mod:`repro.detection.work_optimal` for conjunctive-viewable
+    ``possibly`` queries (``slice=True`` jump-starts its chain cursors at
+    the slice box).
+
     When observability is enabled (:mod:`repro.obs`) every query opens a
     root span ``detect.query`` recording the modality, the predicate
     class, and — once dispatch has chosen — the engine that answered.
     """
+    if engine not in ("auto", "work-optimal"):
+        raise ValueError(f"unknown engine {engine!r}")
     with span(
         "detect.query",
         modality=modality.value,
         predicate=type(predicate).__name__,
     ) as root:
-        if modality is Modality.POSSIBLY:
+        if engine == "work-optimal":
+            result = _work_optimal(
+                computation, predicate, modality, parallel, slice
+            )
+        elif modality is Modality.POSSIBLY:
             result = _possibly(
                 computation, predicate, parallel=parallel, use_slice=slice
             )
@@ -122,6 +136,52 @@ def definitely(
     return detect(
         computation, predicate, Modality.DEFINITELY, slice=slice
     ).holds
+
+
+def _work_optimal(
+    computation: Computation,
+    predicate: GlobalPredicate,
+    modality: Modality,
+    parallel: Optional[int],
+    use_slice: bool,
+) -> DetectionResult:
+    """Forced ``engine="work-optimal"`` dispatch.
+
+    The engine decides ``possibly`` of conjunctive-viewable predicates
+    (conjunctive, local, 1-CNF singular); anything else is a structural
+    mismatch the caller asked for explicitly, so it raises instead of
+    silently falling back.
+    """
+    from repro.detection.work_optimal import detect_work_optimal
+    from repro.predicates.errors import UnsupportedPredicateError
+
+    if modality is not Modality.POSSIBLY:
+        raise UnsupportedPredicateError(
+            "the work-optimal engine decides possibly only"
+        )
+    if isinstance(predicate, ConjunctivePredicate):
+        conj = predicate
+    elif isinstance(predicate, LocalPredicate):
+        conj = ConjunctivePredicate([predicate])
+    elif (
+        isinstance(predicate, CNFPredicate)
+        and predicate.is_conjunctive()
+        and predicate.is_singular()
+    ):
+        conj = conjunctive_from_cnf(predicate)
+    else:
+        raise UnsupportedPredicateError(
+            "the work-optimal engine requires a conjunctive-viewable "
+            "predicate"
+        )
+    bounds = None
+    if use_slice:
+        from repro.slicing.dispatch import slice_info
+
+        bounds = slice_info(computation, conj).bounds
+    return detect_work_optimal(
+        computation, conj, parallel=parallel, bounds=bounds
+    )
 
 
 def _possibly(

@@ -87,22 +87,30 @@ def possibly_enumerate(
         queue: deque[Tuple[int, ...]] = deque([start])
         holds, witness = False, None
         trk = tracker("detect.cuts", check_every=64)
-        while queue:
-            frontier = queue.popleft()
-            explored += 1
-            trk.step()
-            cut = interner.get(frontier)
-            if predicate.evaluate(cut):
-                holds, witness = True, cut
-                break
-            for nxt in index.successor_frontiers(frontier):
-                if nxt in seen:
-                    continue
-                if greatest is not None and _exceeds(nxt, greatest):
-                    pruned += 1
-                    continue
-                seen.add(nxt)
-                queue.append(nxt)
+        # Wave-batched BFS: snapshot the queue, expand every frontier of
+        # the wave in one vectorized successor call (side-effect-free),
+        # then replay the items in the original FIFO order — evaluate,
+        # stop at the first hit *before* touching that item's children —
+        # so cuts_explored/cuts_pruned equal the one-at-a-time loop's.
+        while queue and not holds:
+            wave = list(queue)
+            queue.clear()
+            expansions = index.successor_frontiers_batch(wave)
+            for frontier, successors in zip(wave, expansions):
+                explored += 1
+                trk.step()
+                cut = interner.get(frontier)
+                if predicate.evaluate(cut):
+                    holds, witness = True, cut
+                    break
+                for nxt in successors:
+                    if nxt in seen:
+                        continue
+                    if greatest is not None and _exceeds(nxt, greatest):
+                        pruned += 1
+                        continue
+                    seen.add(nxt)
+                    queue.append(nxt)
         stats = StatCounters("engine.cooper-marzullo")
         stats.inc("cuts_explored", explored)
         if bounds is not None:
@@ -189,31 +197,39 @@ def definitely_enumerate(
         seen: Set[Tuple[int, ...]] = {start.frontier}
         queue: deque[Tuple[int, ...]] = deque([start.frontier])
         trk = tracker("detect.cuts", check_every=64)
+        # Same wave-batching as the possibly search: expansion of a whole
+        # wave is precomputed in one vectorized call, then items replay in
+        # FIFO order with the original early returns intact.
         while queue:
-            frontier = queue.popleft()
-            trk.step()
-            for nxt in index.successor_frontiers(frontier):
-                if nxt in seen:
-                    continue
-                # Mark satisfying cuts seen too: they are barriers either
-                # way, and marking avoids re-evaluating B on every later
-                # edge reaching them.
-                seen.add(nxt)
-                if nxt == goal_frontier:
-                    # A full run avoiding B exists (goal is known false).
-                    return _result(False, explored)
-                if greatest is not None and _exceeds(nxt, greatest):
-                    # Escaped above the box: this cut and every cut of any
-                    # extension stays above it, so all of them violate B —
-                    # the current avoiding path completes into a full run.
-                    pruned += 1
-                    return _result(False, explored)
-                explored += 1
-                if least is not None and _below(nxt, least):
-                    pruned += 1  # below the box: B is false for free
+            wave = list(queue)
+            queue.clear()
+            expansions = index.successor_frontiers_batch(wave)
+            for frontier, successors in zip(wave, expansions):
+                trk.step()
+                for nxt in successors:
+                    if nxt in seen:
+                        continue
+                    # Mark satisfying cuts seen too: they are barriers
+                    # either way, and marking avoids re-evaluating B on
+                    # every later edge reaching them.
+                    seen.add(nxt)
+                    if nxt == goal_frontier:
+                        # A full run avoiding B exists (goal is known
+                        # false).
+                        return _result(False, explored)
+                    if greatest is not None and _exceeds(nxt, greatest):
+                        # Escaped above the box: this cut and every cut of
+                        # any extension stays above it, so all of them
+                        # violate B — the current avoiding path completes
+                        # into a full run.
+                        pruned += 1
+                        return _result(False, explored)
+                    explored += 1
+                    if least is not None and _below(nxt, least):
+                        pruned += 1  # below the box: B is false for free
+                        queue.append(nxt)
+                        continue
+                    if predicate.evaluate(interner.get(nxt)):
+                        continue
                     queue.append(nxt)
-                    continue
-                if predicate.evaluate(interner.get(nxt)):
-                    continue
-                queue.append(nxt)
         return _result(True, explored)

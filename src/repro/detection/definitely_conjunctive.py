@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.computation import Computation
 from repro.detection.result import DetectionResult
 from repro.obs import StatCounters, span
+from repro.perf.causality import CausalityIndex
 from repro.predicates.conjunctive import ConjunctivePredicate
 from repro.predicates.local import LocalPredicate
 
@@ -86,22 +87,14 @@ def false_intervals(
 def _closure_at_least(
     computation: Computation, base: Frontier, process: int, minimum: int
 ) -> Frontier:
-    """Least consistent cut >= base with ``frontier[process] >= minimum``."""
-    frontier = list(base)
-    if frontier[process] < minimum:
-        frontier[process] = minimum
-    changed = True
-    while changed:
-        changed = False
-        for p in range(computation.num_processes):
-            if frontier[p] == 1:
-                continue
-            clk = computation.clock((p, frontier[p] - 1))
-            for q in range(computation.num_processes):
-                if clk[q] > frontier[q]:
-                    frontier[q] = clk[q]
-                    changed = True
-    return tuple(frontier)
+    """Least consistent cut >= base with ``frontier[process] >= minimum``.
+
+    Delegates to the clock matrix's vectorized join fixpoint; the matrix
+    runs the identical pure-Python passes when numpy is unavailable.
+    """
+    return CausalityIndex.of(computation).matrix.closure_at_least(
+        base, process, minimum
+    )
 
 
 def _dominates(a: Frontier, b: Frontier) -> bool:

@@ -39,6 +39,11 @@ from repro.detection.cpdsc import (
 )
 from repro.detection.garg_waldecker import SelectionScan
 from repro.detection.result import DetectionResult
+from repro.detection.work_optimal import (
+    VEC_CHUNK,
+    CombinationSweep,
+    use_batched_sweep,
+)
 from repro.events import EventId
 from repro.obs import StatCounters, span
 from repro.obs.progress import tracker
@@ -279,6 +284,29 @@ def _detect_by_combinations(
             stats.set("workers", 1)
 
         trk = tracker("detect.combinations", total=total)
+        if use_batched_sweep(total):
+            # Large sweeps: score a whole block of ranks per call with the
+            # vectorized work-optimal rounds.  Every rank of a consumed
+            # block runs to its verdict, so ``invocations`` counts whole
+            # blocks — the same accounting the pooled driver uses, keeping
+            # serial and parallel counters identical.
+            sweep = CombinationSweep(
+                computation, per_group_chains, index=index
+            )
+            for start in range(0, total, VEC_CHUNK):
+                stop = min(start + VEC_CHUNK, total)
+                stats.inc("invocations", stop - start)
+                with span("scan.batch", ranks=stop - start) as scan_sp:
+                    _, selection, advances, rounds = sweep.scan_block(
+                        start, stop
+                    )
+                    scan_sp.set(advances=advances, rounds=rounds)
+                stats.inc("advances", advances)
+                trk.step(stop - start)
+                if selection is not None:
+                    return _finish(True, selection)
+            trk.finish()
+            return _finish(False)
         for combo in itertools.product(*per_group_chains):
             stats.inc("invocations")
             with span("scan.cpdhb") as scan_sp:

@@ -1,0 +1,510 @@
+"""Work-optimal parallel conjunctive detection (arXiv 2008.12516).
+
+Garg's work-optimal algorithm replaces the CPDHB scan's one-elimination-
+at-a-time walk with synchronous *rounds* over the chain decomposition of
+the candidate events (for a conjunctive predicate: one chain per
+conjunct, its true events in local order).  Each round:
+
+1. **join** — compute the *need* vector, the componentwise join of the
+   clocks of the currently selected candidates
+   (``need[p] = max_f clk(f)[p]``);
+2. **eliminate** — a candidate ``e = (p, i)`` survives iff
+   ``need[p] <= i + 1``: a violation means some other selected ``f`` has
+   ``clk(f)[p] > i + 1``, i.e. ``succ(e) ⊑ f``, the classical CPDHB
+   elimination (``e`` can pair with nothing at or after ``f``);
+3. **advance** — every eliminated chain *jumps* its cursor to the first
+   event with own-component ``>= need[p]`` (every skipped event is
+   eliminated by the same witness ``f``), a binary search instead of a
+   step-by-step walk.
+
+A round with no eliminations is a fixpoint, which is exactly pairwise
+consistency of the selection; an exhausted chain proves ``¬possibly``.
+All eliminations in a round are independent, so the round parallelizes
+over chains with two barriers (partial joins, then advances) — the
+shared-state structure behind ``parallel=N`` — and both the serial and
+the parallel schedule converge to the **least** consistent selection,
+making verdict *and* witness identical to the CPDHB scan.
+
+The same rounds, run over a *batch* of combination cursors at once, give
+:class:`CombinationSweep`: the Section 3.3 process-/chain-choice sweeps
+score each combination with a handful of ``(B, m, n)`` array joins
+instead of ``B`` interpreted Python scans.  Cross-process chain-cover
+chains advance step-wise (the jump target's process may change), which is
+still sound: each step re-checks the new candidate against the round's
+need vector, and the own-chain contribution to *need* can never eliminate
+a later event of the same chain (its clock is dominated by theirs).
+
+Clock reads go through the computation's
+:class:`~repro.perf.clockmatrix.ClockMatrix`; with numpy absent the
+engine runs the identical rounds over raw clock tuples.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import List, Optional, Sequence, Tuple
+
+from repro.computation import Computation, least_consistent_cut
+from repro.detection.result import DetectionResult
+from repro.events import EventId
+from repro.obs import StatCounters, span
+from repro.perf.causality import CausalityIndex
+from repro.perf.clockmatrix import numpy_available
+from repro.predicates.conjunctive import ConjunctivePredicate
+from repro.predicates.local import true_events
+
+__all__ = [
+    "detect_work_optimal",
+    "CombinationSweep",
+    "use_batched_sweep",
+    "VEC_MIN_COMBINATIONS",
+    "VEC_CHUNK",
+]
+
+Frontier = Tuple[int, ...]
+
+#: Below this many combinations a per-rank CPDHB scan beats the batched
+#: kernel's fixed array overhead; the gate must be a pure function of the
+#: sweep size so serial drivers and pool workers always agree on it.
+VEC_MIN_COMBINATIONS = 64
+#: Ranks per batched block.  Worker-count *independent* (unlike the
+#: per-rank chunking) so a serial sweep and any pool consume identical
+#: blocks — the invocations/advances parity the tests pin down.
+VEC_CHUNK = 4096
+
+
+def use_batched_sweep(total: int) -> bool:
+    """Should a sweep of ``total`` combinations use the batched kernel?"""
+    return numpy_available() and total >= VEC_MIN_COMBINATIONS
+
+
+# ----------------------------------------------------------------------
+# The work-optimal engine (one conjunctive predicate)
+# ----------------------------------------------------------------------
+def _round_python(
+    index: CausalityIndex,
+    chains: Sequence[Sequence[EventId]],
+    positions: Sequence[Sequence[int]],
+    cursor: List[int],
+    owners: List[List[int]],
+) -> Tuple[int, bool]:
+    """One serial elimination round on raw clock tuples.
+
+    Returns ``(eliminations, exhausted)``; zero eliminations = fixpoint.
+    """
+    n = index.num_processes
+    clk = index._clk
+    need = [0] * n
+    for i, chain in enumerate(chains):
+        p, idx = chain[cursor[i]]
+        clock = clk[p][idx]
+        for q in range(n):
+            if clock[q] > need[q]:
+                need[q] = clock[q]
+    advances = 0
+    for i, chain in enumerate(chains):
+        p = chain[cursor[i]][0]
+        target = need[p]
+        if target <= positions[i][cursor[i]]:
+            continue
+        nxt = bisect_left(positions[i], target, lo=cursor[i] + 1)
+        advances += nxt - cursor[i]
+        cursor[i] = nxt
+        if nxt >= len(chain):
+            return advances, True
+    return advances, False
+
+
+def _run_rounds_serial(
+    matrix,
+    index: CausalityIndex,
+    chains: Sequence[Sequence[EventId]],
+    positions: Sequence[Sequence[int]],
+    cursor: List[int],
+    stats: StatCounters,
+    vectorized: bool,
+) -> Optional[List[EventId]]:
+    """Round loop to fixpoint or exhaustion; returns the selection."""
+    rows = [matrix.rows_of(chain) for chain in chains] if vectorized else None
+    owners = [[e[0] for e in chain] for chain in chains]
+    while True:
+        stats.inc("rounds")
+        if vectorized:
+            need = matrix.join_rows(
+                [rows[i][cursor[i]] for i in range(len(chains))]
+            )
+            advances = 0
+            exhausted = False
+            for i, chain in enumerate(chains):
+                target = need[owners[i][cursor[i]]]
+                if target <= positions[i][cursor[i]]:
+                    continue
+                nxt = bisect_left(positions[i], target, lo=cursor[i] + 1)
+                advances += nxt - cursor[i]
+                cursor[i] = nxt
+                if nxt >= len(chain):
+                    exhausted = True
+                    break
+        else:
+            advances, exhausted = _round_python(
+                index, chains, positions, cursor, owners
+            )
+        stats.inc("advances", advances)
+        if exhausted:
+            return None
+        if advances == 0:
+            return [chains[i][cursor[i]] for i in range(len(chains))]
+
+
+def _run_rounds_parallel(
+    matrix,
+    index: CausalityIndex,
+    chains: Sequence[Sequence[EventId]],
+    positions: Sequence[Sequence[int]],
+    cursor: List[int],
+    stats: StatCounters,
+    vectorized: bool,
+    workers: int,
+) -> Optional[List[EventId]]:
+    """The shared-state parallel schedule: two barriers per round.
+
+    Chains are partitioned across threads; per round each thread joins
+    the clocks of *its* selected candidates into a partial need vector,
+    the partials merge at a barrier (max is commutative, so the merged
+    vector equals the serial round's), and each thread then advances its
+    own chains.  Rounds, eliminations, and the final selection are
+    bit-identical to the serial schedule.
+    """
+    m = len(chains)
+    n = index.num_processes
+    slices = [list(range(t, m, workers)) for t in range(workers)]
+    rows = [matrix.rows_of(chain) for chain in chains] if vectorized else None
+    clk = index._clk
+    barrier = threading.Barrier(workers)
+    partial: List[Optional[Tuple[int, ...]]] = [None] * workers
+    eliminated = [0] * workers
+    exhausted = [False] * workers
+    state = {"need": None, "rounds": 0, "advances": 0, "done": False}
+
+    def joined(mine: Sequence[int]) -> Tuple[int, ...]:
+        if vectorized:
+            return matrix.join_rows([rows[i][cursor[i]] for i in mine])
+        need = [0] * n
+        for i in mine:
+            p, idx = chains[i][cursor[i]]
+            clock = clk[p][idx]
+            for q in range(n):
+                if clock[q] > need[q]:
+                    need[q] = clock[q]
+        return tuple(need)
+
+    def worker(t: int) -> None:
+        mine = slices[t]
+        while True:
+            partial[t] = joined(mine) if mine else (0,) * n
+            barrier.wait()
+            if t == 0:
+                merged = [0] * n
+                for vec in partial:
+                    for q in range(n):
+                        if vec[q] > merged[q]:
+                            merged[q] = vec[q]
+                state["need"] = merged
+                state["rounds"] += 1
+            barrier.wait()
+            need = state["need"]
+            count = 0
+            dead = False
+            for i in mine:
+                target = need[chains[i][cursor[i]][0]]
+                if target <= positions[i][cursor[i]]:
+                    continue
+                nxt = bisect_left(positions[i], target, lo=cursor[i] + 1)
+                count += nxt - cursor[i]
+                cursor[i] = nxt
+                if nxt >= len(chains[i]):
+                    dead = True
+                    break
+            eliminated[t] = count
+            exhausted[t] = dead
+            barrier.wait()
+            if t == 0:
+                state["advances"] += sum(eliminated)
+                state["done"] = any(exhausted) or sum(eliminated) == 0
+            barrier.wait()
+            if state["done"]:
+                return
+
+    threads = [
+        threading.Thread(target=worker, args=(t,), daemon=True)
+        for t in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stats.inc("rounds", state["rounds"])
+    stats.inc("advances", state["advances"])
+    if any(exhausted):
+        return None
+    return [chains[i][cursor[i]] for i in range(m)]
+
+
+def detect_work_optimal(
+    computation: Computation,
+    predicate: ConjunctivePredicate,
+    parallel: Optional[int] = None,
+    bounds: Optional[Tuple[Frontier, Frontier]] = None,
+    vectorized: Optional[bool] = None,
+) -> DetectionResult:
+    """Decide ``possibly`` of a conjunctive predicate by elimination rounds.
+
+    Verdict and witness are identical to
+    :func:`~repro.detection.garg_waldecker.detect_conjunctive` (both
+    converge to the least consistent selection); the work differs —
+    ``rounds`` batched joins instead of one comparison per elimination.
+
+    ``parallel`` > 1 runs the shared-state round schedule over that many
+    threads (clamped to the chain count).  ``bounds`` — a slice box from
+    :mod:`repro.slicing` — jump-starts each cursor at the box's least
+    frontier (every solution selects at or above it).  ``vectorized``
+    forces the numpy kernels on/off; default follows availability.
+    """
+    with span(
+        "engine.work-optimal", conjuncts=len(predicate.conjuncts)
+    ) as sp:
+        index = CausalityIndex.of(computation)
+        vectorized = (
+            numpy_available() if vectorized is None else bool(vectorized)
+        )
+        chains: List[List[EventId]] = [
+            true_events(computation, conjunct)
+            for conjunct in predicate.conjuncts
+        ]
+        stats = StatCounters("engine.work-optimal")
+        stats.set("chains", len(chains))
+        stats.inc("rounds", 0)
+        stats.inc("advances", 0)
+
+        def _finish(selection: Optional[List[EventId]]) -> DetectionResult:
+            sp.set(holds=selection is not None)
+            index.maybe_flush_metrics()
+            if selection is None:
+                return DetectionResult(
+                    holds=False,
+                    algorithm="work-optimal",
+                    stats=stats.as_dict(),
+                )
+            witness = least_consistent_cut(computation, selection)
+            assert witness is not None, (
+                "fixpoint selection must admit a consistent cut"
+            )
+            assert predicate.evaluate(witness)
+            return DetectionResult(
+                holds=True,
+                witness=witness,
+                algorithm="work-optimal",
+                stats=stats.as_dict(),
+            )
+
+        workers = 1
+        if parallel is not None and parallel not in (0, 1):
+            import os
+
+            requested = (
+                os.cpu_count() or 1 if parallel < 0 else int(parallel)
+            )
+            workers = max(1, min(requested, len(chains)))
+        stats.set("workers", workers)
+        if not chains or any(not chain for chain in chains):
+            sp.set(holds=False)
+            return _finish(None if chains else [])
+        positions: List[List[int]] = [
+            [e[1] + 1 for e in chain] for chain in chains
+        ]
+        cursor = [0] * len(chains)
+        if bounds is not None:
+            least = bounds[0]
+            for i, chain in enumerate(chains):
+                floor = least[chain[0][0]] if chain else 1
+                start = bisect_left(positions[i], floor)
+                stats.inc("advances", start)
+                cursor[i] = start
+                if start >= len(chain):
+                    return _finish(None)
+        matrix = index.matrix if vectorized else None
+        if vectorized and not matrix.use_numpy:
+            vectorized = False
+            matrix = None
+        if workers > 1:
+            selection = _run_rounds_parallel(
+                matrix, index, chains, positions, cursor, stats,
+                vectorized, workers,
+            )
+        else:
+            selection = _run_rounds_serial(
+                matrix, index, chains, positions, cursor, stats, vectorized
+            )
+        return _finish(selection)
+
+
+# ----------------------------------------------------------------------
+# Batched combination sweep (Section 3.3 drivers)
+# ----------------------------------------------------------------------
+class CombinationSweep:
+    """Vectorized work-optimal scoring of combination-rank blocks.
+
+    One instance per (computation, per-group chain table); constructing
+    it pads each group's chains into dense ``(chains, max_len)`` row /
+    process / position arrays.  :meth:`scan_block` then runs the
+    elimination rounds for a whole contiguous block of ranks at once:
+    cursors live in a ``(B, m)`` matrix, the need vectors in ``(B, n)``,
+    and a rank survives (its combination admits a consistent selection)
+    iff its row reaches a round with no eliminations.
+
+    Requires numpy (gate with :func:`use_batched_sweep`); results —
+    verdict, winning rank, selection — equal the per-rank
+    :class:`~repro.detection.garg_waldecker.SelectionScan` loop by the
+    least-fixpoint argument.
+    """
+
+    def __init__(
+        self,
+        computation: Computation,
+        per_group_chains: Sequence[Sequence[Sequence[EventId]]],
+        index: Optional[CausalityIndex] = None,
+    ):
+        import numpy as np
+
+        self._np = np
+        self._index = (
+            index if index is not None else CausalityIndex.of(computation)
+        )
+        matrix = self._index.matrix
+        assert matrix.use_numpy, "CombinationSweep requires numpy kernels"
+        self._matrix = matrix
+        self._m = len(per_group_chains)
+        self._group_sizes = [len(chains) for chains in per_group_chains]
+        self._rows: List = []
+        self._procs: List = []
+        self._pos: List = []
+        self._len: List = []
+        for chains in per_group_chains:
+            count = max(1, len(chains))
+            width = max([len(c) for c in chains] + [1])
+            rows = np.zeros((count, width), dtype=np.int64)
+            procs = np.zeros((count, width), dtype=np.int64)
+            pos = np.zeros((count, width), dtype=np.int64)
+            lens = np.zeros(count, dtype=np.int64)
+            for g, chain in enumerate(chains):
+                lens[g] = len(chain)
+                for k, (p, i) in enumerate(chain):
+                    rows[g, k] = matrix.row((p, i))
+                    procs[g, k] = p
+                    pos[g, k] = i + 1
+            self._rows.append(rows)
+            self._procs.append(procs)
+            self._pos.append(pos)
+            self._len.append(lens)
+
+    def _decode(self, start: int, stop: int):
+        """Mixed-radix digits of ranks [start, stop) in product order."""
+        np = self._np
+        ranks = np.arange(start, stop, dtype=np.int64)
+        digits = np.empty((ranks.size, self._m), dtype=np.int64)
+        for j in range(self._m - 1, -1, -1):
+            size = max(1, self._group_sizes[j])
+            digits[:, j] = ranks % size
+            ranks = ranks // size
+        return digits
+
+    def scan_block(
+        self, start: int, stop: int
+    ) -> Tuple[Optional[int], Optional[List[EventId]], int, int]:
+        """Scan ranks ``[start, stop)``; every rank runs to its verdict.
+
+        Returns ``(winning_rank, selection, advances, rounds)`` with the
+        *lowest* successful rank of the block (None when the whole block
+        fails).  ``advances`` counts cursor eliminations across all ranks
+        of the block — block-partition independent, since each rank's
+        round evolution never depends on its neighbours.
+        """
+        np = self._np
+        matrix = self._matrix
+        m, B = self._m, stop - start
+        digits = self._decode(start, stop)
+        cur = np.zeros((B, m), dtype=np.int64)
+        active = np.ones(B, dtype=bool)
+        for j in range(m):
+            active &= self._len[j][digits[:, j]] > 0
+        success = np.zeros(B, dtype=bool)
+        advances = 0
+        rounds = 0
+        matrix._tally(B * m)
+        while active.any():
+            rounds += 1
+            idx = np.nonzero(active)[0]
+            A = idx.size
+            sel_rows = np.empty((A, m), dtype=np.int64)
+            sel_pos = np.empty((A, m), dtype=np.int64)
+            sel_proc = np.empty((A, m), dtype=np.int64)
+            for j in range(m):
+                dj = digits[idx, j]
+                cj = cur[idx, j]
+                sel_rows[:, j] = self._rows[j][dj, cj]
+                sel_pos[:, j] = self._pos[j][dj, cj]
+                sel_proc[:, j] = self._procs[j][dj, cj]
+            need = matrix.clk[sel_rows].max(axis=1)
+            elim = (
+                need[np.arange(A)[:, None], sel_proc] > sel_pos
+            )
+            stable = ~elim.any(axis=1)
+            success[idx[stable]] = True
+            active[idx[stable]] = False
+            pair_a, pair_j = np.nonzero(elim)
+            if pair_a.size == 0:
+                continue
+            # Advance every eliminated cursor to the first chain event
+            # satisfying this round's need vector, in one vectorized pass
+            # per group: an event at offset k survives iff
+            # ``pos[k] >= need[proc[k]]`` (chain-cover chains may hop
+            # processes, hence the per-event process gather), every
+            # skipped event counts as one advance, and running off the
+            # chain kills the combination.
+            for j in range(m):
+                mask = pair_j == j
+                if not mask.any():
+                    continue
+                sel = pair_a[mask]
+                eb = idx[sel]
+                dj = digits[eb, j]
+                cj = cur[eb, j]
+                lens = self._len[j][dj]
+                pos_rows = self._pos[j][dj]
+                proc_rows = self._procs[j][dj]
+                ok = pos_rows >= need[
+                    sel[:, None], proc_rows
+                ]
+                ks = np.arange(pos_rows.shape[1])[None, :]
+                viable = ok & (ks > cj[:, None]) & (ks < lens[:, None])
+                alive = viable.any(axis=1)
+                new_cur = np.where(alive, viable.argmax(axis=1), lens)
+                advances += int((new_cur - cj).sum())
+                cur[eb, j] = new_cur
+                if not alive.all():
+                    active[eb[~alive]] = False
+        if not success.any():
+            return None, None, advances, rounds
+        first = int(np.nonzero(success)[0][0])
+        selection: List[EventId] = []
+        for j in range(m):
+            d = int(digits[first, j])
+            c = int(cur[first, j])
+            selection.append(
+                (
+                    int(self._procs[j][d, c]),
+                    int(self._pos[j][d, c]) - 1,
+                )
+            )
+        return start + first, selection, advances, rounds

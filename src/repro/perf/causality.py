@@ -72,6 +72,7 @@ class CausalityIndex:
         "_covers",
         "_orderedness",
         "_interner",
+        "_matrix",
         "counters",
         "_flushed",
         "__weakref__",
@@ -108,6 +109,7 @@ class CausalityIndex:
         self._covers: Dict[object, ChainCover] = {}
         self._orderedness: Dict[object, bool] = {}
         self._interner = None
+        self._matrix = None
         self.counters: Dict[str, int] = {
             "clause_cache.hits": 0,
             "clause_cache.misses": 0,
@@ -214,6 +216,22 @@ class CausalityIndex:
                 out.append(frontier[:p] + (nxt + 1,) + frontier[p + 1 :])
         return out
 
+    def successor_frontiers_batch(
+        self, frontiers: Sequence[Tuple[int, ...]]
+    ) -> List[List[Tuple[int, ...]]]:
+        """Per-input successor frontiers for a batch of frontiers.
+
+        Equivalent to ``[self.successor_frontiers(f) for f in frontiers]``
+        but routed through the :class:`ClockMatrix` frontier-consistency
+        kernel when numpy is active and the batch is worth one array
+        round trip.
+        """
+        if len(frontiers) >= 4:
+            matrix = self.matrix
+            if matrix.use_numpy:
+                return matrix.successor_frontiers_batch(frontiers)
+        return [self.successor_frontiers(f) for f in frontiers]
+
     # ------------------------------------------------------------------
     # Per-clause memoization (singular k-CNF engines)
     # ------------------------------------------------------------------
@@ -319,6 +337,22 @@ class CausalityIndex:
         return result
 
     # ------------------------------------------------------------------
+    # Struct-of-arrays clock matrix
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self):
+        """The computation's shared :class:`~repro.perf.clockmatrix.ClockMatrix`.
+
+        Built lazily from the raw clock table; pure-Python kernels when
+        numpy is unavailable (callers never branch on the backend).
+        """
+        if self._matrix is None:
+            from repro.perf.clockmatrix import ClockMatrix
+
+            self._matrix = ClockMatrix(self._clk, self._lengths)
+        return self._matrix
+
+    # ------------------------------------------------------------------
     # Cut interning
     # ------------------------------------------------------------------
     @property
@@ -353,6 +387,13 @@ class CausalityIndex:
                 ("cut_intern.hits", self._interner.hits),
                 ("cut_intern.misses", self._interner.misses),
             ):
+                delta = value - self._flushed.get(key, 0)
+                if delta:
+                    reg.counter(f"perf.{key}").inc(delta)
+                    self._flushed[key] = value
+        if self._matrix is not None:
+            for short, value in self._matrix.counters.items():
+                key = f"clockmatrix.{short}"
                 delta = value - self._flushed.get(key, 0)
                 if delta:
                     reg.counter(f"perf.{key}").inc(delta)

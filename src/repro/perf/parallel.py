@@ -103,12 +103,14 @@ def combination_at(
 # Worker side
 # ----------------------------------------------------------------------
 _WORKER_STATE: Optional[Tuple[object, Sequence[Sequence[Sequence[EventId]]]]] = None
+_WORKER_SWEEP = None
 
 
 def _init_worker(computation, per_group_chains) -> None:
     """Pool initializer: pin the shared inputs and prebuild the index."""
-    global _WORKER_STATE
+    global _WORKER_STATE, _WORKER_SWEEP
     _WORKER_STATE = (computation, per_group_chains)
+    _WORKER_SWEEP = None
     # Progress pacing and deadline enforcement belong to the driving
     # process; a forked worker must not tick the parent's sink or raise
     # DeadlineExceeded where nobody catches it.
@@ -130,6 +132,10 @@ def _scan_chunk(bounds: Tuple[int, int]):
     aggregates cross the process boundary).
     """
     from repro.detection.garg_waldecker import SelectionScan
+    from repro.detection.work_optimal import (
+        CombinationSweep,
+        use_batched_sweep,
+    )
 
     assert _WORKER_STATE is not None, "worker used before initialization"
     computation, per_group_chains = _WORKER_STATE
@@ -143,19 +149,36 @@ def _scan_chunk(bounds: Tuple[int, int]):
     advances = 0
     winning_rank: Optional[int] = None
     selection = None
-    for rank in range(start, stop):
-        with span("scan.cpdhb") as scan_sp:
-            scan = SelectionScan(
-                computation, combination_at(per_group_chains, rank),
-                index=index,
+    total = math.prod(len(chains) for chains in per_group_chains)
+    if use_batched_sweep(total):
+        # Mirror the serial driver's batched path: the whole block runs to
+        # its verdict in one vectorized call and counts every rank as an
+        # invocation, so serial and pooled sweeps report identical stats.
+        global _WORKER_SWEEP
+        if _WORKER_SWEEP is None:
+            _WORKER_SWEEP = CombinationSweep(
+                computation, per_group_chains, index=index
             )
-            selection = scan.run()
-            scan_sp.set(advances=scan.advances)
-        invocations += 1
-        advances += scan.advances
-        if selection is not None:
-            winning_rank = rank
-            break
+        with span("scan.batch", ranks=stop - start) as scan_sp:
+            winning_rank, selection, advances, rounds = (
+                _WORKER_SWEEP.scan_block(start, stop)
+            )
+            scan_sp.set(advances=advances, rounds=rounds)
+        invocations = stop - start
+    else:
+        for rank in range(start, stop):
+            with span("scan.cpdhb") as scan_sp:
+                scan = SelectionScan(
+                    computation, combination_at(per_group_chains, rank),
+                    index=index,
+                )
+                selection = scan.run()
+                scan_sp.set(advances=scan.advances)
+            invocations += 1
+            advances += scan.advances
+            if selection is not None:
+                winning_rank = rank
+                break
     snapshot = None
     if collect:
         index.maybe_flush_metrics()
@@ -168,7 +191,16 @@ def _scan_chunk(bounds: Tuple[int, int]):
 # Driver side
 # ----------------------------------------------------------------------
 def _chunk_bounds(total: int, workers: int) -> List[Tuple[int, int]]:
-    chunk = max(1, min(MAX_CHUNK, math.ceil(total / (workers * 4))))
+    from repro.detection.work_optimal import VEC_CHUNK, use_batched_sweep
+
+    if use_batched_sweep(total):
+        # Fixed, worker-count-independent blocks: the batched kernel
+        # scores a whole block per call, and using the serial driver's
+        # exact block boundaries keeps the two drivers' invocation and
+        # advance counters bit-identical regardless of pool size.
+        chunk = VEC_CHUNK
+    else:
+        chunk = max(1, min(MAX_CHUNK, math.ceil(total / (workers * 4))))
     return [(i, min(i + chunk, total)) for i in range(0, total, chunk)]
 
 

@@ -230,6 +230,39 @@ def _gen_protocol_faults(rng: "_random.Random", seed: int) -> Instance:
     return comp, pred, Modality.POSSIBLY
 
 
+def _gen_clockmatrix_roundtrip(rng: "_random.Random", seed: int) -> Instance:
+    """Simulator traces under random fault plans — crash/restart epochs
+    included — as conjunctive instances, so the registry's
+    ``clockmatrix-roundtrip`` engine cross-checks every batched
+    ClockMatrix kernel against the per-pair causality oracles on them."""
+    from repro.simulation.faults import CrashSpec, FaultPlan
+    from repro.simulation.protocols import build_token_ring
+
+    crashes = ()
+    if rng.random() < 0.5:
+        at = float(rng.randint(2, 5))
+        delay = rng.choice([1.0, 2.0, None])
+        crashes = (
+            CrashSpec(
+                process=rng.randrange(3),
+                at=at,
+                restart_at=None if delay is None else at + delay,
+            ),
+        )
+    plan = FaultPlan(
+        seed=seed,
+        message_loss=rng.choice([0.0, 0.2]),
+        message_duplication=rng.choice([0.0, 0.15]),
+        crashes=crashes,
+    )
+    comp = build_token_ring(
+        3, hops=3, seed=seed, faults=plan if plan.any_faults else None
+    )
+    a, b = rng.sample(range(3), 2)
+    pred = conjunctive(local(a, "cs"), local(b, "cs"))
+    return comp, pred, Modality.POSSIBLY
+
+
 def _gen_slice_roundtrip(rng: "_random.Random", seed: int) -> Instance:
     """CNF with a genuine conjunctive over-approximation: single-process
     clauses survive the slice's clause projection, the one multi-process
@@ -276,6 +309,7 @@ FAMILIES: Dict[str, Generator] = {
     "symmetric": _gen_symmetric,
     "protocol-faults": _gen_protocol_faults,
     "slice-roundtrip": _gen_slice_roundtrip,
+    "clockmatrix-roundtrip": _gen_clockmatrix_roundtrip,
 }
 
 FAMILY_NAMES: Tuple[str, ...] = tuple(FAMILIES)

@@ -331,9 +331,121 @@ def _build_default() -> OracleRegistry:
         )
         return sliced.holds
 
+    def make_work_optimal(
+        parallel: Optional[int] = None,
+        sliced: bool = False,
+        vectorized: Optional[bool] = None,
+    ) -> EngineFn:
+        """A work-optimal variant with full parity checks against CPDHB:
+        equal verdicts, and on True the identical witness frontier (both
+        engines converge to the least consistent selection).  A broken
+        parity raises, which the fuzzer records as a crash finding."""
+
+        def run(comp: Computation, pred: GlobalPredicate) -> bool:
+            from repro.detection import detect_work_optimal
+
+            conj = as_conjunctive(pred)
+            bounds = None
+            if sliced:
+                from repro.slicing.dispatch import slice_info
+
+                bounds = slice_info(comp, conj).bounds
+            result = detect_work_optimal(
+                comp,
+                conj,
+                parallel=parallel,
+                bounds=bounds,
+                vectorized=vectorized,
+            )
+            reference = detect_conjunctive(comp, conj)
+            assert result.holds == reference.holds, (
+                f"verdict mismatch: work-optimal={result.holds} "
+                f"cpdhb={reference.holds}"
+            )
+            if result.holds:
+                assert result.witness is not None
+                assert result.witness.frontier == reference.witness.frontier, (
+                    f"witness mismatch: work-optimal="
+                    f"{result.witness.frontier} "
+                    f"cpdhb={reference.witness.frontier}"
+                )
+            return result.holds
+
+        return run
+
+    def run_clockmatrix_roundtrip(
+        comp: Computation, pred: GlobalPredicate
+    ) -> bool:
+        """Exhaustively cross-check the batched ClockMatrix kernels
+        against the per-pair causality index on every event pair and
+        every consistent frontier, then return the CPDHB verdict.  Any
+        divergence raises — a crash finding for the fuzzer."""
+        from repro.computation import initial_cut
+        from repro.perf.causality import CausalityIndex
+
+        index = CausalityIndex.of(comp)
+        matrix = index.matrix
+        events = [
+            (p, i)
+            for p in range(comp.num_processes)
+            for i in range(len(comp.events_of(p)))
+        ]
+        rows = [matrix.row(e) for e in events]
+        flat_a = [ra for ra in rows for _ in rows]
+        flat_b = [rb for _ in rows for rb in rows]
+        ev_a = [ea for ea in events for _ in events]
+        ev_b = [eb for _ in events for eb in events]
+        leq = matrix.leq_rows(flat_a, flat_b)
+        before = matrix.happened_before_rows(flat_a, flat_b)
+        cons = matrix.consistent_rows(flat_a, flat_b)
+        for k, (ea, eb) in enumerate(zip(ev_a, ev_b)):
+            assert bool(leq[k]) == index.leq(ea, eb), (
+                f"leq_rows diverges on {ea} vs {eb}"
+            )
+            assert bool(before[k]) == index.happened_before(ea, eb), (
+                f"happened_before_rows diverges on {ea} vs {eb}"
+            )
+            assert bool(cons[k]) == index.pairwise_consistent(ea, eb), (
+                f"consistent_rows diverges on {ea} vs {eb}"
+            )
+        start = initial_cut(comp).frontier
+        seen = {start}
+        wave = [start]
+        while wave:
+            batched = matrix.successor_frontiers_batch(wave)
+            nxt_wave = []
+            for frontier, successors in zip(wave, batched):
+                assert list(successors) == list(
+                    index.successor_frontiers(frontier)
+                ), f"successor batch diverges at {frontier}"
+                for nxt in successors:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        nxt_wave.append(nxt)
+            wave = nxt_wave
+        return run_cpdhb(comp, pred)
+
     for engine in [
         EngineSpec("cpdhb", P, run_cpdhb),
         EngineSpec("slice", P, run_slice),
+        EngineSpec("work-optimal", P, make_work_optimal()),
+        EngineSpec(
+            "work-optimal-parallel2", P, make_work_optimal(parallel=2)
+        ),
+        EngineSpec(
+            "work-optimal-sliced", P, make_work_optimal(sliced=True)
+        ),
+        EngineSpec(
+            "work-optimal-pyfallback",
+            P,
+            make_work_optimal(vectorized=False),
+        ),
+        EngineSpec(
+            "clockmatrix-roundtrip",
+            P,
+            run_clockmatrix_roundtrip,
+            max_events=ORACLE_MAX_EVENTS,
+        ),
         EngineSpec(
             "literal-choice",
             P,
