@@ -495,6 +495,49 @@ def t_online() -> None:
             f"{len(stream) / max(ms, 0.001):.0f}")
 
 
+def t_classify() -> None:
+    header(
+        "T-classify",
+        "static classification of opaque conjunctive predicates: "
+        "inference + fast engine vs raw lattice enumeration",
+    )
+    from repro.analysis.classify import classification_for, clear_cache, opaquify
+    from repro.detection import detect, possibly_enumerate
+    from workloads import conjunctive_workload
+
+    row("processes", "events", "engine", "holds", "classify_ms",
+        "dispatch_ms", "enumeration_ms", "speedup")
+    calibration = (5, 8)
+    for n, events in ((3, 6), (4, 8), calibration):
+        comp, pred = conjunctive_workload(n, events_per_process=events)
+        wrapped = opaquify(pred)
+        clear_cache()
+        # Cold: one full classification (parse + rewrite + differential
+        # validation); dispatch then reuses the cached certificate.
+        certificate, ms_classify = timed(classification_for, wrapped, comp)
+        assert certificate is not None and certificate.validated
+        inferred, ms_dispatch = timed(detect, comp, wrapped)
+        assert inferred.algorithm.startswith("classify:")
+        enum, ms_enum = timed(possibly_enumerate, comp, wrapped)
+        assert inferred.holds == enum.holds
+        speedup = ms_enum / (ms_classify + ms_dispatch)
+        row(n, comp.total_events(), inferred.algorithm, inferred.holds,
+            f"{ms_classify:.2f}", f"{ms_dispatch:.2f}", f"{ms_enum:.2f}",
+            f"{speedup:.0f}x")
+        if (n, events) == calibration:
+            # The acceptance bounds: at calibration size the inferred
+            # fast engine (classification cost included) beats raw
+            # enumeration by >= 2x, and classification itself costs
+            # less than half the enumeration it replaces.
+            assert speedup >= 2.0, (
+                f"inference+fast-engine speedup {speedup:.2f}x < 2x"
+            )
+            assert ms_classify < ms_enum / 2, (
+                f"classification overhead {ms_classify:.1f}ms not bounded "
+                f"by half of enumeration ({ms_enum:.1f}ms)"
+            )
+
+
 def t_service() -> None:
     header("T-service", "multi-session monitoring service under load")
     from bench_service_load import run_load
@@ -543,6 +586,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "T-slice": t_slice,
     "T-definitely": t_definitely,
     "T-online": t_online,
+    "T-classify": t_classify,
     "T-service": t_service,
 }
 

@@ -1,0 +1,50 @@
+"""Static predicate classification (docs/ANALYSIS.md, "Predicate
+classification").
+
+The paper's taxonomy prices detection by predicate *class* — conjunctive
+and stable predicates are polynomial, the general case is NP-hard — yet
+an opaque Python callable (:class:`~repro.predicates.base
+.FunctionPredicate`, the most natural thing for a user to write) carries
+no class information and falls to enumeration.  This package recovers the
+structure statically: it parses the callable's source into the supported
+fragment (:mod:`.fragment`), rewrites it into the structured algebra with
+semantic property proofs (:mod:`.rewrite`), differentially validates the
+certificate against the original callable (:mod:`.validate`), and caches
+validated certificates per function (:mod:`.cache`) so dispatch
+(:mod:`repro.detection.api`, :mod:`repro.slicing.dispatch`) can route
+opaque predicates to the fast engines.
+
+Public surface::
+
+    classify(target, num_processes=...)   -> Classification | Unclassifiable
+    classification_for(pred, computation) -> validated certificate or None
+    cached_approximation(pred, comp)      -> (conjunctive B', exact) or None
+    opaquify(structured_predicate)        -> FunctionPredicate wrapper
+"""
+
+from repro.analysis.classify.cache import (
+    cached_approximation,
+    classification_for,
+    classify,
+    clear_cache,
+)
+from repro.analysis.classify.certificate import Classification, Unclassifiable
+from repro.analysis.classify.source import (
+    function_body,
+    opaquify,
+    predicate_source,
+    target_function,
+)
+
+__all__ = [
+    "Classification",
+    "Unclassifiable",
+    "cached_approximation",
+    "classification_for",
+    "classify",
+    "clear_cache",
+    "function_body",
+    "opaquify",
+    "predicate_source",
+    "target_function",
+]

@@ -1,0 +1,159 @@
+"""Weak-keyed classification cache and the dispatch-facing entry point.
+
+Classification is per-*function*, not per-predicate-instance: the
+supported fragment cannot reference ``self`` or closed-over state, so two
+predicates sharing an underlying function classify identically.  The
+cache is therefore a :class:`weakref.WeakKeyDictionary` keyed on the
+function object (bound methods unwrap to ``__func__``), holding one
+outcome per process count — a validated :class:`Classification` or the
+:class:`Unclassifiable` that rejected it (negative caching, so a hot
+enumeration path never re-parses a hopeless callable).
+
+Metrics (when observability is enabled):
+
+* ``analysis.classify.hits``    — cache hits (positive or negative);
+* ``analysis.classify.misses``  — fresh classifications attempted;
+* ``analysis.classify.rejects`` — fresh outcomes that ended unclassifiable
+  (fragment rejection, nothing actionable, or differential-validation
+  failure).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Optional, Tuple, Union
+
+from repro.analysis.classify.certificate import Classification, Unclassifiable
+from repro.analysis.classify.fragment import FragmentParser
+from repro.analysis.classify.rewrite import build_classification
+from repro.analysis.classify.source import function_body, target_function
+from repro.analysis.classify.validate import validate_certificate
+from repro.computation import Computation
+from repro.obs import STATE, registry
+from repro.predicates.base import GlobalPredicate
+from repro.predicates.conjunctive import ConjunctivePredicate
+
+__all__ = [
+    "cached_approximation",
+    "classification_for",
+    "classify",
+    "clear_cache",
+]
+
+_Outcome = Union[Classification, Unclassifiable]
+_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def clear_cache() -> None:
+    """Drop every cached classification (tests and benchmarks)."""
+    _CACHE.clear()
+
+
+def _count(key: str) -> None:
+    if STATE.enabled:
+        registry().counter(f"analysis.classify.{key}").inc()
+
+
+def classify(
+    target, *, num_processes: Optional[int] = None
+) -> Classification:
+    """Statically classify a predicate or raw callable.
+
+    Args:
+        target: A :class:`GlobalPredicate` (``FunctionPredicate`` or any
+            subclass with an ``evaluate`` override) or a bare callable of
+            one cut.
+        num_processes: Process count of the target computation; required
+            to rewrite true-count atoms into symmetric predicates.
+
+    Returns:
+        The (unvalidated) :class:`Classification` certificate.
+
+    Raises:
+        Unclassifiable: When the body falls outside the supported
+            fragment.
+    """
+    if isinstance(target, GlobalPredicate):
+        fn = target_function(target)
+        if fn is None:
+            raise Unclassifiable(
+                f"{type(target).__name__} has no analyzable function"
+            )
+    else:
+        fn = target
+    source, body, cut_name = function_body(fn)
+    tree = FragmentParser(cut_name).parse(body)
+    return build_classification(source, tree, num_processes)
+
+
+def _entry_for(fn) -> Optional[Dict[Optional[int], _Outcome]]:
+    try:
+        entry = _CACHE.get(fn)
+        if entry is None:
+            entry = {}
+            _CACHE[fn] = entry
+        return entry
+    except TypeError:
+        return None  # not weak-referenceable; classify uncached
+
+
+def classification_for(
+    predicate: GlobalPredicate, computation: Computation
+) -> Optional[Classification]:
+    """The validated certificate dispatch may act on, or None.
+
+    Cache-first: a cached validated certificate (or cached rejection) is
+    returned without re-analysis.  On a miss the predicate is classified,
+    differentially validated against this computation, and the outcome —
+    positive or negative — is cached per ``(function, process count)``.
+    """
+    fn = target_function(predicate)
+    if fn is None:
+        return None
+    n = computation.num_processes
+    entry = _entry_for(fn)
+    if entry is not None:
+        outcome = entry.get(n)
+        if outcome is not None:
+            _count("hits")
+            return outcome if isinstance(outcome, Classification) else None
+    _count("misses")
+    try:
+        certificate = classify(predicate, num_processes=n)
+    except Unclassifiable as exc:
+        _count("rejects")
+        if entry is not None:
+            entry[n] = exc
+        return None
+    if not certificate.actionable:
+        _count("rejects")
+        if entry is not None:
+            entry[n] = Unclassifiable(
+                "classified, but no dispatchable structure was found"
+            )
+        return None
+    if not validate_certificate(computation, predicate, certificate):
+        _count("rejects")
+        if entry is not None:
+            entry[n] = Unclassifiable(
+                "differential validation rejected the rewrite"
+            )
+        return None
+    certificate.validated = True
+    if entry is not None:
+        entry[n] = certificate
+    return certificate
+
+
+def cached_approximation(
+    predicate: GlobalPredicate, computation: Computation
+) -> Optional[Tuple[ConjunctivePredicate, bool]]:
+    """``(approximation, exact)`` of a validated certificate, or None.
+
+    The slice-first dispatcher calls this for opaque predicates so the
+    inferred conjunctive over-approximation bounds its enumeration box.
+    """
+    certificate = classification_for(predicate, computation)
+    if certificate is None or certificate.approximation is None:
+        return None
+    return certificate.approximation, certificate.approximation_exact

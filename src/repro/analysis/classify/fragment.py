@@ -1,0 +1,681 @@
+"""The supported source fragment and its parser.
+
+The classifier recovers predicate-class structure from the *source* of an
+opaque callable.  This module defines the fragment — a small expression
+language over the public read API of :class:`repro.computation.Cut` — and
+parses a callable body into a negation-normal-form tree of atoms.
+
+Informal grammar, over the callable's single cut parameter (spelled
+``cut`` here; the actual parameter name is used)::
+
+    pred   ::= pred "and" pred | pred "or" pred | "not" pred
+             | "(" pred ")" | atom | "True" | "False"
+    atom   ::= read | bool(read)
+             | read RELOP INT | INT RELOP read
+             | countread "in" "(" INT, ... ")"
+    read   ::= cut.value(INT, STR [, FALSY])        -- local boolean read
+             | cut.variable_sum(STR)                -- all-process sum
+             | sum(cut.values(STR [, 0]))           -- all-process sum
+             | countread                            -- true-count
+             | cut.size()                           -- events in the cut
+             | len(cut.crossing_messages())         -- in-flight messages
+             | cut.crossing_messages()              -- truthiness only
+    countread ::= sum(map(bool, cut.values(STR)))
+             | sum(bool(v) for v in cut.values(STR))
+             | sum(1 for v in cut.values(STR) if v)
+    RELOP  ::= "<" | "<=" | ">" | ">=" | "==" | "!="
+
+Anything else raises :class:`~repro.analysis.classify.certificate
+.Unclassifiable` with the offending node and line.  Negation is pushed to
+the atoms (complementing relational operators, flipping literal signs),
+so downstream consumers see only ``And``/``Or`` over positive atoms.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set, Tuple, Union
+
+from repro.analysis.classify.certificate import Unclassifiable
+from repro.computation import Cut
+from repro.predicates.relational import Relop
+
+__all__ = [
+    "And",
+    "BoolConst",
+    "ChannelAtom",
+    "CountAtom",
+    "FragmentParser",
+    "LocalAtom",
+    "Node",
+    "Or",
+    "ReadSets",
+    "SizeAtom",
+    "SumAtom",
+    "describe",
+    "evaluate_node",
+    "negate",
+    "parses",
+    "read_sets",
+]
+
+
+# ----------------------------------------------------------------------
+# Tree node types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BoolConst:
+    """A literal ``True`` / ``False``."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class LocalAtom:
+    """A read of one variable of one explicitly named process.
+
+    ``relop is None`` means the truthiness form (``cut.value(p, "v")``,
+    possibly negated); otherwise the comparison form
+    ``int(cut.value(p, "v", 0)) relop constant`` (never negated — the
+    complement folds into the operator).
+    """
+
+    process: int
+    variable: str
+    negated: bool = False
+    relop: Optional[Relop] = None
+    constant: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SumAtom:
+    """``sum over processes of variable  relop  constant``."""
+
+    variable: str
+    relop: Relop
+    constant: int
+
+
+@dataclass(frozen=True)
+class CountAtom:
+    """True-count of a boolean variable, compared or set-membership.
+
+    Either the comparison form (``relop``/``constant`` set) or the
+    membership form (``counts`` set); ``negated`` applies to membership
+    only (its complement needs the process count, resolved at rewrite
+    time).
+    """
+
+    variable: str
+    relop: Optional[Relop] = None
+    constant: Optional[int] = None
+    counts: Optional[FrozenSet[int]] = None
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SizeAtom:
+    """``cut.size() relop constant`` — monotone for ``>`` / ``>=``."""
+
+    relop: Relop
+    constant: int
+
+
+@dataclass(frozen=True)
+class ChannelAtom:
+    """``len(cut.crossing_messages()) relop constant`` (channel state)."""
+
+    relop: Relop
+    constant: int
+
+
+@dataclass(frozen=True)
+class And:
+    children: Tuple["Node", ...]
+
+
+@dataclass(frozen=True)
+class Or:
+    children: Tuple["Node", ...]
+
+
+Node = Union[BoolConst, LocalAtom, SumAtom, CountAtom, SizeAtom, ChannelAtom, And, Or]
+
+#: ``(per-process reads, all-process reads, touches channels, uses size)``
+ReadSets = Tuple[Dict[int, FrozenSet[str]], FrozenSet[str], bool, bool]
+
+_COMPLEMENT = {
+    Relop.LT: Relop.GE,
+    Relop.LE: Relop.GT,
+    Relop.GT: Relop.LE,
+    Relop.GE: Relop.LT,
+    Relop.EQ: Relop.NE,
+    Relop.NE: Relop.EQ,
+}
+
+_AST_RELOPS = {
+    ast.Lt: Relop.LT,
+    ast.LtE: Relop.LE,
+    ast.Gt: Relop.GT,
+    ast.GtE: Relop.GE,
+    ast.Eq: Relop.EQ,
+    ast.NotEq: Relop.NE,
+}
+
+#: Mirror of each operator under operand swap (``k < e`` == ``e > k``).
+_MIRROR = {
+    Relop.LT: Relop.GT,
+    Relop.LE: Relop.GE,
+    Relop.GT: Relop.LT,
+    Relop.GE: Relop.LE,
+    Relop.EQ: Relop.EQ,
+    Relop.NE: Relop.NE,
+}
+
+
+def negate(node: Node) -> Node:
+    """The fragment-level complement, in negation normal form."""
+    if isinstance(node, BoolConst):
+        return BoolConst(not node.value)
+    if isinstance(node, And):
+        return Or(tuple(negate(c) for c in node.children))
+    if isinstance(node, Or):
+        return And(tuple(negate(c) for c in node.children))
+    if isinstance(node, LocalAtom):
+        if node.relop is None:
+            return LocalAtom(node.process, node.variable, not node.negated)
+        return LocalAtom(
+            node.process,
+            node.variable,
+            relop=_COMPLEMENT[node.relop],
+            constant=node.constant,
+        )
+    if isinstance(node, SumAtom):
+        return SumAtom(node.variable, _COMPLEMENT[node.relop], node.constant)
+    if isinstance(node, CountAtom):
+        if node.relop is not None:
+            return CountAtom(
+                node.variable,
+                relop=_COMPLEMENT[node.relop],
+                constant=node.constant,
+            )
+        return CountAtom(
+            node.variable, counts=node.counts, negated=not node.negated
+        )
+    if isinstance(node, SizeAtom):
+        return SizeAtom(_COMPLEMENT[node.relop], node.constant)
+    if isinstance(node, ChannelAtom):
+        return ChannelAtom(_COMPLEMENT[node.relop], node.constant)
+    raise TypeError(f"unknown fragment node {node!r}")
+
+
+# ----------------------------------------------------------------------
+# Reference evaluation (the semantics the rewrite realizes)
+# ----------------------------------------------------------------------
+def evaluate_node(node: Node, cut: Cut) -> bool:
+    """Evaluate a fragment tree on a cut.
+
+    This is the *rewrite's* semantics (missing variables default to
+    false/0), the reference that differential validation compares the
+    original callable against.
+    """
+    if isinstance(node, BoolConst):
+        return node.value
+    if isinstance(node, And):
+        return all(evaluate_node(c, cut) for c in node.children)
+    if isinstance(node, Or):
+        return any(evaluate_node(c, cut) for c in node.children)
+    if isinstance(node, LocalAtom):
+        raw = cut.value(node.process, node.variable, False)
+        if node.relop is None:
+            return bool(raw) != node.negated
+        return node.relop.compare(int(raw or 0), node.constant)
+    if isinstance(node, SumAtom):
+        return node.relop.compare(cut.variable_sum(node.variable), node.constant)
+    if isinstance(node, CountAtom):
+        count = sum(
+            1
+            for p in range(cut.computation.num_processes)
+            if bool(cut.value(p, node.variable, False))
+        )
+        if node.relop is not None:
+            return node.relop.compare(count, node.constant)
+        return (count in node.counts) != node.negated
+    if isinstance(node, SizeAtom):
+        return node.relop.compare(cut.size(), node.constant)
+    if isinstance(node, ChannelAtom):
+        return node.relop.compare(len(cut.crossing_messages()), node.constant)
+    raise TypeError(f"unknown fragment node {node!r}")
+
+
+def read_sets(node: Node) -> ReadSets:
+    """Aggregate read-sets of a fragment tree."""
+    per_process: Dict[int, Set[str]] = {}
+    global_reads: Set[str] = set()
+    channels = False
+    size = False
+
+    def walk(n: Node) -> None:
+        nonlocal channels, size
+        if isinstance(n, (And, Or)):
+            for c in n.children:
+                walk(c)
+        elif isinstance(n, LocalAtom):
+            per_process.setdefault(n.process, set()).add(n.variable)
+        elif isinstance(n, (SumAtom, CountAtom)):
+            global_reads.add(n.variable)
+        elif isinstance(n, ChannelAtom):
+            channels = True
+        elif isinstance(n, SizeAtom):
+            size = True
+
+    walk(node)
+    return (
+        {p: frozenset(vs) for p, vs in per_process.items()},
+        frozenset(global_reads),
+        channels,
+        size,
+    )
+
+
+def describe(node: Node) -> str:
+    """Human-readable rendering of a fragment tree."""
+    if isinstance(node, BoolConst):
+        return "True" if node.value else "False"
+    if isinstance(node, And):
+        return "(" + " AND ".join(describe(c) for c in node.children) + ")"
+    if isinstance(node, Or):
+        return "(" + " OR ".join(describe(c) for c in node.children) + ")"
+    if isinstance(node, LocalAtom):
+        base = f"{node.variable}@{node.process}"
+        if node.relop is None:
+            return f"NOT {base}" if node.negated else base
+        return f"{base} {node.relop.value} {node.constant}"
+    if isinstance(node, SumAtom):
+        return f"sum({node.variable}) {node.relop.value} {node.constant}"
+    if isinstance(node, CountAtom):
+        if node.relop is not None:
+            return f"count({node.variable}) {node.relop.value} {node.constant}"
+        op = "not in" if node.negated else "in"
+        return f"count({node.variable}) {op} {sorted(node.counts)}"
+    if isinstance(node, SizeAtom):
+        return f"size() {node.relop.value} {node.constant}"
+    if isinstance(node, ChannelAtom):
+        return f"in_flight() {node.relop.value} {node.constant}"
+    raise TypeError(f"unknown fragment node {node!r}")
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _int_literal(node: ast.expr) -> Optional[int]:
+    """Plain (possibly negated) integer literal, bools excluded."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _int_literal(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        if isinstance(node.value, bool):
+            return None
+        return node.value
+    return None
+
+
+def _str_literal(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _is_falsy_literal(node: ast.expr) -> bool:
+    """A literal default that matches the rewrite's false/0 default."""
+    if isinstance(node, ast.Constant):
+        return node.value in (False, 0, None) and node.value is not True
+    return False
+
+
+class FragmentParser:
+    """Parses the body expression of one callable into a fragment tree."""
+
+    def __init__(self, cut_name: str):
+        self.cut_name = cut_name
+
+    # -- entry ---------------------------------------------------------
+    def parse(self, node: ast.expr) -> Node:
+        if isinstance(node, ast.BoolOp):
+            children = tuple(self.parse(v) for v in node.values)
+            if isinstance(node.op, ast.And):
+                return self._flatten(And, children)
+            return self._flatten(Or, children)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            return negate(self.parse(node.operand))
+        if isinstance(node, ast.Constant) and isinstance(node.value, bool):
+            return BoolConst(node.value)
+        if isinstance(node, ast.Compare):
+            return self._compare(node)
+        return self._truthy(node)
+
+    @staticmethod
+    def _flatten(kind, children):
+        flat = []
+        for child in children:
+            if isinstance(child, kind):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        return kind(tuple(flat))
+
+    # -- atoms ---------------------------------------------------------
+    def _truthy(self, node: ast.expr) -> Node:
+        """An expression used for its truth value."""
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "bool"
+            and len(node.args) == 1
+            and not node.keywords
+        ):
+            return self._truthy(node.args[0])
+        if self._is_cut_method(node, "crossing_messages"):
+            return ChannelAtom(Relop.NE, 0)
+        read = self._read(node)
+        if read is None:
+            raise Unclassifiable(
+                "expression is not a recognized cut read", node
+            )
+        kind = read[0]
+        if kind == "local":
+            return LocalAtom(read[1], read[2])
+        if kind == "sum":
+            return SumAtom(read[1], Relop.NE, 0)
+        if kind == "count":
+            return CountAtom(read[1], relop=Relop.NE, constant=0)
+        if kind == "size":
+            return SizeAtom(Relop.NE, 0)
+        return ChannelAtom(Relop.NE, 0)
+
+    def _compare(self, node: ast.Compare) -> Node:
+        if len(node.ops) != 1:
+            raise Unclassifiable(
+                "chained comparisons are outside the fragment", node
+            )
+        op = node.ops[0]
+        left, right = node.left, node.comparators[0]
+        if isinstance(op, (ast.In, ast.NotIn)):
+            return self._membership(node, left, right, isinstance(op, ast.NotIn))
+        relop = _AST_RELOPS.get(type(op))
+        if relop is None:
+            raise Unclassifiable(
+                f"comparison operator {type(op).__name__} is outside "
+                "the fragment",
+                node,
+            )
+        read = self._read(left)
+        constant = _int_literal(right)
+        if read is None or constant is None:
+            # Try the mirrored orientation: INT relop read.
+            read = self._read(right)
+            constant = _int_literal(left)
+            relop = _MIRROR[relop]
+        if read is None:
+            raise Unclassifiable(
+                "comparison operand is not a recognized cut read", node
+            )
+        if constant is None:
+            raise Unclassifiable(
+                "comparison constant is not an integer literal", node
+            )
+        kind = read[0]
+        if kind == "local":
+            return LocalAtom(
+                read[1], read[2], relop=relop, constant=constant
+            )
+        if kind == "sum":
+            return SumAtom(read[1], relop, constant)
+        if kind == "count":
+            return CountAtom(read[1], relop=relop, constant=constant)
+        if kind == "size":
+            return SizeAtom(relop, constant)
+        return ChannelAtom(relop, constant)
+
+    def _membership(
+        self,
+        node: ast.Compare,
+        left: ast.expr,
+        right: ast.expr,
+        negated: bool,
+    ) -> Node:
+        read = self._read(left)
+        if read is None or read[0] not in ("count", "sum"):
+            raise Unclassifiable(
+                "membership tests are supported for true-count and sum "
+                "reads only",
+                node,
+            )
+        if not isinstance(right, (ast.Tuple, ast.List, ast.Set)):
+            raise Unclassifiable(
+                "membership target must be a literal tuple/list/set of "
+                "integers",
+                node,
+            )
+        values = []
+        for elt in right.elts:
+            value = _int_literal(elt)
+            if value is None:
+                raise Unclassifiable(
+                    "membership target must contain integer literals only",
+                    elt,
+                )
+            values.append(value)
+        if read[0] == "count":
+            return CountAtom(
+                read[1], counts=frozenset(values), negated=negated
+            )
+        # Sum membership: a finite disjunction (conjunction when negated)
+        # of equality (inequality) atoms.
+        variable = read[1]
+        if not values:
+            return BoolConst(negated)
+        if negated:
+            return And(
+                tuple(SumAtom(variable, Relop.NE, v) for v in sorted(set(values)))
+            )
+        return Or(
+            tuple(SumAtom(variable, Relop.EQ, v) for v in sorted(set(values)))
+        )
+
+    # -- value reads ---------------------------------------------------
+    def _is_cut_name(self, node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and node.id == self.cut_name
+
+    def _is_cut_method(self, node: ast.expr, method: str) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == method
+            and self._is_cut_name(node.func.value)
+            and not node.keywords
+        )
+
+    def _read(self, node: ast.expr) -> Optional[Tuple]:
+        """Recognize a value-read expression; None when foreign.
+
+        Returns ``("local", process, variable)``, ``("sum", variable)``,
+        ``("count", variable)``, ``("size",)``, or ``("channel",)``.
+        Raises :class:`Unclassifiable` when the expression clearly
+        *intends* a cut read but falls outside the fragment (non-literal
+        process index, truthy default, ...), so the report is precise.
+        """
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and self._is_cut_name(
+                func.value
+            ):
+                return self._cut_call(node, func.attr)
+            if isinstance(func, ast.Name) and func.id == "sum":
+                return self._sum_call(node)
+            if isinstance(func, ast.Name) and func.id == "len":
+                if len(node.args) == 1 and self._is_cut_method(
+                    node.args[0], "crossing_messages"
+                ):
+                    return ("channel",)
+                raise Unclassifiable(
+                    "len(...) is supported over cut.crossing_messages() "
+                    "only",
+                    node,
+                )
+        return None
+
+    def _cut_call(self, node: ast.Call, method: str) -> Tuple:
+        if node.keywords:
+            raise Unclassifiable(
+                f"keyword arguments to cut.{method} are outside the "
+                "fragment",
+                node,
+            )
+        if method == "value":
+            if len(node.args) not in (2, 3):
+                raise Unclassifiable(
+                    "cut.value takes (process, variable[, default])", node
+                )
+            process = _int_literal(node.args[0])
+            variable = _str_literal(node.args[1])
+            if process is None or process < 0:
+                raise Unclassifiable(
+                    "cut.value process index must be a non-negative "
+                    "integer literal",
+                    node.args[0],
+                )
+            if variable is None:
+                raise Unclassifiable(
+                    "cut.value variable must be a string literal",
+                    node.args[1],
+                )
+            if len(node.args) == 3 and not _is_falsy_literal(node.args[2]):
+                raise Unclassifiable(
+                    "cut.value default must be a falsy literal "
+                    "(False, 0, or None)",
+                    node.args[2],
+                )
+            return ("local", process, variable)
+        if method == "variable_sum":
+            if len(node.args) != 1:
+                raise Unclassifiable(
+                    "cut.variable_sum takes exactly one variable", node
+                )
+            variable = _str_literal(node.args[0])
+            if variable is None:
+                raise Unclassifiable(
+                    "cut.variable_sum variable must be a string literal",
+                    node.args[0],
+                )
+            return ("sum", variable)
+        if method == "size":
+            if node.args:
+                raise Unclassifiable("cut.size takes no arguments", node)
+            return ("size",)
+        if method == "crossing_messages":
+            if node.args:
+                raise Unclassifiable(
+                    "cut.crossing_messages takes no arguments", node
+                )
+            return ("channel",)
+        raise Unclassifiable(
+            f"cut.{method} is outside the supported fragment", node
+        )
+
+    def _values_call(self, node: ast.expr) -> Optional[str]:
+        """The variable of a ``cut.values(STR[, falsy])`` call, or None."""
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "values"
+            and self._is_cut_name(node.func.value)
+            and not node.keywords
+        ):
+            return None
+        if len(node.args) not in (1, 2):
+            raise Unclassifiable(
+                "cut.values takes (variable[, default])", node
+            )
+        variable = _str_literal(node.args[0])
+        if variable is None:
+            raise Unclassifiable(
+                "cut.values variable must be a string literal", node.args[0]
+            )
+        if len(node.args) == 2 and not _is_falsy_literal(node.args[1]):
+            raise Unclassifiable(
+                "cut.values default must be a falsy literal", node.args[1]
+            )
+        return variable
+
+    def _sum_call(self, node: ast.Call) -> Tuple:
+        if len(node.args) != 1 or node.keywords:
+            raise Unclassifiable(
+                "sum(...) is supported with a single argument only", node
+            )
+        arg = node.args[0]
+        # sum(cut.values("v")) — plain variable sum.
+        variable = self._values_call(arg)
+        if variable is not None:
+            return ("sum", variable)
+        # sum(map(bool, cut.values("v"))) — true count.
+        if (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Name)
+            and arg.func.id == "map"
+            and len(arg.args) == 2
+            and isinstance(arg.args[0], ast.Name)
+            and arg.args[0].id == "bool"
+        ):
+            variable = self._values_call(arg.args[1])
+            if variable is not None:
+                return ("count", variable)
+        # Generator forms of the true count.
+        if isinstance(arg, ast.GeneratorExp) and len(arg.generators) == 1:
+            gen = arg.generators[0]
+            variable = self._values_call(gen.iter)
+            if (
+                variable is not None
+                and isinstance(gen.target, ast.Name)
+                and not gen.is_async
+            ):
+                v = gen.target.id
+                # sum(bool(v) for v in cut.values("x"))
+                if (
+                    not gen.ifs
+                    and isinstance(arg.elt, ast.Call)
+                    and isinstance(arg.elt.func, ast.Name)
+                    and arg.elt.func.id == "bool"
+                    and len(arg.elt.args) == 1
+                    and isinstance(arg.elt.args[0], ast.Name)
+                    and arg.elt.args[0].id == v
+                ):
+                    return ("count", variable)
+                # sum(1 for v in cut.values("x") if v)
+                if (
+                    _int_literal(arg.elt) == 1
+                    and len(gen.ifs) == 1
+                    and isinstance(gen.ifs[0], ast.Name)
+                    and gen.ifs[0].id == v
+                ):
+                    return ("count", variable)
+        raise Unclassifiable(
+            "sum(...) argument is not a recognized variable-sum or "
+            "true-count form",
+            node,
+        )
+
+
+def parses(body: ast.expr, cut_name: str) -> bool:
+    """Does the body expression lie in the supported fragment?
+
+    Convenience used by the CLS4xx lint rules; never raises.
+    """
+    try:
+        FragmentParser(cut_name).parse(body)
+        return True
+    except Unclassifiable:
+        return False
+    except RecursionError:  # pragma: no cover - pathological nesting
+        return False

@@ -1,0 +1,228 @@
+"""Source resolution for opaque callables, and its inverse (`opaquify`).
+
+The classifier needs the *body expression* of a callable.  Resolution
+order:
+
+1. a ``__repro_source__`` attribute on the function — the convention for
+   eval-compiled callables that :func:`inspect.getsource` cannot see
+   (:func:`opaquify` and the CLI's ``--python`` option attach it);
+2. :func:`inspect.getsource`, dedented and parsed; the lambda or ``def``
+   matching the function is located in the parse tree.
+
+:func:`opaquify` is the inverse direction: pretty-print a *structured*
+predicate into fragment-conformant lambda source, compile it, and wrap
+it as an opaque :class:`~repro.predicates.base.FunctionPredicate`.  The
+testkit uses it to fuzz the classify-dispatch path against the directly
+dispatched engines.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, Optional, Tuple
+
+from repro.analysis.classify.certificate import Unclassifiable
+from repro.predicates.base import FunctionPredicate, GlobalPredicate
+from repro.predicates.boolean import Clause, CNFPredicate
+from repro.predicates.channel import InFlightPredicate
+from repro.predicates.conjunctive import ConjunctivePredicate
+from repro.predicates.errors import PredicateError
+from repro.predicates.local import Literal
+from repro.predicates.relational import RelationalSumPredicate
+from repro.predicates.symmetric import SymmetricPredicate
+
+__all__ = [
+    "function_body",
+    "opaquify",
+    "predicate_source",
+    "target_function",
+]
+
+
+def target_function(predicate: GlobalPredicate) -> Optional[Callable]:
+    """The underlying function a predicate's truth value comes from.
+
+    For a :class:`FunctionPredicate` this is the wrapped callable (bound
+    methods are unwrapped to their stable ``__func__``); for any other
+    subclass it is the class's ``evaluate`` override.  Returns None when
+    there is nothing to analyze.
+    """
+    if isinstance(predicate, FunctionPredicate):
+        fn = predicate.fn
+        if inspect.ismethod(fn):
+            return fn.__func__
+        return fn
+    evaluate = type(predicate).__dict__.get("evaluate")
+    if evaluate is None or not inspect.isfunction(evaluate):
+        return None
+    return evaluate
+
+
+def _source_of(fn: Callable) -> str:
+    source = getattr(fn, "__repro_source__", None)
+    if isinstance(source, str):
+        return source
+    try:
+        return textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise Unclassifiable(f"source unavailable: {exc}") from exc
+
+
+def function_body(fn: Callable) -> Tuple[str, ast.expr, str]:
+    """``(source, body expression, cut parameter name)`` of a callable.
+
+    Raises :class:`Unclassifiable` when the source cannot be resolved,
+    the signature is not a single cut parameter (after an optional
+    ``self``/``cls``), or the body is more than one return expression.
+    """
+    source = _source_of(fn)
+    try:
+        module = ast.parse(source)
+    except SyntaxError as exc:
+        raise Unclassifiable(
+            f"could not parse the callable's source: {exc.msg}"
+        ) from exc
+    name = getattr(fn, "__name__", "<lambda>")
+    if name == "<lambda>":
+        lambdas = [
+            node for node in ast.walk(module) if isinstance(node, ast.Lambda)
+        ]
+        if len(lambdas) != 1:
+            raise Unclassifiable(
+                "could not isolate the lambda in its source line "
+                f"({len(lambdas)} candidates)"
+            )
+        node = lambdas[0]
+        body = node.body
+    else:
+        defs = [
+            d
+            for d in ast.walk(module)
+            if isinstance(d, ast.FunctionDef) and d.name == name
+        ]
+        if len(defs) != 1:
+            raise Unclassifiable(
+                f"could not isolate def {name!r} in its source "
+                f"({len(defs)} candidates)"
+            )
+        node = defs[0]
+        body = _single_return(node)
+    cut_name = _cut_parameter(node)
+    return source, body, cut_name
+
+
+def _cut_parameter(node) -> str:
+    args = node.args
+    if args.vararg or args.kwarg or args.kwonlyargs:
+        raise Unclassifiable(
+            "callable signature must be a single cut parameter", node
+        )
+    params = list(args.posonlyargs) + list(args.args)
+    if params and params[0].arg in ("self", "cls") and len(params) > 1:
+        params = params[1:]
+    if len(params) != 1:
+        raise Unclassifiable(
+            "callable signature must be a single cut parameter", node
+        )
+    return params[0].arg
+
+
+def _single_return(node: ast.FunctionDef) -> ast.expr:
+    stmts = list(node.body)
+    if (
+        stmts
+        and isinstance(stmts[0], ast.Expr)
+        and isinstance(stmts[0].value, ast.Constant)
+        and isinstance(stmts[0].value.value, str)
+    ):
+        stmts = stmts[1:]  # docstring
+    if (
+        len(stmts) != 1
+        or not isinstance(stmts[0], ast.Return)
+        or stmts[0].value is None
+    ):
+        raise Unclassifiable(
+            "body must be a single return expression",
+            stmts[0] if stmts else node,
+        )
+    return stmts[0].value
+
+
+# ----------------------------------------------------------------------
+# The inverse: structured predicate → opaque callable
+# ----------------------------------------------------------------------
+def predicate_source(predicate: GlobalPredicate) -> str:
+    """Fragment-conformant source of a structured predicate's body.
+
+    Raises :class:`~repro.predicates.errors.PredicateError` for
+    predicates with no fragment spelling (non-literal conjuncts,
+    filtered channel predicates, ...).
+    """
+    if isinstance(predicate, Literal):
+        base = f'cut.value({predicate.process}, "{predicate.variable}")'
+        return f"not {base}" if predicate.negated else base
+    if isinstance(predicate, Clause):
+        return (
+            "("
+            + " or ".join(predicate_source(l) for l in predicate.literals)
+            + ")"
+        )
+    if isinstance(predicate, CNFPredicate):
+        return " and ".join(
+            predicate_source(cl) for cl in predicate.clauses
+        )
+    if isinstance(predicate, ConjunctivePredicate):
+        parts = []
+        for conjunct in predicate.conjuncts:
+            if not isinstance(conjunct, Literal):
+                raise PredicateError(
+                    "cannot opaquify a conjunctive predicate with "
+                    f"non-literal conjunct {conjunct.description()}"
+                )
+            parts.append(predicate_source(conjunct))
+        return " and ".join(parts)
+    if isinstance(predicate, RelationalSumPredicate):
+        return (
+            f'cut.variable_sum("{predicate.variable}") '
+            f"{predicate.relop.value} {predicate.constant}"
+        )
+    if isinstance(predicate, SymmetricPredicate):
+        counts = ", ".join(str(c) for c in sorted(predicate.counts))
+        return (
+            f'sum(map(bool, cut.values("{predicate.variable}"))) '
+            f"in ({counts},)"
+            if counts
+            else "False"
+        )
+    if isinstance(predicate, InFlightPredicate):
+        if predicate.source is not None or predicate.destination is not None:
+            raise PredicateError(
+                "cannot opaquify a channel predicate with endpoint filters"
+            )
+        return (
+            "len(cut.crossing_messages()) "
+            f"{predicate.relop.value} {predicate.constant}"
+        )
+    raise PredicateError(
+        f"cannot opaquify a {type(predicate).__name__}"
+    )
+
+
+def opaquify(
+    predicate: GlobalPredicate, name: Optional[str] = None
+) -> FunctionPredicate:
+    """Wrap a structured predicate as an opaque :class:`FunctionPredicate`.
+
+    The wrapper evaluates exactly like the original but exposes no
+    structure to isinstance-based dispatch — only the classifier can
+    recover it (via the ``__repro_source__`` attribute the compiled
+    lambda carries).
+    """
+    source = "lambda cut: " + predicate_source(predicate)
+    fn = eval(compile(source, "<opaquify>", "eval"))  # noqa: S307 - own source
+    fn.__repro_source__ = source
+    return FunctionPredicate(
+        fn, name or f"opaque[{predicate.description()}]"
+    )

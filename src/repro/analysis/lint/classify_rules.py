@@ -1,0 +1,175 @@
+"""Opaque-predicate classification lint rules (CLS4xx).
+
+An opaque predicate — a ``FunctionPredicate`` lambda or a
+``GlobalPredicate`` subclass with a hand-written ``evaluate`` — hides its
+class from dispatch: without the runtime classifier it falls to
+enumeration, and even with it the query pays a classify-and-validate
+step that a structured predicate never would.  When the body lies inside
+the classifier's supported fragment (:mod:`repro.analysis.classify
+.fragment`) the structure is *statically recoverable*, so these rules
+flag the opaque form and point at the structured algebra instead
+(``local``/``conjunctive``/``cnf``/``sum_predicate``/...).
+
+The rules reuse the classifier's own parser: a body is flagged iff
+``fragment.parses`` accepts it, so the lint and the runtime classifier
+can never disagree about what "classifiable" means.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.classify.fragment import parses
+from repro.analysis.lint.core import (
+    FileContext,
+    Finding,
+    Rule,
+    Severity,
+    register_rule,
+)
+
+__all__ = ["classifiable_lambda", "classifiable_evaluate"]
+
+
+def _single_positional(args: ast.arguments) -> Optional[str]:
+    """The lone positional parameter name, or None when the signature
+    has any other shape (defaults, varargs, kw-only, ...)."""
+    if (
+        args.posonlyargs
+        or args.kwonlyargs
+        or args.vararg
+        or args.kwarg
+        or args.defaults
+        or args.kw_defaults
+    ):
+        return None
+    if len(args.args) != 1:
+        return None
+    return args.args[0].arg
+
+
+def classifiable_lambda(node: ast.Lambda) -> bool:
+    """Is the lambda a one-cut callable inside the supported fragment?"""
+    cut_name = _single_positional(node.args)
+    if cut_name is None:
+        return False
+    return parses(node.body, cut_name)
+
+
+def _evaluate_body(
+    fn: ast.FunctionDef,
+) -> Optional[Tuple[ast.expr, str]]:
+    """``(returned expression, cut parameter)`` of a single-return
+    ``evaluate(self, cut)`` override, or None for any other shape."""
+    args = fn.args
+    if (
+        args.posonlyargs
+        or args.kwonlyargs
+        or args.vararg
+        or args.kwarg
+        or args.defaults
+        or args.kw_defaults
+    ):
+        return None
+    if len(args.args) != 2:  # self + cut
+        return None
+    cut_name = args.args[1].arg
+    body = list(fn.body)
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]  # docstring
+    if len(body) != 1 or not isinstance(body[0], ast.Return):
+        return None
+    if body[0].value is None:
+        return None
+    return body[0].value, cut_name
+
+
+def classifiable_evaluate(fn: ast.FunctionDef) -> bool:
+    """Is the ``evaluate`` override a single classifiable return?"""
+    extracted = _evaluate_body(fn)
+    if extracted is None:
+        return False
+    returned, cut_name = extracted
+    return parses(returned, cut_name)
+
+
+@register_rule
+class OpaqueClassifiableLambdaRule(Rule):
+    code = "CLS401"
+    name = "opaque-classifiable-lambda"
+    severity = Severity.ERROR
+    description = (
+        "`FunctionPredicate(lambda cut: ...)` whose body lies in the "
+        "classifier's supported fragment; write it in the structured "
+        "predicate algebra (local/conjunctive/cnf/sum_predicate/...) so "
+        "dispatch needs no classify-and-validate step"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name != "FunctionPredicate" or not node.args:
+                continue
+            fn_arg = node.args[0]
+            if isinstance(fn_arg, ast.Lambda) and classifiable_lambda(
+                fn_arg
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "opaque lambda is statically classifiable; build the "
+                    "structured predicate directly (docs/ANALYSIS.md, "
+                    "'Predicate classification')",
+                )
+
+
+@register_rule
+class OpaqueClassifiableEvaluateRule(Rule):
+    code = "CLS402"
+    name = "opaque-classifiable-evaluate"
+    severity = Severity.ERROR
+    description = (
+        "`GlobalPredicate` subclass whose `evaluate` override is a "
+        "single classifiable return; the class structure it hides is "
+        "statically recoverable — use the structured algebra instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = {
+                base.id
+                if isinstance(base, ast.Name)
+                else base.attr if isinstance(base, ast.Attribute) else None
+                for base in node.bases
+            }
+            if "GlobalPredicate" not in bases:
+                continue
+            for item in node.body:
+                if (
+                    isinstance(item, ast.FunctionDef)
+                    and item.name == "evaluate"
+                    and classifiable_evaluate(item)
+                ):
+                    yield self.finding(
+                        ctx,
+                        item,
+                        f"{node.name}.evaluate hides a classifiable body "
+                        "behind an opaque override; build the structured "
+                        "predicate directly (docs/ANALYSIS.md, 'Predicate "
+                        "classification')",
+                    )

@@ -31,6 +31,7 @@ from repro.analysis.lint.core import (
 from repro.analysis.lint.keys import CanonicalKeys, load_canonical_keys
 
 # Import for side effect: rule registration.
+from repro.analysis.lint import classify_rules as _classify  # noqa: F401
 from repro.analysis.lint import conformance as _conformance  # noqa: F401
 from repro.analysis.lint import determinism as _determinism  # noqa: F401
 from repro.analysis.lint import protocol as _protocol  # noqa: F401

@@ -4,6 +4,9 @@ Commands:
 
 * ``detect`` — run possibly/definitely detection of a predicate (in the
   :mod:`repro.predicates.parser` language) against a JSON trace;
+* ``classify`` — statically classify an opaque Python predicate
+  (``lambda cut: ...``): print the inferred class certificate and the
+  engine detection would dispatch to (see ``docs/ANALYSIS.md``);
 * ``profile`` — repeat a detection query under the observability layer
   and report latency percentiles plus engine counters;
 * ``generate`` — produce a seeded random trace as JSON;
@@ -43,6 +46,8 @@ Examples::
     python -m repro detect ring.json "cs@1 & cs@3" --profile
     python -m repro detect ring.json "(a@0 | a@1) & (b@2 | b@3)" --parallel 4
     python -m repro detect ring.json "count(token) >= 2" --modality definitely
+    python -m repro classify ring.json \
+        "lambda cut: cut.value(1, 'cs') and cut.value(3, 'cs')"
     python -m repro profile ring.json "cs@1 & cs@3" --repeat 20
     python -m repro generate --processes 4 --events 10 --bool x -o random.json
     python -m repro fuzz --seed 7 --iterations 100
@@ -56,9 +61,12 @@ Examples::
         --variable holds_lock --deadline-ms 5000
 
 Exit codes: 0 = success (``detect``: predicate holds; ``fuzz``: all
-engines agreed; ``lint``: no findings), 1 = ``detect`` ran but the
-predicate does not hold, ``fuzz`` found a disagreement, or ``lint``
-reported findings, 2 = usage or predicate-syntax error,
+engines agreed; ``lint``: no findings; ``classify``: a validated
+certificate), 1 = ``detect`` ran but the predicate does not hold,
+``fuzz`` found a disagreement, ``lint`` reported findings, or
+``classify`` found the predicate unclassifiable (or differential
+validation rejected the certificate), 2 = usage or predicate-syntax
+error,
 3 = unreadable/malformed trace, 4 = simulation or fault-plan error,
 5 = monitor error, 6 = lint usage/internal error (unknown rule or path,
 unreadable canonical-key docs), 7 = ``--deadline-ms`` expired before a
@@ -135,6 +143,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                     parallel=args.parallel,
                     slice=not args.no_slice,
                     engine=args.engine,
+                    infer=not args.no_infer,
                 )
             print("── span tree ──", file=sys.stderr)
             print(obs.format_span_tree(cap.roots), file=sys.stderr)
@@ -150,6 +159,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                     parallel=args.parallel,
                     slice=not args.no_slice,
                     engine=args.engine,
+                    infer=not args.no_infer,
                 )
     except DeadlineExceeded as exc:
         payload = {
@@ -195,6 +205,94 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             ]
     print(json.dumps(payload, indent=2))
     return 0 if result.holds else 1
+
+
+def _compile_python_predicate(source: str):
+    """Compile a ``lambda cut: ...`` source string into a callable.
+
+    A bare body expression (``cut.value(0, 'x') and ...``) is accepted
+    too and wrapped into a one-cut lambda.  The compiled function carries
+    the source as ``__repro_source__`` so the classifier can analyze it
+    without :func:`inspect.getsource`.
+    """
+    import ast
+
+    from repro.predicates import PredicateError
+
+    try:
+        body = ast.parse(source, mode="eval").body
+    except SyntaxError as exc:
+        raise PredicateError(
+            f"cannot compile predicate source: {exc}"
+        ) from exc
+    if not isinstance(body, ast.Lambda):
+        source = f"lambda cut: {source}"
+    try:
+        code = compile(source, "<classify>", "eval")
+    except SyntaxError as exc:
+        raise PredicateError(
+            f"cannot compile predicate source: {exc}"
+        ) from exc
+    try:
+        fn = eval(code)  # noqa: S307 - the user's own predicate source
+    except Exception as exc:
+        raise PredicateError(
+            f"predicate source failed to evaluate: {exc}"
+        ) from exc
+    if not callable(fn):
+        raise PredicateError(
+            "predicate source must evaluate to a callable of one cut"
+        )
+    try:
+        fn.__repro_source__ = source
+    except AttributeError:
+        pass  # builtins reject attributes; getsource will fail precisely
+    return fn
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.analysis.classify import Unclassifiable, classify
+    from repro.analysis.classify.validate import validate_certificate
+    from repro.obs.ledger import annotate
+    from repro.predicates.base import FunctionPredicate
+
+    computation = load_computation(args.trace)
+    annotate(trace=args.trace)
+    fn = _compile_python_predicate(args.python)
+    predicate = FunctionPredicate(fn, name=args.python)
+    modality = Modality(args.modality)
+    try:
+        certificate = classify(
+            predicate, num_processes=computation.num_processes
+        )
+    except Unclassifiable as exc:
+        payload = {
+            "predicate": args.python,
+            "classified": False,
+            "reason": exc.reason,
+            "line": exc.line,
+            "engine": "enumeration",
+        }
+        print(json.dumps(payload, indent=2))
+        annotate(verdict="unclassifiable")
+        return 1
+    validated = validate_certificate(computation, predicate, certificate)
+    certificate.validated = validated
+    trusted = validated and certificate.actionable
+    payload = {
+        "predicate": args.python,
+        "classified": True,
+        "certificate": certificate.to_dict(),
+        "engine": (
+            certificate.engine_hint(modality) if trusted else "enumeration"
+        ),
+    }
+    print(json.dumps(payload, indent=2))
+    annotate(
+        verdict="classified" if trusted else "rejected",
+        stats={"engine": payload["engine"]},
+    )
+    return 0 if trusted else 1
 
 
 def _jsonable(value):
@@ -876,7 +974,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable slice-first pruning of enumeration engines; "
         "verdict and witness guarantees are unchanged (docs/ALGORITHMS.md)",
     )
+    p_detect.add_argument(
+        "--no-infer", action="store_true",
+        help="disable static classification of opaque predicates; "
+        "verdicts are unchanged, opaque predicates fall back to "
+        "enumeration (docs/ANALYSIS.md)",
+    )
     p_detect.set_defaults(func=_cmd_detect)
+
+    p_classify = sub.add_parser(
+        "classify",
+        help="statically classify an opaque Python predicate "
+        "(see docs/ANALYSIS.md)",
+    )
+    p_classify.add_argument(
+        "trace", help="path to a repro-trace-v1 JSON file"
+    )
+    p_classify.add_argument(
+        "python",
+        help="Python source of a one-cut callable, e.g. "
+        "\"lambda cut: cut.value(0, 'x') and cut.value(1, 'x')\" "
+        "(a bare body expression is wrapped into the lambda for you)",
+    )
+    p_classify.add_argument(
+        "--modality",
+        choices=["possibly", "definitely"],
+        default="possibly",
+        help="modality used for the reported engine choice",
+    )
+    p_classify.set_defaults(func=_cmd_classify)
 
     p_slice = sub.add_parser(
         "slice",

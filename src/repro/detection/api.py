@@ -27,6 +27,15 @@ conjunctive over-approximation (see :mod:`repro.slicing.dispatch`) bounds
 the search to the slice sublattice, falling back to the unsliced engine
 when no useful approximation exists.  Pass ``slice=False`` to opt out —
 verdicts and witness guarantees are identical either way.
+
+Opaque predicates (``FunctionPredicate``, custom ``evaluate`` overrides)
+are **classified first** by default (``infer=True``): the static
+classifier of :mod:`repro.analysis.classify` recovers the predicate-class
+structure from the callable's source, differentially validates the
+rewrite, and dispatch routes through the fast engine of the inferred
+class (``algorithm`` prefixed ``classify:``).  Certified-monotone bodies
+go to the O(n) stable-predicate engine.  On ``Unclassifiable`` the
+enumeration fallback runs unchanged; pass ``infer=False`` to opt out.
 """
 
 from __future__ import annotations
@@ -44,23 +53,53 @@ from repro.detection.garg_waldecker import detect_conjunctive
 from repro.detection.relational_sum import definitely_sum, possibly_sum
 from repro.detection.result import DetectionResult
 from repro.detection.singular_cnf import detect_singular
+from repro.detection.stable import detect_stable
 from repro.detection.stoller_schneider import detect_cnf_by_literal_choice
 from repro.detection.symmetric_detect import (
     definitely_symmetric,
     possibly_symmetric,
 )
-from repro.predicates.base import GlobalPredicate, OrPredicate
-from repro.predicates.boolean import CNFPredicate
+from repro.predicates.base import (
+    AndPredicate,
+    ConstantPredicate,
+    GlobalPredicate,
+    NotPredicate,
+    OrPredicate,
+)
+from repro.predicates.boolean import Clause, CNFPredicate
+from repro.predicates.channel import InFlightPredicate
 from repro.predicates.conjunctive import (
     ConjunctivePredicate,
     conjunctive_from_cnf,
 )
+from repro.predicates.inequity import InequityPredicate
 from repro.predicates.local import LocalPredicate
 from repro.predicates.modalities import Modality
 from repro.predicates.relational import RelationalSumPredicate
 from repro.predicates.symmetric import SymmetricPredicate
 
 __all__ = ["possibly", "definitely", "detect"]
+
+#: Predicate classes dispatch already understands structurally; anything
+#: else is *opaque* and eligible for static classification.
+_STRUCTURED = (
+    AndPredicate,
+    CNFPredicate,
+    Clause,
+    ConjunctivePredicate,
+    ConstantPredicate,
+    InFlightPredicate,
+    InequityPredicate,
+    LocalPredicate,
+    NotPredicate,
+    OrPredicate,
+    RelationalSumPredicate,
+    SymmetricPredicate,
+)
+
+
+def _is_opaque(predicate: GlobalPredicate) -> bool:
+    return not isinstance(predicate, _STRUCTURED)
 
 
 def detect(
@@ -70,6 +109,7 @@ def detect(
     parallel: Optional[int] = None,
     slice: bool = True,
     engine: str = "auto",
+    infer: bool = True,
 ) -> DetectionResult:
     """Full detection result for the given predicate and modality.
 
@@ -90,6 +130,14 @@ def detect(
     ``possibly`` queries (``slice=True`` jump-starts its chain cursors at
     the slice box).
 
+    ``infer`` (default True) lets the static classifier
+    (:mod:`repro.analysis.classify`) recover class structure from opaque
+    predicates — ``FunctionPredicate`` bodies and custom ``evaluate``
+    overrides — and dispatch through the inferred fast engine; the
+    certificate is differentially validated before it is trusted, and
+    ``Unclassifiable`` bodies fall back to the enumeration engines
+    exactly as if ``infer=False``.
+
     When observability is enabled (:mod:`repro.obs`) every query opens a
     root span ``detect.query`` recording the modality, the predicate
     class, and — once dispatch has chosen — the engine that answered.
@@ -101,16 +149,28 @@ def detect(
         modality=modality.value,
         predicate=type(predicate).__name__,
     ) as root:
+        result = None
         if engine == "work-optimal":
             result = _work_optimal(
-                computation, predicate, modality, parallel, slice
-            )
-        elif modality is Modality.POSSIBLY:
-            result = _possibly(
-                computation, predicate, parallel=parallel, use_slice=slice
+                computation, predicate, modality, parallel, slice, infer
             )
         else:
-            result = _definitely(computation, predicate, use_slice=slice)
+            if infer and _is_opaque(predicate):
+                result = _inferred(
+                    computation, predicate, modality, parallel, slice
+                )
+            if result is None and modality is Modality.POSSIBLY:
+                result = _possibly(
+                    computation,
+                    predicate,
+                    parallel=parallel,
+                    use_slice=slice,
+                    infer=infer,
+                )
+            elif result is None:
+                result = _definitely(
+                    computation, predicate, use_slice=slice, infer=infer
+                )
         root.set(engine=result.algorithm, holds=result.holds)
         if STATE.enabled:
             registry().counter("detect.queries").inc()
@@ -122,20 +182,79 @@ def possibly(
     computation: Computation,
     predicate: GlobalPredicate,
     slice: bool = True,
+    infer: bool = True,
 ) -> bool:
     """Does some consistent cut of the computation satisfy the predicate?"""
-    return detect(computation, predicate, Modality.POSSIBLY, slice=slice).holds
+    return detect(
+        computation, predicate, Modality.POSSIBLY, slice=slice, infer=infer
+    ).holds
 
 
 def definitely(
     computation: Computation,
     predicate: GlobalPredicate,
     slice: bool = True,
+    infer: bool = True,
 ) -> bool:
     """Does every run of the computation pass through a satisfying cut?"""
     return detect(
-        computation, predicate, Modality.DEFINITELY, slice=slice
+        computation, predicate, Modality.DEFINITELY, slice=slice, infer=infer
     ).holds
+
+
+def _inferred(
+    computation: Computation,
+    predicate: GlobalPredicate,
+    modality: Modality,
+    parallel: Optional[int],
+    use_slice: bool,
+) -> Optional[DetectionResult]:
+    """Classify an opaque predicate and dispatch its certificate.
+
+    Returns None when the predicate is unclassifiable, validation
+    rejected the certificate, or only a conjunctive over-approximation
+    was recovered (the slice-first enumeration path picks that up on its
+    own) — the caller then falls back to structural dispatch unchanged.
+    """
+    from repro.analysis.classify import classification_for
+
+    with span(
+        "engine.classify", predicate=type(predicate).__name__
+    ) as sp:
+        certificate = classification_for(predicate, computation)
+        if certificate is None:
+            sp.set(outcome="unclassifiable")
+            return None
+        if certificate.monotone:
+            # Syntactic monotonicity proof: the predicate is stable, so
+            # both modalities are decided at the final cut in O(n).
+            sp.set(outcome="monotone")
+            result = detect_stable(computation, predicate)
+        elif certificate.rewrite is not None:
+            sp.set(
+                outcome="rewrite",
+                target=type(certificate.rewrite).__name__,
+            )
+            if modality is Modality.POSSIBLY:
+                result = _possibly(
+                    computation,
+                    certificate.rewrite,
+                    parallel=parallel,
+                    use_slice=use_slice,
+                )
+            else:
+                result = _definitely(
+                    computation, certificate.rewrite, use_slice=use_slice
+                )
+        else:
+            sp.set(outcome="approximation-only")
+            return None
+        return DetectionResult(
+            holds=result.holds,
+            witness=result.witness,
+            algorithm="classify:" + result.algorithm,
+            stats=result.stats,
+        )
 
 
 def _work_optimal(
@@ -144,13 +263,15 @@ def _work_optimal(
     modality: Modality,
     parallel: Optional[int],
     use_slice: bool,
+    infer: bool = True,
 ) -> DetectionResult:
     """Forced ``engine="work-optimal"`` dispatch.
 
     The engine decides ``possibly`` of conjunctive-viewable predicates
-    (conjunctive, local, 1-CNF singular); anything else is a structural
-    mismatch the caller asked for explicitly, so it raises instead of
-    silently falling back.
+    (conjunctive, local, 1-CNF singular) — including, with ``infer``,
+    opaque predicates whose certified rewrite is conjunctive-viewable;
+    anything else is a structural mismatch the caller asked for
+    explicitly, so it raises instead of silently falling back.
     """
     from repro.detection.work_optimal import detect_work_optimal
     from repro.predicates.errors import UnsupportedPredicateError
@@ -170,10 +291,24 @@ def _work_optimal(
     ):
         conj = conjunctive_from_cnf(predicate)
     else:
-        raise UnsupportedPredicateError(
-            "the work-optimal engine requires a conjunctive-viewable "
-            "predicate"
-        )
+        conj = None
+        if infer and _is_opaque(predicate):
+            from repro.analysis.classify import classification_for
+
+            certificate = classification_for(predicate, computation)
+            if certificate is not None and certificate.conjunctive_view:
+                rewrite = certificate.rewrite
+                if isinstance(rewrite, ConjunctivePredicate):
+                    conj = rewrite
+                elif isinstance(rewrite, LocalPredicate):
+                    conj = ConjunctivePredicate([rewrite])
+                elif isinstance(rewrite, CNFPredicate):
+                    conj = conjunctive_from_cnf(rewrite)
+        if conj is None:
+            raise UnsupportedPredicateError(
+                "the work-optimal engine requires a conjunctive-viewable "
+                "predicate"
+            )
     bounds = None
     if use_slice:
         from repro.slicing.dispatch import slice_info
@@ -189,6 +324,7 @@ def _possibly(
     predicate: GlobalPredicate,
     parallel: Optional[int] = None,
     use_slice: bool = True,
+    infer: bool = True,
 ) -> DetectionResult:
     if isinstance(predicate, ConjunctivePredicate):
         return detect_conjunctive(computation, predicate)
@@ -219,7 +355,11 @@ def _possibly(
             explored = 0
             for part in predicate.parts:
                 result = _possibly(
-                    computation, part, parallel=parallel, use_slice=use_slice
+                    computation,
+                    part,
+                    parallel=parallel,
+                    use_slice=use_slice,
+                    infer=infer,
                 )
                 explored += int(result.stats.get("cuts_explored", 0))
                 if result.holds:
@@ -237,7 +377,7 @@ def _possibly(
     if use_slice:
         from repro.slicing.dispatch import sliced_possibly_enumerate
 
-        return sliced_possibly_enumerate(computation, predicate)
+        return sliced_possibly_enumerate(computation, predicate, infer=infer)
     return possibly_enumerate(computation, predicate)
 
 
@@ -245,6 +385,7 @@ def _definitely(
     computation: Computation,
     predicate: GlobalPredicate,
     use_slice: bool = True,
+    infer: bool = True,
 ) -> DetectionResult:
     if isinstance(predicate, ConjunctivePredicate):
         return definitely_conjunctive(
@@ -260,7 +401,9 @@ def _definitely(
         if use_slice:
             from repro.slicing.dispatch import sliced_definitely_enumerate
 
-            return sliced_definitely_enumerate(computation, predicate)
+            return sliced_definitely_enumerate(
+                computation, predicate, infer=infer
+            )
         return definitely_enumerate(computation, predicate)
     if isinstance(predicate, RelationalSumPredicate):
         return definitely_sum(computation, predicate, use_slice=use_slice)
@@ -271,5 +414,5 @@ def _definitely(
     if use_slice:
         from repro.slicing.dispatch import sliced_definitely_enumerate
 
-        return sliced_definitely_enumerate(computation, predicate)
+        return sliced_definitely_enumerate(computation, predicate, infer=infer)
     return definitely_enumerate(computation, predicate)

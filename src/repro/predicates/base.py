@@ -67,6 +67,11 @@ class FunctionPredicate(GlobalPredicate):
         self._fn = fn
         self._name = name
 
+    @property
+    def fn(self) -> Callable[[Cut], bool]:
+        """The wrapped callable (the static classifier analyzes it)."""
+        return self._fn
+
     def evaluate(self, cut: Cut) -> bool:
         return bool(self._fn(cut))
 

@@ -193,7 +193,9 @@ def _sum_interval(
 
 
 def conjunctive_approximation(
-    computation: Computation, predicate: GlobalPredicate
+    computation: Computation,
+    predicate: GlobalPredicate,
+    infer: bool = True,
 ) -> Optional[Tuple[ConjunctivePredicate, bool]]:
     """A conjunctive B' with ``B ⟹ B'``, or None when none is useful.
 
@@ -202,6 +204,12 @@ def conjunctive_approximation(
     approximation (every conjunct tautological — the slice would be the
     whole lattice) reports None, which the dispatchers treat as "run the
     unsliced engine".
+
+    When ``infer`` is True (the default) an opaque predicate with no
+    structural approximation is handed to the static classifier
+    (:mod:`repro.analysis.classify`); a differentially validated
+    certificate's conjunctive over-approximation bounds the enumeration
+    box exactly like a structural one.
     """
     if isinstance(predicate, ConjunctivePredicate):
         return predicate, True
@@ -231,7 +239,34 @@ def conjunctive_approximation(
             return None
         exact = predicate.counts == frozenset(range(lo, hi + 1))
         return approx, exact
+    if infer:
+        return _inferred_approximation(computation, predicate)
     return None
+
+
+def _inferred_approximation(
+    computation: Computation, predicate: GlobalPredicate
+) -> Optional[Tuple[ConjunctivePredicate, bool]]:
+    """Classifier-inferred over-approximation for opaque predicates.
+
+    Tautological conjuncts are dropped (preserving equivalence, so the
+    certificate's ``exact`` flag survives the filter); None when the
+    classifier finds nothing or nothing restrictive remains.
+    """
+    from repro.analysis.classify import cached_approximation
+
+    inferred = cached_approximation(predicate, computation)
+    if inferred is None:
+        return None
+    approximation, exact = inferred
+    conjuncts = [
+        c
+        for c in approximation.conjuncts
+        if _restrictive(computation, c)
+    ]
+    if not conjuncts:
+        return None
+    return ConjunctivePredicate(conjuncts), exact
 
 
 # ----------------------------------------------------------------------
@@ -292,10 +327,12 @@ class SliceInfo:
 
 
 def slice_info(
-    computation: Computation, predicate: GlobalPredicate
+    computation: Computation,
+    predicate: GlobalPredicate,
+    infer: bool = True,
 ) -> SliceInfo:
     """Compute the predicate's conjunctive approximation and its slice."""
-    approx = conjunctive_approximation(computation, predicate)
+    approx = conjunctive_approximation(computation, predicate, infer=infer)
     if approx is None:
         return SliceInfo(computation, predicate, None, False, None)
     approximation, exact = approx
@@ -354,7 +391,9 @@ def _empty_slice_result(info: SliceInfo, sp) -> "DetectionResult":
 
 
 def sliced_possibly_enumerate(
-    computation: Computation, predicate: GlobalPredicate
+    computation: Computation,
+    predicate: GlobalPredicate,
+    infer: bool = True,
 ) -> "DetectionResult":
     """``possibly(B)`` by enumeration restricted to B's slice box.
 
@@ -368,7 +407,7 @@ def sliced_possibly_enumerate(
     from repro.detection.cooper_marzullo import possibly_enumerate
     from repro.detection.result import DetectionResult
 
-    info = slice_info(computation, predicate)
+    info = slice_info(computation, predicate, infer=infer)
     if not info.useful:
         return possibly_enumerate(computation, predicate)
     with span("engine.slice", modality="possibly", exact=info.exact) as sp:
@@ -394,7 +433,9 @@ def sliced_possibly_enumerate(
 
 
 def sliced_definitely_enumerate(
-    computation: Computation, predicate: GlobalPredicate
+    computation: Computation,
+    predicate: GlobalPredicate,
+    infer: bool = True,
 ) -> "DetectionResult":
     """``definitely(B)`` by avoidance search with slice-box pruning.
 
@@ -408,7 +449,7 @@ def sliced_definitely_enumerate(
     from repro.detection.cooper_marzullo import definitely_enumerate
     from repro.detection.result import DetectionResult
 
-    info = slice_info(computation, predicate)
+    info = slice_info(computation, predicate, infer=infer)
     if not info.useful:
         return definitely_enumerate(computation, predicate)
     with span(

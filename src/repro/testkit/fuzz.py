@@ -297,6 +297,64 @@ def _gen_slice_roundtrip(rng: "_random.Random", seed: int) -> Instance:
     return comp, pred, modality
 
 
+def _gen_classify_roundtrip(rng: "_random.Random", seed: int) -> Instance:
+    """Structured predicates drawn across every opaquifiable class.
+
+    The registry's ``classify-opaque`` engine wraps each instance as an
+    opaque ``FunctionPredicate``, lets the static classifier recover the
+    class, and asserts verdict + witness parity against the directly
+    dispatched engine — while the brute oracle anchors the same vote.
+    """
+    n = rng.randint(2, 3)
+    events = rng.randint(2, 3)
+    density = rng.choice([0.3, 0.5])
+    kind = rng.randrange(4)
+    if kind == 0:
+        comp = random_computation(
+            n, events, density, seed=seed, variables=_bool_vars(rng)
+        )
+        pred: GlobalPredicate = conjunctive(
+            *(local(p, "x", negated=rng.random() < 0.25) for p in range(n))
+        )
+    elif kind == 1:
+        comp = random_computation(
+            3, events, density, seed=seed, variables=_bool_vars(rng)
+        )
+        pred = CNFPredicate(
+            [
+                Clause(
+                    [
+                        Literal(0, "x", rng.random() < 0.3),
+                        Literal(1, "x", rng.random() < 0.3),
+                    ]
+                ),
+                Clause([Literal(2, "x", rng.random() < 0.3)]),
+            ]
+        )
+    elif kind == 2:
+        comp = random_computation(
+            n,
+            events,
+            density,
+            seed=seed,
+            variables=[UnitWalkVar("v", floor=None)],
+        )
+        relop = rng.choice(["<=", ">=", "<", ">", "==", "!="])
+        pred = sum_predicate("v", relop, rng.choice([-1, 0, 1, 2]))
+    else:
+        comp = random_computation(
+            n, events, density, seed=seed, variables=_bool_vars(rng)
+        )
+        counts = [c for c in range(n + 1) if rng.random() < 0.4]
+        if not counts:
+            counts = [rng.randint(0, n)]
+        pred = SymmetricPredicate("x", n, counts)
+    modality = (
+        Modality.DEFINITELY if rng.random() < 0.3 else Modality.POSSIBLY
+    )
+    return comp, pred, modality
+
+
 #: Family name -> generator, in the fixed order the RNG indexes into.
 FAMILIES: Dict[str, Generator] = {
     "conjunctive": _gen_conjunctive,
@@ -310,6 +368,7 @@ FAMILIES: Dict[str, Generator] = {
     "protocol-faults": _gen_protocol_faults,
     "slice-roundtrip": _gen_slice_roundtrip,
     "clockmatrix-roundtrip": _gen_clockmatrix_roundtrip,
+    "classify-roundtrip": _gen_classify_roundtrip,
 }
 
 FAMILY_NAMES: Tuple[str, ...] = tuple(FAMILIES)

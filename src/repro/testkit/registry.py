@@ -214,6 +214,20 @@ def _is_sum_eq(computation: Computation, predicate: GlobalPredicate) -> bool:
     )
 
 
+def _opaquifiable(
+    computation: Computation, predicate: GlobalPredicate
+) -> bool:
+    """Can the predicate be rendered as classifiable Python source?"""
+    from repro.analysis.classify import predicate_source
+    from repro.predicates import PredicateError
+
+    try:
+        predicate_source(predicate)
+    except PredicateError:
+        return False
+    return True
+
+
 # ----------------------------------------------------------------------
 # The default registry: every engine the library ships
 # ----------------------------------------------------------------------
@@ -777,5 +791,57 @@ def _build_default() -> OracleRegistry:
         ),
     ]:
         registry.register_engine("symmetric", engine)
+
+    # -- classifier-dispatched opaque variants --------------------------
+    def make_classify(modality: Modality) -> EngineFn:
+        """Opaque-wrapped variant of every structured family: render the
+        predicate as Python source, wrap it in a ``FunctionPredicate``,
+        and let ``detect(..., infer=True)`` recover the class statically.
+        Asserts the classifier actually engaged (``classify:`` algorithm
+        prefix), verdict parity against the directly dispatched engine,
+        and witness validity.  A broken parity raises, which the fuzzer
+        records as a crash finding."""
+
+        def run(comp: Computation, pred: GlobalPredicate) -> bool:
+            from repro.analysis.classify import opaquify
+            from repro.detection import detect
+
+            opaque = opaquify(pred)
+            inferred = detect(comp, opaque, modality)
+            assert inferred.algorithm.startswith("classify:"), (
+                f"classifier fell back to {inferred.algorithm!r} on "
+                f"{pred.description()}"
+            )
+            direct = detect(comp, pred, modality, infer=False)
+            assert inferred.holds == direct.holds, (
+                f"verdict mismatch: classified={inferred.holds} "
+                f"direct={direct.holds}"
+            )
+            if inferred.holds and inferred.witness is not None:
+                assert inferred.witness.is_consistent()
+                assert pred.evaluate(inferred.witness), (
+                    "classified witness fails the original predicate"
+                )
+            return inferred.holds
+
+        return run
+
+    classify_engines = [
+        EngineSpec(
+            "classify-opaque", P, make_classify(P), applies=_opaquifiable
+        ),
+        EngineSpec(
+            "classify-opaque", D, make_classify(D), applies=_opaquifiable
+        ),
+    ]
+    for class_name in (
+        "conjunctive",
+        "singular-cnf",
+        "general-cnf",
+        "relational-sum",
+        "symmetric",
+    ):
+        for engine in classify_engines:
+            registry.register_engine(class_name, engine)
 
     return registry

@@ -1,0 +1,36 @@
+"""Planted CLS4xx violations: opaque-but-classifiable predicates."""
+
+from repro.predicates.base import FunctionPredicate, GlobalPredicate
+
+conj = FunctionPredicate(
+    lambda cut: cut.value(0, "x") and cut.value(1, "x"),
+    "opaque-conjunctive",
+)
+
+total = FunctionPredicate(lambda cut: cut.variable_sum("tokens") >= 2)
+
+
+class OpaqueMutex(GlobalPredicate):
+    """Opaque evaluate override whose body is a classifiable 1-CNF."""
+
+    def evaluate(self, cut):
+        return (cut.value(0, "cs") or cut.value(1, "cs")) and cut.value(
+            2, "cs"
+        )
+
+
+# Not flagged: the body reads closed-over state, outside the fragment.
+THRESHOLD = 2
+unflagged_closure = FunctionPredicate(
+    lambda cut: cut.variable_sum("tokens") >= THRESHOLD
+)
+
+
+class UnflaggedStateful(GlobalPredicate):
+    """Not flagged: evaluate references self, outside the fragment."""
+
+    def __init__(self, variable):
+        self.variable = variable
+
+    def evaluate(self, cut):
+        return cut.variable_sum(self.variable) > 0

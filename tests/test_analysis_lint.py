@@ -61,6 +61,11 @@ PLANTED = {
         ("DET104", 29),
         ("DET105", 33),
     ],
+    "cls_violations.py": [
+        ("CLS401", 5),
+        ("CLS401", 10),
+        ("CLS402", 16),
+    ],
     "proto_violations.py": [
         ("PROT201", 12),
         ("PROT202", 19),

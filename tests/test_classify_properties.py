@@ -1,0 +1,181 @@
+"""Property tests: classifier soundness and stability inference.
+
+Two laws the static classifier must satisfy on *every* input:
+
+1. **Soundness of the rewrite** — for any structured predicate rendered
+   opaque by :func:`~repro.analysis.classify.opaquify`, the certificate's
+   rewrite agrees with the original callable on every cut of a small
+   random computation (the cut sample is exhaustive at these sizes), and
+   differential validation accepts the certificate.
+
+2. **Monotone ⇒ stable** — any body the classifier certifies as
+   syntactically monotone must pass the semantic
+   :func:`~repro.detection.is_stable` check on random computations, and
+   dispatch through the stable engine must agree with plain enumeration.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.classify import classify, clear_cache, opaquify
+from repro.analysis.classify.validate import sample_cuts, validate_certificate
+from repro.detection import detect, is_stable
+from repro.predicates import (
+    CNFPredicate,
+    Clause,
+    ConjunctivePredicate,
+    FunctionPredicate,
+    Literal,
+    Modality,
+    sum_predicate,
+    symmetric_from_counts,
+)
+from repro.trace import BoolVar, random_computation
+
+NUM_PROCESSES = 3
+VARIABLES = ("x", "y")
+
+literals = st.builds(
+    Literal,
+    st.integers(0, NUM_PROCESSES - 1),
+    st.sampled_from(VARIABLES),
+    st.booleans(),
+)
+
+
+def conjunctives():
+    # One literal per process: ConjunctivePredicate rejects duplicates.
+    def build(processes, variables, negations):
+        return ConjunctivePredicate(
+            [
+                Literal(p, v, n)
+                for p, v, n in zip(sorted(processes), variables, negations)
+            ]
+        )
+
+    return st.builds(
+        build,
+        st.sets(
+            st.integers(0, NUM_PROCESSES - 1), min_size=1, max_size=3
+        ),
+        st.lists(st.sampled_from(VARIABLES), min_size=3, max_size=3),
+        st.lists(st.booleans(), min_size=3, max_size=3),
+    )
+
+
+def cnfs():
+    clauses = st.builds(
+        Clause, st.lists(literals, min_size=1, max_size=2)
+    )
+    return st.builds(
+        CNFPredicate, st.lists(clauses, min_size=1, max_size=2)
+    )
+
+
+def relational_sums():
+    return st.builds(
+        sum_predicate,
+        st.sampled_from(VARIABLES),
+        st.sampled_from(["<=", ">=", "<", ">", "==", "!="]),
+        st.integers(-1, 3),
+    )
+
+
+def symmetrics():
+    return st.builds(
+        lambda counts: symmetric_from_counts("x", NUM_PROCESSES, counts),
+        st.sets(
+            st.integers(0, NUM_PROCESSES), min_size=1, max_size=3
+        ),
+    )
+
+
+structured_predicates = st.one_of(
+    conjunctives(), cnfs(), relational_sums(), symmetrics()
+)
+
+computations = st.builds(
+    lambda events, density, seed: random_computation(
+        NUM_PROCESSES,
+        events,
+        density,
+        seed=seed,
+        variables=[BoolVar("x"), BoolVar("y")],
+    ),
+    st.integers(1, 3),
+    st.sampled_from([0.0, 0.3, 0.6]),
+    st.integers(0, 10_000),
+)
+
+
+@settings(deadline=None, max_examples=60)
+@given(predicate=structured_predicates, computation=computations)
+def test_rewrite_agrees_with_callable_on_all_cuts(predicate, computation):
+    clear_cache()
+    wrapped = opaquify(predicate)
+    certificate = classify(wrapped, num_processes=NUM_PROCESSES)
+    assert certificate.rewrite is not None
+    for cut in sample_cuts(computation):
+        original = wrapped.evaluate(cut)
+        assert certificate.rewrite.evaluate(cut) == original
+        assert predicate.evaluate(cut) == original
+    assert validate_certificate(computation, wrapped, certificate)
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    predicate=structured_predicates,
+    computation=computations,
+    modality=st.sampled_from([Modality.POSSIBLY, Modality.DEFINITELY]),
+)
+def test_dispatch_verdict_parity(predicate, computation, modality):
+    clear_cache()
+    wrapped = opaquify(predicate)
+    inferred = detect(computation, wrapped, modality)
+    direct = detect(computation, predicate, modality, infer=False)
+    assert inferred.algorithm.startswith("classify:")
+    assert inferred.holds == direct.holds
+    if inferred.holds and inferred.witness is not None:
+        assert inferred.witness.is_consistent()
+        assert predicate.evaluate(inferred.witness)
+
+
+# ----------------------------------------------------------------------
+# Monotone bodies: cut.size() atoms closed under and/or
+# ----------------------------------------------------------------------
+def monotone_sources():
+    atoms = st.builds(
+        lambda relop, k: f"cut.size() {relop} {k}",
+        st.sampled_from([">", ">="]),
+        st.integers(0, 8),
+    )
+
+    def join(parts, ops):
+        source = parts[0]
+        for part, op in zip(parts[1:], ops):
+            source = f"({source} {op} {part})"
+        return "lambda cut: " + source
+
+    return st.builds(
+        join,
+        st.lists(atoms, min_size=1, max_size=3),
+        st.lists(st.sampled_from(["and", "or"]), min_size=2, max_size=2),
+    )
+
+
+@settings(deadline=None, max_examples=40)
+@given(source=monotone_sources(), computation=computations)
+def test_certified_monotone_is_semantically_stable(source, computation):
+    clear_cache()
+    fn = eval(compile(source, "<property>", "eval"))  # noqa: S307
+    fn.__repro_source__ = source
+    predicate = FunctionPredicate(fn, source)
+    certificate = classify(predicate)
+    assert certificate.monotone
+    assert is_stable(computation, predicate)
+    inferred = detect(computation, predicate)
+    assert inferred.algorithm == "classify:stable-final-cut"
+    baseline = detect(computation, predicate, infer=False)
+    assert inferred.holds == baseline.holds
